@@ -1,0 +1,51 @@
+// Command defined-bench regenerates the paper's evaluation figures
+// (Figures 6a–6c, 7a–7c, 8a–8d) and prints them as aligned tables or CSV.
+//
+// Usage:
+//
+//	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N]
+//
+// Without -fig, every figure is regenerated. -quick runs the reduced
+// workloads used by CI; the full workloads replay the paper's sample sizes
+// (651 trace events, four network sizes, five event rates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"defined/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "single figure id to regenerate (fig6a..fig8d); empty = all")
+	quick := flag.Bool("quick", false, "reduced workloads (CI scale)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	flag.Parse()
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+
+	var ids []string
+	if *fig != "" {
+		ids = []string{*fig}
+	} else {
+		ids = []string{"fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c",
+			"fig8a", "fig8b", "fig8c", "fig8d"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		f, err := experiments.ByID(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "defined-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Printf("%s(regenerated in %.1fs)\n\n", f.Table(), time.Since(start).Seconds())
+		}
+	}
+}

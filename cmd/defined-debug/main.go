@@ -1,0 +1,61 @@
+// Command defined-debug opens an interactive DEFINED-LS debugging session
+// on a recording produced by defined-record: the debugging network replays
+// the production execution deterministically while the operator steps,
+// sets breakpoints and inspects router state.
+//
+// Usage:
+//
+//	defined-debug -recording recording.json [-topology sprintlink]
+//
+// Commands inside the session: step, round, group, continue, break,
+// pending, state, where, log, quit (see 'help').
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"defined"
+	"defined/internal/record"
+	"defined/internal/routing/ospf"
+	"defined/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topology", "sprintlink", "topology the recording was made on")
+	recPath := flag.String("recording", "recording.json", "recording file")
+	flag.Parse()
+
+	g, err := topology.ByName(*topoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defined-debug: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(*recPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defined-debug: %v\n", err)
+		os.Exit(1)
+	}
+	rec, err := record.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defined-debug: %v\n", err)
+		os.Exit(1)
+	}
+	if rec.Topology != g.Name {
+		fmt.Fprintf(os.Stderr, "defined-debug: recording was made on %q, not %q\n", rec.Topology, g.Name)
+		os.Exit(1)
+	}
+	apps := make([]defined.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	rp, err := defined.NewReplay(g, apps, rec, defined.WithReplayLog())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defined-debug: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %s: %d recorded events, %d groups\n", *recPath, len(rec.Events), rec.Groups)
+	rp.Debug(os.Stdin, os.Stdout)
+}

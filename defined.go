@@ -1,0 +1,117 @@
+// Package defined is a reproduction of DEFINED — a user-space substrate
+// for deterministic execution and interactive debugging of control-plane
+// software (Lin, Jalaparti, Caesar, Van der Merwe; USENIX 2013).
+//
+// DEFINED makes an entire network's execution deterministic: given the
+// same external events, every node receives messages and fires timers in
+// the same order and virtual timing, regardless of physical jitter or
+// interleavings. Nondeterministic ordering and timing bugs — the kind
+// that partial logs cannot reproduce — become replayable from partial
+// recordings of external events alone.
+//
+// Two engines implement the system:
+//
+//   - Network (DEFINED-RB) instruments a production network. Nodes
+//     deliver arrivals speculatively in a pseudorandom-but-deterministic
+//     order and roll back (checkpoint restore + cascading "unsend"
+//     anti-messages) when arrivals diverge from it.
+//   - Replay (DEFINED-LS) drives a debugging network in lockstep from a
+//     Recording, reproducing the production execution exactly (the
+//     paper's Theorem 1) and exposing stepping, breakpoints and state
+//     inspection for interactive troubleshooting.
+//
+// Control-plane software plugs in through the Application interface; the
+// repository ships OSPF-, BGP- and RIP-style daemons (including faithful
+// reimplementations of the two bugs the paper's case studies debug).
+//
+// A minimal production-then-debug session:
+//
+//	g := defined.Sprintlink()
+//	apps := make([]defined.Application, g.N)
+//	for i := range apps {
+//		apps[i] = ospf.New(ospf.Config{})
+//	}
+//	net := defined.NewNetwork(g, apps, defined.WithRecording(), defined.WithSeed(7))
+//	net.InjectLinkChange(3, 5, false) // the external event to debug
+//	net.Run(defined.Seconds(2))
+//	net.Drain()
+//
+//	rec := net.Recording()
+//	replayApps := freshApps(g.N)
+//	rp, _ := defined.NewReplay(g, replayApps, rec)
+//	rp.RunToEnd() // or StepEvent/StepRound/StepGroup, breakpoints, ...
+package defined
+
+import (
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/record"
+	"defined/internal/routing/api"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// NodeID identifies a node (router) in a network.
+type NodeID = msg.NodeID
+
+// Application is the control-plane software interface nodes run; see
+// internal/routing/api for the full contract.
+type Application = api.Application
+
+// Neighbor describes one adjacent router.
+type Neighbor = api.Neighbor
+
+// ExternalEvent is an event arriving from outside the instrumented
+// network; external events are what partial recordings capture.
+type ExternalEvent = api.ExternalEvent
+
+// LinkChange is the built-in external event for link failures/repairs.
+type LinkChange = api.LinkChange
+
+// Out is a message emitted by an application.
+type Out = msg.Out
+
+// Message is a wire message delivered to an application.
+type Message = msg.Message
+
+// Recording is the partial recording of a production run, replayable in a
+// debugging network.
+type Recording = record.Recording
+
+// Topology is a network graph.
+type Topology = topology.Graph
+
+// Link is one edge of a Topology.
+type Link = topology.Link
+
+// Time is a virtual timestamp (microseconds since the run began).
+type Time = vtime.Time
+
+// Duration is a span of virtual time.
+type Duration = vtime.Duration
+
+// Seconds converts seconds to a virtual timestamp.
+func Seconds(s float64) Time { return Time(s * float64(vtime.Second)) }
+
+// Sprintlink returns the 43-node Sprintlink-like evaluation topology.
+func Sprintlink() *Topology { return topology.Sprintlink() }
+
+// Ebone returns the 25-node Ebone-like evaluation topology.
+func Ebone() *Topology { return topology.Ebone() }
+
+// Level3 returns the 52-node Level3-like evaluation topology.
+func Level3() *Topology { return topology.Level3() }
+
+// Brite generates an n-node BRITE-like scale-free topology.
+func Brite(n, m int, seed uint64) *Topology { return topology.Brite(n, m, seed) }
+
+// NewTopology assembles a custom topology from explicit links.
+func NewTopology(name string, n int, links []Link) (*Topology, error) {
+	return topology.New(name, n, links)
+}
+
+// OrderingOO is the delay-sensitive optimized ordering (the default).
+func OrderingOO() ordering.Func { return ordering.Optimized() }
+
+// OrderingRO is the random-ordering ablation baseline.
+func OrderingRO(seed uint64) ordering.Func { return ordering.Random(seed) }

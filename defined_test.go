@@ -1,0 +1,169 @@
+package defined_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"defined"
+	"defined/internal/routing/ospf"
+)
+
+func ospfApps(n int) []defined.Application {
+	apps := make([]defined.Application, n)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	return apps
+}
+
+// TestPublicAPIEndToEnd exercises the full documented workflow: production
+// run with recording, deterministic committed orders across seeds, replay
+// reproducing the execution, interactive session.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := defined.Brite(10, 2, 3)
+
+	run := func(seed uint64) (*defined.Network, *defined.Recording) {
+		net := defined.NewNetwork(g, ospfApps(g.N),
+			defined.WithSeed(seed),
+			defined.WithJitterScale(3),
+			defined.WithRecording(),
+			defined.WithDeliveryLog(),
+		)
+		l := g.Links[0]
+		net.At(defined.Seconds(0.01), func() {
+			if err := net.InjectLinkChange(l.A, l.B, false); err != nil {
+				t.Errorf("inject: %v", err)
+			}
+		})
+		net.At(defined.Seconds(0.6), func() {
+			if err := net.InjectLinkChange(l.A, l.B, true); err != nil {
+				t.Errorf("inject: %v", err)
+			}
+		})
+		net.Run(defined.Seconds(2))
+		if !net.Drain() {
+			t.Fatal("network did not drain")
+		}
+		return net, net.Recording()
+	}
+
+	netA, rec := run(1)
+	netB, _ := run(2)
+
+	// Determinism across seeds (same externals).
+	for i := 0; i < g.N; i++ {
+		a := netA.CommittedOrder(defined.NodeID(i))
+		b := netB.CommittedOrder(defined.NodeID(i))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("node %d: committed orders differ across seeds", i)
+		}
+	}
+
+	// Replay reproduces the recorded run.
+	rp, err := defined.NewReplay(g, ospfApps(g.N), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rp.RunToEnd(); n == 0 || !rp.Done() {
+		t.Fatalf("replay: %d deliveries, done=%v", n, rp.Done())
+	}
+	for i := 0; i < g.N; i++ {
+		if !reflect.DeepEqual(netA.CommittedOrder(defined.NodeID(i)), rp.DeliveredOrder(defined.NodeID(i))) {
+			t.Fatalf("node %d: replay diverged from production", i)
+		}
+	}
+
+	// Final routing state matches production.
+	for i := 0; i < g.N; i++ {
+		prod := netA.App(defined.NodeID(i)).(*ospf.Daemon).DumpTable()
+		rep := rp.App(defined.NodeID(i)).(*ospf.Daemon).DumpTable()
+		if prod != rep {
+			t.Fatalf("node %d: routing tables differ\nprod:\n%s\nreplay:\n%s", i, prod, rep)
+		}
+	}
+}
+
+func TestReplayBreakpointAndDebugSession(t *testing.T) {
+	g := defined.Brite(8, 2, 5)
+	net := defined.NewNetwork(g, ospfApps(g.N), defined.WithRecording(), defined.WithSeed(4))
+	l := g.Links[1]
+	net.At(defined.Seconds(0.05), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
+	net.Run(defined.Seconds(1))
+	net.Drain()
+	rec := net.Recording()
+
+	rp, err := defined.NewReplay(g, ospfApps(g.N), rec, defined.WithReplayLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.SetBreakpoint(func(d defined.Delivery) bool { return d.Msg != nil })
+	rp.RunToEnd()
+	if rp.BreakpointHit() == nil {
+		t.Fatal("breakpoint did not fire")
+	}
+	rp.SetBreakpoint(nil)
+
+	var out bytes.Buffer
+	rp.Debug(strings.NewReader("where\nstate 0\ncontinue\nquit\n"), &out)
+	if !strings.Contains(out.String(), "replay complete") {
+		t.Fatalf("debug session output:\n%s", out.String())
+	}
+	if len(rp.Steps()) == 0 {
+		t.Fatal("no step summaries")
+	}
+}
+
+func TestBaselineAndOrderingOptions(t *testing.T) {
+	g := defined.Brite(8, 2, 7)
+	base := defined.NewNetwork(g, ospfApps(g.N), defined.WithBaseline(), defined.WithSeed(1))
+	base.Run(defined.Seconds(1.5))
+	base.Drain()
+	if base.Stats().Rollbacks != 0 {
+		t.Fatal("baseline must not roll back")
+	}
+	if base.PacketsReceived(0) == 0 {
+		t.Fatal("baseline should still carry traffic")
+	}
+
+	ro := defined.NewNetwork(g, ospfApps(g.N),
+		defined.WithOrdering(defined.OrderingRO(9)), defined.WithSeed(1))
+	ro.Run(defined.Seconds(1.5))
+	ro.Drain()
+	oo := defined.NewNetwork(g, ospfApps(g.N), defined.WithSeed(1))
+	oo.Run(defined.Seconds(1.5))
+	oo.Drain()
+	if ro.Stats().Rollbacks <= oo.Stats().Rollbacks {
+		t.Fatalf("RO (%d) should roll back more than OO (%d)",
+			ro.Stats().Rollbacks, oo.Stats().Rollbacks)
+	}
+
+	oo.ResetPacketCounters()
+	if oo.PacketsReceived(0) != 0 {
+		t.Fatal("reset should zero counters")
+	}
+}
+
+func TestCustomTopologyAndHelpers(t *testing.T) {
+	g, err := defined.NewTopology("pair", 2, []defined.Link{
+		{A: 0, B: 1, Delay: 5 * defined.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 {
+		t.Fatal("bad topology")
+	}
+	if defined.Seconds(1.5) != defined.Time(1_500_000) {
+		t.Fatal("Seconds conversion wrong")
+	}
+	for _, tp := range []*defined.Topology{defined.Sprintlink(), defined.Ebone(), defined.Level3()} {
+		if tp.N == 0 {
+			t.Fatal("empty named topology")
+		}
+	}
+	if defined.OrderingOO().Name() != "OO" || defined.OrderingRO(1).Name() != "RO" {
+		t.Fatal("ordering helpers wrong")
+	}
+}

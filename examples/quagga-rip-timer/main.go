@@ -1,0 +1,160 @@
+// Case study 2 (paper §4): the timing bug in Quagga 0.96.5's RIP route
+// timer refresh. When comparing an incoming announcement with an installed
+// route, Quagga matched only the destination — not the next hop — so
+// announcements from a backup router refresh the timer of the route
+// through the dead main router. If the backup's announcement reaches R1
+// before the stale route times out, the dead route is refreshed forever: a
+// permanent black hole (Figure 5).
+//
+// The example shows the workflow: with unmodified routers and lossy links
+// the outcome flips run to run; DEFINED-RB makes each run deterministic
+// and reproducible from its partial recording; the debugging network
+// replays the black hole exactly, timers firing deterministically while
+// stepping; the fixed daemon recovers.
+package main
+
+import (
+	"fmt"
+
+	"defined"
+	"defined/internal/routing/rip"
+)
+
+const prefix = "10.9.0.0/16"
+
+// figure5 builds R1 (node 0) connected to the main router R2 (node 1) and
+// the backup R3 (node 2).
+func figure5() *defined.Topology {
+	g, err := defined.NewTopology("figure5", 3, []defined.Link{
+		{A: 0, B: 1, Delay: 5 * defined.Millisecond, Jitter: 300},
+		{A: 0, B: 2, Delay: 5*defined.Millisecond + 200, Jitter: 300},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func apps(mode rip.Mode) []defined.Application {
+	cfg := rip.Config{
+		Mode:           mode,
+		UpdateInterval: defined.Second,
+		Timeout:        2*defined.Second + 500*defined.Millisecond,
+	}
+	return []defined.Application{rip.New(cfg), rip.New(cfg), rip.New(cfg)}
+}
+
+// scenario: both R2 (metric 0 → R1 installs via R2 at metric 1) and R3
+// (metric 1 → via R3 at metric 2) originate the destination; R2 crashes
+// silently at t=3s. Only announcements keep routes alive — the crash is
+// invisible except through missed updates.
+func scenario(net *defined.Network) {
+	net.At(defined.Seconds(0.05), func() { net.InjectExternal(1, rip.Originate{Prefix: prefix, Metric: 0}) })
+	net.At(defined.Seconds(0.06), func() { net.InjectExternal(2, rip.Originate{Prefix: prefix, Metric: 1}) })
+	net.At(defined.Seconds(3.0), func() { net.InjectExternal(1, rip.Crash{}) })
+}
+
+func routeAtR1(as []defined.Application) string {
+	nh, metric, ok := as[0].(*rip.Daemon).Route(prefix)
+	if !ok {
+		return "(no route)"
+	}
+	switch nh {
+	case 1:
+		return fmt.Sprintf("via R2 metric %d  ← BLACK HOLE (R2 is dead)", metric)
+	case 2:
+		return fmt.Sprintf("via R3 metric %d  ← recovered", metric)
+	default:
+		return fmt.Sprintf("via %d metric %d", nh, metric)
+	}
+}
+
+func main() {
+	g := figure5()
+	fmt.Println("== Quagga 0.96.5 RIP timer-refresh bug (paper §4, Figure 5) ==")
+
+	// 1. Unmodified routers over lossy links: whether the black hole
+	//    forms depends on whether a backup announcement slips in before
+	//    the timeout — it varies run to run.
+	fmt.Println("\n-- unmodified network (baseline, 40% announcement loss): outcome varies --")
+	outcomes := map[string]int{}
+	for seed := uint64(0); seed < 10; seed++ {
+		as := apps(rip.Quagga0965)
+		net := defined.NewNetwork(g, as, defined.WithBaseline(),
+			defined.WithSeed(seed), defined.WithDropProbability(0.4))
+		scenario(net)
+		net.Run(defined.Seconds(12))
+		net.Drain()
+		key := "black hole"
+		if nh, _, ok := as[0].(*rip.Daemon).Route(prefix); !ok || nh != 1 {
+			key = "recovered/expired"
+		}
+		outcomes[key]++
+	}
+	for k, v := range outcomes {
+		fmt.Printf("   %s in %d/10 runs\n", k, v)
+	}
+
+	// 2. DEFINED-RB: the same lossy scenario is reproducible — losses are
+	//    recorded as external events, so each production run can be
+	//    replayed exactly.
+	fmt.Println("\n-- DEFINED-RB (seed 1, with recorded losses) --")
+	as := apps(rip.Quagga0965)
+	net := defined.NewNetwork(g, as, defined.WithSeed(1),
+		defined.WithDropProbability(0.4), defined.WithRecording(), defined.WithDeliveryLog())
+	scenario(net)
+	net.Run(defined.Seconds(12))
+	net.Drain()
+	rec := net.Recording()
+	fmt.Printf("   production outcome: R1 route %s\n", routeAtR1(as))
+	fmt.Printf("   recorded %d external events (incl. message losses), %d refreshes at R1\n",
+		len(rec.Events), as[0].(*rip.Daemon).Refreshes())
+
+	// 3. Replay in the debugging network: timers fire deterministically
+	//    while stepping (no "timers going off unexpectedly" as with gdb).
+	fmt.Println("\n-- DEFINED-LS replay: step through the refresh-after-crash --")
+	as2 := apps(rip.Quagga0965)
+	rp, err := defined.NewReplay(g, as2, rec, defined.WithReplayLog())
+	if err != nil {
+		panic(err)
+	}
+	crashed := false
+	rp.SetBreakpoint(func(d defined.Delivery) bool {
+		// Pause on the first backup announcement R1 processes after the
+		// crash — the delivery that wrongly refreshes the dead route.
+		if !crashed {
+			crashed = as2[1].(*rip.Daemon).Crashed()
+		}
+		return crashed && d.Node == 0 && d.Msg != nil && d.Msg.From == 2
+	})
+	rp.RunToEnd()
+	if hit := rp.BreakpointHit(); hit != nil {
+		before := as2[0].(*rip.Daemon).Refreshes()
+		fmt.Printf("   breakpoint: %v\n", hit)
+		rp.SetBreakpoint(nil)
+		rp.StepEvent() // deliver the announcement
+		after := as2[0].(*rip.Daemon).Refreshes()
+		if after > before {
+			fmt.Println("   → R3's announcement refreshed the R2 route's timer (destination-only match): the bug")
+		}
+	}
+	rp.RunToEnd()
+	fmt.Printf("   replay outcome: R1 route %s\n", routeAtR1(as2))
+	match := routeAtR1(as) == routeAtR1(as2)
+	if match {
+		fmt.Println("   ✓ debugging network reproduced the production outcome exactly")
+	}
+
+	// 4. The fix — match destination AND next hop — recovers.
+	fmt.Println("\n-- patched daemon (next-hop-aware refresh) on the same recording --")
+	fixed := apps(rip.FixedMode)
+	rp2, err := defined.NewReplay(g, fixed, rec)
+	if err != nil {
+		panic(err)
+	}
+	rp2.RunToEnd()
+	fmt.Printf("   patched outcome: R1 route %s\n", routeAtR1(fixed))
+	if nh, _, ok := fixed[0].(*rip.Daemon).Route(prefix); ok && nh == 2 {
+		fmt.Println("\n✓ patch validated: route fails over to the backup after the timeout")
+	}
+}

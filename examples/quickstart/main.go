@@ -1,0 +1,87 @@
+// Quickstart: run a small OSPF network under DEFINED-RB, observe that the
+// committed execution is identical across physical timing seeds, record
+// it, and reproduce it exactly in a DEFINED-LS debugging network.
+package main
+
+import (
+	"fmt"
+	"reflect"
+
+	"defined"
+	"defined/internal/routing/ospf"
+)
+
+func apps(n int) []defined.Application {
+	out := make([]defined.Application, n)
+	for i := range out {
+		out[i] = ospf.New(ospf.Config{})
+	}
+	return out
+}
+
+func main() {
+	// An 8-router scale-free network.
+	g := defined.Brite(8, 2, 1)
+	fmt.Printf("topology: %s\n\n", g)
+
+	// Run the same scenario — a link failure and repair — under three
+	// different physical-jitter seeds. Arrival interleavings differ;
+	// DEFINED-RB masks them so the committed order never does.
+	l := g.Links[0]
+	var firstOrder [][]string
+	var rec *defined.Recording
+	for seed := uint64(1); seed <= 3; seed++ {
+		net := defined.NewNetwork(g, apps(g.N),
+			defined.WithSeed(seed),
+			defined.WithJitterScale(3),
+			defined.WithRecording(),
+			defined.WithDeliveryLog(),
+		)
+		net.At(defined.Seconds(0.02), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
+		net.At(defined.Seconds(0.70), func() { _ = net.InjectLinkChange(l.A, l.B, true) })
+		net.Run(defined.Seconds(2))
+		net.Drain()
+
+		st := net.Stats()
+		fmt.Printf("seed %d: %4d deliveries, %3d rollbacks, %3d anti-messages\n",
+			seed, st.Deliveries, st.Rollbacks, st.AntiMessages)
+
+		orders := make([][]string, g.N)
+		for i := 0; i < g.N; i++ {
+			orders[i] = net.CommittedOrder(defined.NodeID(i))
+		}
+		if firstOrder == nil {
+			firstOrder = orders
+			rec = net.Recording()
+		} else if !reflect.DeepEqual(firstOrder, orders) {
+			fmt.Println("!! committed orders diverged — determinism broken")
+			return
+		}
+	}
+	fmt.Println("\n✓ committed delivery order identical across all seeds (DEFINED-RB)")
+
+	// Replay the partial recording in a debugging network.
+	rp, err := defined.NewReplay(g, apps(g.N), rec)
+	if err != nil {
+		panic(err)
+	}
+	n := rp.RunToEnd()
+	same := true
+	for i := 0; i < g.N; i++ {
+		if !reflect.DeepEqual(firstOrder[i], rp.DeliveredOrder(defined.NodeID(i))) {
+			same = false
+		}
+	}
+	fmt.Printf("✓ DEFINED-LS replayed %d deliveries from %d recorded external events\n",
+		n, len(rec.Events))
+	if same {
+		fmt.Println("✓ replay reproduced the production execution exactly (Theorem 1)")
+	} else {
+		fmt.Println("!! replay diverged")
+	}
+
+	// The replayed routers hold the same routing state the production
+	// network converged to.
+	d0 := rp.App(0).(*ospf.Daemon)
+	fmt.Printf("\nnode 0's routing table after replay:\n%s", d0.DumpTable())
+}

@@ -1,0 +1,113 @@
+// Package annotate centralizes how outgoing application messages receive
+// their wire identity and causal annotations (n_i, s_i, d_i, group, chain).
+// Both DEFINED-RB (production) and DEFINED-LS (debugging) build messages
+// through the same Sender so that a replayed execution regenerates
+// byte-identical annotations — a precondition of the reproducibility
+// theorem (paper Theorem 1).
+package annotate
+
+import (
+	"fmt"
+
+	"defined/internal/msg"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// Sender assigns annotations and wire ids for one node's outgoing
+// messages. OriginSeq and LinkSeq are part of the node's checkpointable
+// state (they must roll back so replays reassign identical values); MsgSeq
+// is wire-level identity and monotonically increases across rollbacks.
+type Sender struct {
+	Self       msg.NodeID
+	G          *topology.Graph
+	ChainBound int
+	// ProcEstimate is the deterministic per-hop processing cost folded
+	// into d_i: each hop's expected latency is link delay plus the
+	// node's processing time, and d_i tracks expected *arrival* times
+	// (paper §2.2). Production and replay must use the same value.
+	ProcEstimate vtime.Duration
+
+	OriginSeq uint64
+	LinkSeq   map[msg.NodeID]uint64
+	MsgSeq    uint64
+}
+
+// NewSender creates a sender for node self.
+func NewSender(self msg.NodeID, g *topology.Graph, chainBound int, procEstimate vtime.Duration) *Sender {
+	if chainBound <= 0 {
+		chainBound = 64
+	}
+	return &Sender{Self: self, G: g, ChainBound: chainBound, ProcEstimate: procEstimate,
+		LinkSeq: map[msg.NodeID]uint64{}}
+}
+
+// Counters is the checkpointable portion of the sender.
+type Counters struct {
+	OriginSeq uint64
+	LinkSeq   map[msg.NodeID]uint64
+}
+
+// SnapshotCounters deep-copies the checkpointable counters.
+func (s *Sender) SnapshotCounters() Counters {
+	ls := make(map[msg.NodeID]uint64, len(s.LinkSeq))
+	for k, v := range s.LinkSeq {
+		ls[k] = v
+	}
+	return Counters{OriginSeq: s.OriginSeq, LinkSeq: ls}
+}
+
+// RestoreCounters rewinds the checkpointable counters.
+func (s *Sender) RestoreCounters(c Counters) {
+	s.OriginSeq = c.OriginSeq
+	s.LinkSeq = make(map[msg.NodeID]uint64, len(c.LinkSeq))
+	for k, v := range c.LinkSeq {
+		s.LinkSeq[k] = v
+	}
+}
+
+// Build turns an application output into a wire message. parent is the
+// annotation of the input being processed (ignored when fresh); fresh
+// outputs (timer- or external-caused, or Out.Fresh) start new causal
+// chains tagged with group.
+//
+// freshOffset anchors a fresh chain's d_i: d_i estimates the message's
+// arrival time *relative to the group boundary* (the paper: "d_i indicates
+// the average arrival time of a message"), so a chain started by a timer
+// batch carries the node's beacon skew and a chain started by an external
+// event carries the event's recorded in-group offset. Without the anchor,
+// timer-triggered traffic from differently-skewed nodes systematically
+// misorders against the estimate and triggers spurious rollbacks.
+func (s *Sender) Build(out msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset vtime.Duration) *msg.Message {
+	link, ok := s.G.LinkBetween(int(s.Self), int(out.To))
+	if !ok {
+		panic(fmt.Sprintf("annotate: node %d sent to non-neighbor %d", s.Self, out.To))
+	}
+	hop := link.Delay + s.ProcEstimate
+	var ann msg.Annotation
+	switch {
+	case fresh || out.Fresh:
+		ann = msg.AnnotateOrigin(s.Self, s.OriginSeq, freshOffset+hop, group)
+		s.OriginSeq++
+	case parent.Chain+1 >= s.ChainBound:
+		// Chain bound exceeded: start a fresh chain in the next
+		// timestep (paper §2.2). Relative to that next boundary the
+		// message is immediate: only one hop anchors it.
+		ann = msg.AnnotateOrigin(s.Self, s.OriginSeq, hop, parent.Group+1)
+		s.OriginSeq++
+	default:
+		ann = msg.AnnotateChild(parent, hop)
+	}
+	s.MsgSeq++
+	ls := s.LinkSeq[out.To]
+	s.LinkSeq[out.To] = ls + 1
+	return &msg.Message{
+		ID:      msg.ID{Sender: s.Self, Seq: s.MsgSeq},
+		From:    s.Self,
+		To:      out.To,
+		Kind:    msg.KindApp,
+		Ann:     ann,
+		LinkSeq: ls,
+		Payload: out.Payload,
+	}
+}

@@ -1,0 +1,130 @@
+package annotate
+
+import (
+	"testing"
+
+	"defined/internal/msg"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+func sender() *Sender {
+	g := topology.Line(3, 10*vtime.Millisecond)
+	return NewSender(1, g, 4, 200*vtime.Microsecond)
+}
+
+func TestFreshBuild(t *testing.T) {
+	s := sender()
+	m := s.Build(msg.Out{To: 2, Payload: "x"}, msg.Annotation{}, true, 7, 3*vtime.Millisecond)
+	if m.From != 1 || m.To != 2 || m.Kind != msg.KindApp {
+		t.Fatalf("wire fields wrong: %+v", m)
+	}
+	// d = freshOffset + link + proc estimate.
+	want := 3*vtime.Millisecond + 10*vtime.Millisecond + 200*vtime.Microsecond
+	if m.Ann.Delay != want {
+		t.Fatalf("d = %v, want %v", m.Ann.Delay, want)
+	}
+	if m.Ann.Origin != 1 || m.Ann.Seq != 0 || m.Ann.Group != 7 || m.Ann.Chain != 0 {
+		t.Fatalf("annotation wrong: %+v", m.Ann)
+	}
+	m2 := s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 7, 0)
+	if m2.Ann.Seq != 1 {
+		t.Fatal("origin seq must increase")
+	}
+	if m2.LinkSeq != 1 || m.LinkSeq != 0 {
+		t.Fatal("per-link seq must increase")
+	}
+	if m2.ID.Seq <= m.ID.Seq {
+		t.Fatal("wire ids must increase")
+	}
+}
+
+func TestChildBuild(t *testing.T) {
+	s := sender()
+	parent := msg.Annotation{Origin: 0, Seq: 5, Delay: 10 * vtime.Millisecond, Group: 3, Chain: 1}
+	m := s.Build(msg.Out{To: 0}, parent, false, 3, 0)
+	if m.Ann.Origin != 0 || m.Ann.Seq != 5 {
+		t.Fatal("child must inherit chain identity")
+	}
+	if m.Ann.Chain != 2 {
+		t.Fatalf("chain depth = %d", m.Ann.Chain)
+	}
+	want := parent.Delay + 10*vtime.Millisecond + 200*vtime.Microsecond
+	if m.Ann.Delay != want {
+		t.Fatalf("child d = %v, want %v", m.Ann.Delay, want)
+	}
+	if s.OriginSeq != 0 {
+		t.Fatal("child builds must not consume origin sequence numbers")
+	}
+}
+
+func TestChainBoundRollsOver(t *testing.T) {
+	s := sender() // bound 4
+	parent := msg.Annotation{Origin: 0, Seq: 5, Delay: 50 * vtime.Millisecond, Group: 3, Chain: 3}
+	m := s.Build(msg.Out{To: 0}, parent, false, 3, 0)
+	if m.Ann.Group != 4 {
+		t.Fatalf("rollover group = %d, want 4", m.Ann.Group)
+	}
+	if m.Ann.Origin != 1 || m.Ann.Chain != 0 {
+		t.Fatalf("rollover must start a fresh chain: %+v", m.Ann)
+	}
+	if m.Ann.Delay != 10*vtime.Millisecond+200*vtime.Microsecond {
+		t.Fatalf("rollover d = %v", m.Ann.Delay)
+	}
+}
+
+func TestOutFreshOverrides(t *testing.T) {
+	s := sender()
+	parent := msg.Annotation{Origin: 0, Seq: 5, Delay: 10 * vtime.Millisecond, Group: 3}
+	m := s.Build(msg.Out{To: 0, Fresh: true}, parent, false, 3, vtime.Millisecond)
+	if m.Ann.Origin != 1 || m.Ann.Chain != 0 {
+		t.Fatal("Out.Fresh must start a new chain")
+	}
+}
+
+func TestNonNeighborPanics(t *testing.T) {
+	s := sender()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Build(msg.Out{To: 9}, msg.Annotation{}, true, 0, 0)
+}
+
+func TestCountersSnapshotRestore(t *testing.T) {
+	s := sender()
+	s.Build(msg.Out{To: 0}, msg.Annotation{}, true, 1, 0)
+	s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
+	snap := s.SnapshotCounters()
+	s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
+	if s.OriginSeq != 3 || s.LinkSeq[2] != 2 {
+		t.Fatalf("counters advanced wrong: %d, %d", s.OriginSeq, s.LinkSeq[2])
+	}
+	wireBefore := s.MsgSeq
+	s.RestoreCounters(snap)
+	if s.OriginSeq != 2 || s.LinkSeq[2] != 1 || s.LinkSeq[0] != 1 {
+		t.Fatalf("restore wrong: %d, %v", s.OriginSeq, s.LinkSeq)
+	}
+	if s.MsgSeq != wireBefore {
+		t.Fatal("wire ids must NOT roll back")
+	}
+	// The snapshot must be isolated from later mutation.
+	s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
+	if snap.LinkSeq[2] != 1 {
+		t.Fatal("snapshot aliased live counters")
+	}
+	// Replay after restore regenerates identical annotations.
+	m := s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
+	if m.Ann.Seq != 3 {
+		t.Fatalf("replayed seq = %d", m.Ann.Seq)
+	}
+}
+
+func TestDefaultChainBound(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := NewSender(0, g, 0, 0)
+	if s.ChainBound != 64 {
+		t.Fatalf("default chain bound = %d", s.ChainBound)
+	}
+}

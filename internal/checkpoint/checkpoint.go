@@ -1,0 +1,175 @@
+// Package checkpoint defines the checkpointing strategies DEFINED-RB can
+// run with and their cost models, mirroring the paper's implementation
+// section (§3) and the optimizations evaluated in §5.2:
+//
+//   - rollback copy modes: FK (resume the fork — copy everything) vs MI
+//     (intercepted memory writes — copy only changed bytes), Figure 7a;
+//   - fork timings: TF (fork when the packet arrives, on the critical
+//     path), PF (pre-fork after processing, in idle cycles; COW faults
+//     still hit the next packet) and TM (pre-fork plus touching the heap so
+//     COW copies also happen in idle time), Figure 7b.
+//
+// Two consumers exist. The single-node microbenchmarks (experiments
+// fig7a/7b/7c) exercise the strategies for real against a memstore-backed
+// state and measure wall-clock nanoseconds. The network-level simulations
+// (fig6/8) charge the equivalent *virtual-time* costs via CostModel so that
+// checkpointing overhead shows up in convergence times the way it does on
+// the paper's testbed.
+package checkpoint
+
+import (
+	"fmt"
+
+	"defined/internal/vtime"
+)
+
+// Mode selects how rollback restores state.
+type Mode uint8
+
+const (
+	// FK rolls back by resuming the forked checkpoint process (full
+	// state copy).
+	FK Mode = iota
+	// MI rolls back by copying only the bytes that changed since the
+	// checkpoint (manually intercepted memory writes).
+	MI
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case FK:
+		return "FK"
+	case MI:
+		return "MI"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Timing selects when the checkpoint fork is taken relative to packet
+// processing.
+type Timing uint8
+
+const (
+	// TF forks when the new packet arrives (checkpoint cost fully on the
+	// critical path).
+	TF Timing = iota
+	// PF pre-forks after the previous packet is processed; the fork
+	// itself happens in idle cycles but copy-on-write faults still hit
+	// the next packet's critical path.
+	PF
+	// TM pre-forks and additionally touches heap memory during the
+	// pre-fork, moving the COW copies off the critical path too.
+	TM
+)
+
+// String names the timing as in the paper's figures.
+func (t Timing) String() string {
+	switch t {
+	case TF:
+		return "TF"
+	case PF:
+		return "PF"
+	case TM:
+		return "TM"
+	default:
+		return fmt.Sprintf("timing(%d)", uint8(t))
+	}
+}
+
+// Strategy pairs a fork timing with a rollback copy mode.
+type Strategy struct {
+	Timing Timing
+	Mode   Mode
+}
+
+// Default is the configuration the paper recommends after its optimization
+// study: pre-fork with touched memory, dirty-byte rollback.
+var Default = Strategy{Timing: TM, Mode: MI}
+
+// String renders "TM/MI" style.
+func (s Strategy) String() string { return s.Timing.String() + "/" + s.Mode.String() }
+
+// CostModel is the virtual-time cost of checkpoint operations charged by
+// the network-level simulation. Values are calibrated to the medians the
+// paper reports in Figures 7a/7b (fork ≈ hundreds of µs on 2009-era
+// hardware; FK rollback ≈ 8–15 ms; MI rollback ≈ 0.6 ms).
+type CostModel struct {
+	// PerMessage is added to every in-order message delivery.
+	PerMessage vtime.Duration
+	// RollbackFixed is the one-time cost of restoring a checkpoint.
+	RollbackFixed vtime.Duration
+	// RollbackPerReplay is added per message replayed after a restore.
+	RollbackPerReplay vtime.Duration
+}
+
+// ModelFor returns the calibrated virtual cost model for a strategy.
+func ModelFor(s Strategy) CostModel {
+	m := CostModel{RollbackPerReplay: 120 * vtime.Microsecond}
+	switch s.Timing {
+	case TF:
+		// Fork on the critical path: page-table duplication plus the
+		// first COW burst.
+		m.PerMessage = 400 * vtime.Microsecond
+	case PF:
+		// Fork pre-done; the packet still pays the COW faults.
+		m.PerMessage = 180 * vtime.Microsecond
+	case TM:
+		// Fork and COW copies both pre-done in idle cycles.
+		m.PerMessage = 40 * vtime.Microsecond
+	}
+	switch s.Mode {
+	case FK:
+		m.RollbackFixed = 8 * vtime.Millisecond
+	case MI:
+		m.RollbackFixed = 600 * vtime.Microsecond
+	}
+	return m
+}
+
+// Baseline is the cost model of the unmodified control-plane software
+// ("XORP" series): no checkpointing, no rollback.
+func Baseline() CostModel { return CostModel{} }
+
+// Keeper stores the checkpoint stack of one node, aligned with the node's
+// history window: checkpoint i captures the application state *before* the
+// i-th live window entry was delivered. The stored states are opaque to
+// the keeper; the rollback engine clones application state into it.
+type Keeper struct {
+	snaps []any
+}
+
+// Len reports the number of stored checkpoints.
+func (k *Keeper) Len() int { return len(k.snaps) }
+
+// Push appends a checkpoint.
+func (k *Keeper) Push(state any) { k.snaps = append(k.snaps, state) }
+
+// At returns checkpoint i.
+func (k *Keeper) At(i int) any { return k.snaps[i] }
+
+// TruncateFrom drops checkpoints at positions >= i (rollback rewinds the
+// stack alongside the history window).
+func (k *Keeper) TruncateFrom(i int) {
+	if i < 0 || i > len(k.snaps) {
+		panic(fmt.Sprintf("checkpoint: truncate at %d of %d", i, len(k.snaps)))
+	}
+	for j := i; j < len(k.snaps); j++ {
+		k.snaps[j] = nil
+	}
+	k.snaps = k.snaps[:i]
+}
+
+// DropFirst discards the n oldest checkpoints (history settlement).
+func (k *Keeper) DropFirst(n int) {
+	if n < 0 || n > len(k.snaps) {
+		panic(fmt.Sprintf("checkpoint: drop %d of %d", n, len(k.snaps)))
+	}
+	m := len(k.snaps) - n
+	copy(k.snaps, k.snaps[n:])
+	for j := m; j < len(k.snaps); j++ {
+		k.snaps[j] = nil // release settled states for collection
+	}
+	k.snaps = k.snaps[:m]
+}

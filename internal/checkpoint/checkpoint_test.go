@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"defined/internal/vtime"
+)
+
+func TestStrings(t *testing.T) {
+	if FK.String() != "FK" || MI.String() != "MI" {
+		t.Fatal("mode strings wrong")
+	}
+	if TF.String() != "TF" || PF.String() != "PF" || TM.String() != "TM" {
+		t.Fatal("timing strings wrong")
+	}
+	if Mode(9).String() != "mode(9)" || Timing(9).String() != "timing(9)" {
+		t.Fatal("unknown strings wrong")
+	}
+	if Default.String() != "TM/MI" {
+		t.Fatalf("default strategy = %s", Default)
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// Figure 7b: per-packet overhead TF > PF > TM > baseline(0).
+	tf := ModelFor(Strategy{Timing: TF, Mode: MI})
+	pf := ModelFor(Strategy{Timing: PF, Mode: MI})
+	tm := ModelFor(Strategy{Timing: TM, Mode: MI})
+	if !(tf.PerMessage > pf.PerMessage && pf.PerMessage > tm.PerMessage && tm.PerMessage > 0) {
+		t.Fatalf("per-message ordering wrong: TF=%v PF=%v TM=%v",
+			tf.PerMessage, pf.PerMessage, tm.PerMessage)
+	}
+	// Figure 7a: rollback FK >> MI.
+	fk := ModelFor(Strategy{Timing: TM, Mode: FK})
+	mi := ModelFor(Strategy{Timing: TM, Mode: MI})
+	if fk.RollbackFixed < 5*mi.RollbackFixed {
+		t.Fatalf("FK rollback (%v) should dwarf MI (%v)", fk.RollbackFixed, mi.RollbackFixed)
+	}
+	if mi.RollbackFixed <= 0 || mi.RollbackPerReplay <= 0 {
+		t.Fatal("MI costs must be positive")
+	}
+	base := Baseline()
+	if base.PerMessage != 0 || base.RollbackFixed != 0 {
+		t.Fatal("baseline must be free")
+	}
+	if mi.RollbackFixed > vtime.Millisecond {
+		t.Fatalf("MI median should be ~0.6ms, got %v", mi.RollbackFixed)
+	}
+}
+
+func TestKeeperStack(t *testing.T) {
+	var k Keeper
+	for i := 0; i < 5; i++ {
+		k.Push(i)
+	}
+	if k.Len() != 5 {
+		t.Fatalf("len = %d", k.Len())
+	}
+	if k.At(2).(int) != 2 {
+		t.Fatalf("At(2) = %v", k.At(2))
+	}
+	k.TruncateFrom(3)
+	if k.Len() != 3 {
+		t.Fatalf("after truncate len = %d", k.Len())
+	}
+	if k.At(2).(int) != 2 {
+		t.Fatal("truncate removed wrong elements")
+	}
+	k.DropFirst(2)
+	if k.Len() != 1 || k.At(0).(int) != 2 {
+		t.Fatalf("after drop len = %d", k.Len())
+	}
+}
+
+func TestKeeperPanics(t *testing.T) {
+	var k Keeper
+	k.Push(1)
+	for _, f := range []func(){
+		func() { k.TruncateFrom(5) },
+		func() { k.TruncateFrom(-1) },
+		func() { k.DropFirst(5) },
+		func() { k.DropFirst(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,222 @@
+package debugger
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"defined/internal/lockstep"
+	"defined/internal/msg"
+	"defined/internal/record"
+	"defined/internal/rollback"
+	"defined/internal/routing/api"
+	"defined/internal/routing/ospf"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// produce records a small OSPF run to debug.
+func produce(t *testing.T) (*topology.Graph, *record.Recording) {
+	t.Helper()
+	g := topology.Brite(8, 2, 3)
+	apps := make([]api.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	e := rollback.New(g, apps, rollback.Config{Seed: 1, Record: true})
+	l := g.Links[0]
+	e.Sim().ScheduleFn(vtime.Time(10*vtime.Millisecond), func() {
+		if err := e.InjectLinkChange(l.A, l.B, false); err != nil {
+			t.Errorf("inject: %v", err)
+		}
+	})
+	e.Run(vtime.Time(1 * vtime.Second))
+	if !e.RunQuiescent(2_000_000) {
+		t.Fatal("production did not quiesce")
+	}
+	return g, e.Recording()
+}
+
+func session(t *testing.T, g *topology.Graph, rec *record.Recording, script string) string {
+	t.Helper()
+	apps := make([]api.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	ls, err := lockstep.New(g, apps, rec, lockstep.Config{LogDeliveries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	s := New(ls, strings.NewReader(script), &out)
+	s.Run()
+	return out.String()
+}
+
+func TestScriptedSession(t *testing.T) {
+	g, rec := produce(t)
+	out := session(t, g, rec, `
+where
+step 3
+pending
+round
+group
+log 0
+continue
+state 0
+where
+quit
+`)
+	for _, want := range []string{
+		"defined-ls debugger",
+		"group",
+		"node",
+		"replay complete",
+		"dest", // OSPF DumpTable output
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("session output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestBreakpointCommands(t *testing.T) {
+	g, rec := produce(t)
+	out := session(t, g, rec, `
+break node 2
+continue
+clear
+continue
+quit
+`)
+	if !strings.Contains(out, "breakpoint: node 2") {
+		t.Errorf("breakpoint did not fire:\n%s", out)
+	}
+	if !strings.Contains(out, "replay complete") {
+		t.Errorf("replay did not finish after clear:\n%s", out)
+	}
+}
+
+func TestBreakOnMessage(t *testing.T) {
+	g, rec := produce(t)
+	out := session(t, g, rec, `
+break msg node
+continue
+quit
+`)
+	// "break msg node" matches any delivery rendering containing "node",
+	// which every message delivery does.
+	if !strings.Contains(out, "breakpoint:") {
+		t.Errorf("message breakpoint did not fire:\n%s", out)
+	}
+}
+
+func TestErrorHandling(t *testing.T) {
+	g, rec := produce(t)
+	out := session(t, g, rec, `
+bogus
+break
+break node abc
+state
+state 999
+log 999
+help
+quit
+`)
+	for _, want := range []string{
+		"unknown command",
+		"usage: break",
+		"bad node id",
+		"usage: state",
+		"commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestEOFEndsSession(t *testing.T) {
+	g, rec := produce(t)
+	out := session(t, g, rec, "step 2\n") // no quit: EOF
+	if !strings.Contains(out, "(defined)") {
+		t.Errorf("prompt missing:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g, rec := produce(t)
+	apps := make([]api.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	ls, err := lockstep.New(g, apps, rec, lockstep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.RunToEnd()
+	var out bytes.Buffer
+	Summary(ls, &out)
+	if !strings.Contains(out.String(), "deliveries") {
+		t.Errorf("summary output: %s", out.String())
+	}
+	// Empty engine summary.
+	ls2, _ := lockstep.New(g, appsFor(g), &record.Recording{Ordering: "OO", BeaconInterval: vtime.BeaconInterval}, lockstep.Config{})
+	out.Reset()
+	Summary(ls2, &out)
+	if !strings.Contains(out.String(), "no steps") {
+		t.Errorf("empty summary output: %s", out.String())
+	}
+}
+
+func appsFor(g *topology.Graph) []api.Application {
+	apps := make([]api.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	return apps
+}
+
+func TestStepPastEnd(t *testing.T) {
+	g, rec := produce(t)
+	apps := appsFor(g)
+	ls, _ := lockstep.New(g, apps, rec, lockstep.Config{})
+	var out bytes.Buffer
+	s := New(ls, strings.NewReader("continue\nstep\nround\ngroup\nquit\n"), &out)
+	s.Run()
+	if c := strings.Count(out.String(), "replay complete"); c < 3 {
+		t.Errorf("stepping past the end should keep reporting completion (%d):\n%s", c, out.String())
+	}
+}
+
+func TestNonDumperStateFallsBack(t *testing.T) {
+	// An app without DumpTable gets the %+v fallback.
+	g := topology.Line(2, vtime.Millisecond)
+	rec := &record.Recording{Ordering: "OO", BeaconInterval: vtime.BeaconInterval}
+	apps := []api.Application{&plainApp{}, &plainApp{}}
+	ls, err := lockstep.New(g, apps, rec, lockstep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	s := New(ls, strings.NewReader("state 0\nquit\n"), &out)
+	s.Run()
+	if !strings.Contains(out.String(), "node 0:") {
+		t.Errorf("fallback state dump missing:\n%s", out.String())
+	}
+}
+
+type plainApp struct{ st plainState }
+
+type plainState struct{ N int }
+
+func (p plainState) Clone() api.State { return p }
+
+func (a *plainApp) Init(msg.NodeID, []api.Neighbor)            {}
+func (a *plainApp) HandleMessage(*msg.Message) []msg.Out       { return nil }
+func (a *plainApp) HandleTimer(vtime.Time) []msg.Out           { return nil }
+func (a *plainApp) HandleExternal(api.ExternalEvent) []msg.Out { return nil }
+func (a *plainApp) State() api.State                           { return a.st }
+func (a *plainApp) Restore(st api.State)                       { a.st = st.(plainState) }
+func (a *plainApp) String() string                             { return fmt.Sprintf("plain%d", a.st.N) }

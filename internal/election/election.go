@@ -1,0 +1,197 @@
+// Package election implements the bully leader-election algorithm DEFINED
+// uses to keep a beacon source alive (paper §2.2: "One node is selected to
+// periodically broadcast special packets called beacons ... Leader election
+// algorithms are used to make sure the system can tolerate failures").
+//
+// The implementation is a pure message-passing state machine so it can be
+// embedded in any transport (the simulator, the lockstep coordinator, or a
+// test harness): callers feed in messages and clock ticks, and collect the
+// messages to transmit.
+package election
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/msg"
+	"defined/internal/vtime"
+)
+
+// MsgKind enumerates bully-protocol messages.
+type MsgKind uint8
+
+const (
+	// Election announces a candidacy to higher-numbered peers.
+	Election MsgKind = iota
+	// OK tells a lower-numbered candidate to stand down.
+	OK
+	// Coordinator announces the new leader to everyone.
+	Coordinator
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case Election:
+		return "election"
+	case OK:
+		return "ok"
+	case Coordinator:
+		return "coordinator"
+	default:
+		return fmt.Sprintf("election-kind(%d)", uint8(k))
+	}
+}
+
+// Message is one bully-protocol packet.
+type Message struct {
+	Kind     MsgKind
+	From, To msg.NodeID
+}
+
+// phase tracks a node's progress through an election round.
+type phase uint8
+
+const (
+	idle phase = iota
+	electing
+	waitingCoordinator
+)
+
+// Node is the per-node election state machine.
+type Node struct {
+	self  msg.NodeID
+	peers []msg.NodeID // all other nodes, sorted
+
+	leader    msg.NodeID
+	hasLeader bool
+
+	ph           phase
+	deadline     vtime.Time // response deadline for the current phase
+	okTimeout    vtime.Duration
+	coordTimeout vtime.Duration
+}
+
+// NewNode creates the state machine for node self among peers (which must
+// not include self).
+func NewNode(self msg.NodeID, peers []msg.NodeID, responseTimeout vtime.Duration) *Node {
+	ps := append([]msg.NodeID(nil), peers...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	if responseTimeout <= 0 {
+		responseTimeout = vtime.Second
+	}
+	return &Node{
+		self:         self,
+		peers:        ps,
+		leader:       msg.None,
+		okTimeout:    responseTimeout,
+		coordTimeout: 2 * responseTimeout,
+	}
+}
+
+// Leader returns the current leader and whether one is known.
+func (n *Node) Leader() (msg.NodeID, bool) { return n.leader, n.hasLeader }
+
+// Electing reports whether an election round is in progress.
+func (n *Node) Electing() bool { return n.ph != idle }
+
+// StartElection begins an election round at virtual time now (called when
+// the node boots or suspects the leader failed). It returns the messages
+// to send.
+func (n *Node) StartElection(now vtime.Time) []Message {
+	higher := n.higherPeers()
+	if len(higher) == 0 {
+		// Highest-numbered node: become leader immediately.
+		return n.announce()
+	}
+	n.ph = electing
+	n.deadline = now.Add(n.okTimeout)
+	out := make([]Message, 0, len(higher))
+	for _, p := range higher {
+		out = append(out, Message{Kind: Election, From: n.self, To: p})
+	}
+	return out
+}
+
+func (n *Node) higherPeers() []msg.NodeID {
+	var out []msg.NodeID
+	for _, p := range n.peers {
+		if p > n.self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// announce makes this node the leader and broadcasts Coordinator.
+func (n *Node) announce() []Message {
+	n.leader = n.self
+	n.hasLeader = true
+	n.ph = idle
+	out := make([]Message, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, Message{Kind: Coordinator, From: n.self, To: p})
+	}
+	return out
+}
+
+// Handle processes one received protocol message at virtual time now and
+// returns the responses to send.
+func (n *Node) Handle(m Message, now vtime.Time) []Message {
+	if m.To != n.self {
+		return nil
+	}
+	switch m.Kind {
+	case Election:
+		// A lower node is running; tell it to stand down, then run our
+		// own round (we may be the highest alive).
+		out := []Message{{Kind: OK, From: n.self, To: m.From}}
+		if n.ph == idle {
+			out = append(out, n.StartElection(now)...)
+		}
+		return out
+	case OK:
+		if n.ph == electing {
+			// A higher node is alive; wait for its Coordinator.
+			n.ph = waitingCoordinator
+			n.deadline = now.Add(n.coordTimeout)
+		}
+		return nil
+	case Coordinator:
+		n.leader = m.From
+		n.hasLeader = true
+		n.ph = idle
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Tick advances the node's clock; if a phase deadline expired it takes the
+// bully transition and returns the messages to send.
+func (n *Node) Tick(now vtime.Time) []Message {
+	if n.ph == idle || now.Before(n.deadline) {
+		return nil
+	}
+	switch n.ph {
+	case electing:
+		// No OK arrived: nobody higher is alive — we win.
+		return n.announce()
+	case waitingCoordinator:
+		// The higher node that silenced us died mid-election: retry.
+		n.ph = idle
+		return n.StartElection(now)
+	}
+	return nil
+}
+
+// SuspectLeader clears the current leader (failure detector fired) and
+// starts a new round.
+func (n *Node) SuspectLeader(now vtime.Time) []Message {
+	n.hasLeader = false
+	n.leader = msg.None
+	if n.ph != idle {
+		return nil
+	}
+	return n.StartElection(now)
+}

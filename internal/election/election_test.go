@@ -1,0 +1,252 @@
+package election
+
+import (
+	"testing"
+
+	"defined/internal/msg"
+	"defined/internal/vtime"
+)
+
+// harness runs a set of election nodes over an in-memory lossless network
+// with per-hop delay 1, delivering messages in timestamp order.
+type harness struct {
+	nodes map[msg.NodeID]*Node
+	alive map[msg.NodeID]bool
+	queue []queued
+	now   vtime.Time
+}
+
+type queued struct {
+	at vtime.Time
+	m  Message
+}
+
+func newHarness(ids ...msg.NodeID) *harness {
+	h := &harness{nodes: map[msg.NodeID]*Node{}, alive: map[msg.NodeID]bool{}}
+	for _, id := range ids {
+		var peers []msg.NodeID
+		for _, other := range ids {
+			if other != id {
+				peers = append(peers, other)
+			}
+		}
+		h.nodes[id] = NewNode(id, peers, 10)
+		h.alive[id] = true
+	}
+	return h
+}
+
+func (h *harness) send(ms []Message) {
+	for _, m := range ms {
+		h.queue = append(h.queue, queued{at: h.now + 1, m: m})
+	}
+}
+
+// run processes queued messages and ticks until quiescent or budget spent.
+func (h *harness) run(budget int) {
+	idleRounds := 0
+	for steps := 0; steps < budget; steps++ {
+		if len(h.queue) == 0 {
+			// Advance time to let deadlines expire, tick everyone.
+			h.now += 5
+			progressed := false
+			for id, n := range h.nodes {
+				if !h.alive[id] {
+					continue
+				}
+				if out := n.Tick(h.now); len(out) > 0 {
+					h.send(out)
+					progressed = true
+				}
+			}
+			if progressed {
+				idleRounds = 0
+			} else {
+				// Deadlines are at most 2× the response timeout (20
+				// units) past the last activity; ten idle rounds of +5
+				// each clear every pending deadline.
+				if idleRounds++; idleRounds > 10 {
+					return
+				}
+			}
+			continue
+		}
+		idleRounds = 0
+		// Pop earliest message (stable order: queue is FIFO per push).
+		best := 0
+		for i, q := range h.queue {
+			if q.at < h.queue[best].at {
+				best = i
+			}
+		}
+		q := h.queue[best]
+		h.queue = append(h.queue[:best], h.queue[best+1:]...)
+		if q.at > h.now {
+			h.now = q.at
+		}
+		if !h.alive[q.m.To] {
+			continue
+		}
+		h.send(h.nodes[q.m.To].Handle(q.m, h.now))
+	}
+}
+
+func TestHighestNodeWins(t *testing.T) {
+	h := newHarness(1, 2, 3, 4)
+	h.send(h.nodes[1].StartElection(h.now))
+	h.run(10000)
+	for id, n := range h.nodes {
+		leader, ok := n.Leader()
+		if !ok || leader != 4 {
+			t.Fatalf("node %d: leader=%v ok=%v, want 4", id, leader, ok)
+		}
+	}
+}
+
+func TestHighestNodeSelfElects(t *testing.T) {
+	h := newHarness(1, 2, 3)
+	out := h.nodes[3].StartElection(0)
+	// Node 3 has no higher peers: announces immediately.
+	if len(out) != 2 {
+		t.Fatalf("expected 2 coordinator messages, got %d", len(out))
+	}
+	for _, m := range out {
+		if m.Kind != Coordinator {
+			t.Fatalf("expected coordinator, got %v", m.Kind)
+		}
+	}
+	if leader, ok := h.nodes[3].Leader(); !ok || leader != 3 {
+		t.Fatal("node 3 should lead")
+	}
+}
+
+func TestLeaderFailureTriggersReelection(t *testing.T) {
+	h := newHarness(1, 2, 3, 4)
+	h.send(h.nodes[1].StartElection(h.now))
+	h.run(10000)
+
+	// Kill the leader; node 2 suspects it.
+	h.alive[4] = false
+	h.send(h.nodes[2].SuspectLeader(h.now))
+	h.run(10000)
+
+	for _, id := range []msg.NodeID{1, 2, 3} {
+		leader, ok := h.nodes[id].Leader()
+		if !ok || leader != 3 {
+			t.Fatalf("node %d: leader=%v ok=%v, want 3", id, leader, ok)
+		}
+	}
+}
+
+func TestCascadingFailures(t *testing.T) {
+	h := newHarness(1, 2, 3, 4, 5)
+	h.send(h.nodes[1].StartElection(h.now))
+	h.run(20000)
+	h.alive[5] = false
+	h.send(h.nodes[1].SuspectLeader(h.now))
+	h.run(20000)
+	h.alive[4] = false
+	h.send(h.nodes[1].SuspectLeader(h.now))
+	h.run(20000)
+	for _, id := range []msg.NodeID{1, 2, 3} {
+		leader, ok := h.nodes[id].Leader()
+		if !ok || leader != 3 {
+			t.Fatalf("node %d: leader=%v, want 3", id, leader)
+		}
+	}
+}
+
+func TestHandleIgnoresMisaddressed(t *testing.T) {
+	n := NewNode(1, []msg.NodeID{2, 3}, 10)
+	if out := n.Handle(Message{Kind: Election, From: 2, To: 9}, 0); out != nil {
+		t.Fatal("misaddressed message should be ignored")
+	}
+}
+
+func TestElectionMessageTriggersOKAndOwnRound(t *testing.T) {
+	n := NewNode(2, []msg.NodeID{1, 3}, 10)
+	out := n.Handle(Message{Kind: Election, From: 1, To: 2}, 0)
+	// Must send OK to node 1 and an Election to node 3.
+	var okTo, electTo msg.NodeID = msg.None, msg.None
+	for _, m := range out {
+		switch m.Kind {
+		case OK:
+			okTo = m.To
+		case Election:
+			electTo = m.To
+		}
+	}
+	if okTo != 1 || electTo != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	if !n.Electing() {
+		t.Fatal("node should be in an election round")
+	}
+}
+
+func TestTickTimeoutPromotes(t *testing.T) {
+	n := NewNode(2, []msg.NodeID{1, 3}, 10)
+	n.StartElection(0)
+	// No OK before the deadline: at t=10 the node wins.
+	if out := n.Tick(5); out != nil {
+		t.Fatal("tick before deadline must be silent")
+	}
+	out := n.Tick(10)
+	if len(out) != 2 || out[0].Kind != Coordinator {
+		t.Fatalf("tick at deadline = %v", out)
+	}
+	if leader, ok := n.Leader(); !ok || leader != 2 {
+		t.Fatal("node should have promoted itself")
+	}
+}
+
+func TestOKThenCoordinatorTimeout(t *testing.T) {
+	n := NewNode(1, []msg.NodeID{2}, 10)
+	n.StartElection(0)
+	n.Handle(Message{Kind: OK, From: 2, To: 1}, 1)
+	if !n.Electing() {
+		t.Fatal("should be waiting for coordinator")
+	}
+	// Node 2 never announces: retry, then win (2 stays silent).
+	out := n.Tick(21) // coordinator timeout = 20 after OK at t=1
+	foundElection := false
+	for _, m := range out {
+		if m.Kind == Election && m.To == 2 {
+			foundElection = true
+		}
+	}
+	if !foundElection {
+		t.Fatalf("expected retry election, got %v", out)
+	}
+	out = n.Tick(100)
+	if len(out) == 0 || out[0].Kind != Coordinator {
+		t.Fatalf("expected self-promotion after retry timeout, got %v", out)
+	}
+}
+
+func TestSuspectWhileElectingIsSilent(t *testing.T) {
+	n := NewNode(1, []msg.NodeID{2}, 10)
+	n.StartElection(0)
+	if out := n.SuspectLeader(1); out != nil {
+		t.Fatal("suspect during a round must not start another")
+	}
+	if _, ok := n.Leader(); ok {
+		t.Fatal("leader must be cleared")
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	if Election.String() != "election" || OK.String() != "ok" || Coordinator.String() != "coordinator" {
+		t.Fatal("kind strings wrong")
+	}
+	if MsgKind(9).String() != "election-kind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	n := NewNode(1, []msg.NodeID{2}, 0)
+	if n.okTimeout != vtime.Second {
+		t.Fatalf("default timeout = %v", n.okTimeout)
+	}
+}

@@ -1,0 +1,110 @@
+// Package eventq implements the priority queue that drives the
+// discrete-event network simulator. Events are ordered by virtual
+// timestamp with a strictly increasing insertion sequence as tie-breaker,
+// so simulations are fully deterministic even when many events share a
+// timestamp.
+package eventq
+
+import (
+	"container/heap"
+
+	"defined/internal/vtime"
+)
+
+// Event is a scheduled occurrence. Payload is interpreted by the simulator.
+type Event struct {
+	At      vtime.Time
+	Seq     uint64 // insertion order, assigned by the queue
+	Payload any
+
+	index int // heap index; -1 once popped or removed
+}
+
+// Queue is a deterministic min-heap of events. The zero value is ready to
+// use. Queue is not safe for concurrent use; the simulator is
+// single-threaded by design (determinism comes first).
+type Queue struct {
+	h    eventHeap
+	next uint64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Push schedules payload at time at and returns the event handle, which can
+// later be passed to Remove (e.g. to cancel a timer).
+func (q *Queue) Push(at vtime.Time, payload any) *Event {
+	ev := &Event{At: at, Seq: q.next, Payload: payload}
+	q.next++
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// Pop removes and returns the earliest event. It returns nil when empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Remove cancels a previously pushed event. Removing an event that was
+// already popped or removed is a no-op and returns false.
+func (q *Queue) Remove(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(q.h) || q.h[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&q.h, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextAt returns the timestamp of the earliest pending event, or
+// vtime.Never when the queue is empty.
+func (q *Queue) NextAt() vtime.Time {
+	if len(q.h) == 0 {
+		return vtime.Never
+	}
+	return q.h[0].At
+}

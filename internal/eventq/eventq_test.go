@@ -1,0 +1,149 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"defined/internal/rng"
+	"defined/internal/vtime"
+)
+
+func TestOrderedPop(t *testing.T) {
+	var q Queue
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		ev := q.Pop()
+		if ev == nil || ev.Payload.(string) != w {
+			t.Fatalf("pop %d: got %v, want %q", i, ev, w)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop on empty queue should return nil")
+	}
+}
+
+func TestFIFOWithinSameTimestamp(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		ev := q.Pop()
+		if ev.Payload.(int) != i {
+			t.Fatalf("tie-break violated: got %d at position %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(1, "x")
+	if q.Peek().Payload.(string) != "x" {
+		t.Fatal("peek wrong payload")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek must not remove")
+	}
+	if q.Peek() != q.Pop() {
+		t.Fatal("peek and pop disagree")
+	}
+	if q.Peek() != nil {
+		t.Fatal("peek on empty should be nil")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	if !q.Remove(b) {
+		t.Fatal("remove should succeed")
+	}
+	if q.Remove(b) {
+		t.Fatal("double remove should fail")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	if q.Pop() != a || q.Pop() != c {
+		t.Fatal("remaining order wrong after remove")
+	}
+	if q.Remove(nil) {
+		t.Fatal("removing nil should be a no-op")
+	}
+	if q.Remove(a) {
+		t.Fatal("removing popped event should fail")
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	var q Queue
+	if q.NextAt() != vtime.Never {
+		t.Fatal("NextAt on empty should be Never")
+	}
+	q.Push(42, nil)
+	if q.NextAt() != 42 {
+		t.Fatalf("NextAt = %v, want 42", q.NextAt())
+	}
+}
+
+// Property: popping a randomly filled queue yields non-decreasing
+// timestamps, and same-timestamp events come out in insertion order.
+func TestPopOrderProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := rng.New(seed)
+		var q Queue
+		for i := 0; i < n; i++ {
+			q.Push(vtime.Time(r.Intn(50)), i)
+		}
+		lastAt := vtime.Time(-1)
+		lastSeq := uint64(0)
+		first := true
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.At < lastAt {
+				return false
+			}
+			if !first && ev.At == lastAt && ev.Seq < lastSeq {
+				return false
+			}
+			lastAt, lastSeq, first = ev.At, ev.Seq, false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: remove keeps heap invariants (pops still sorted).
+func TestRemoveKeepsOrderProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var q Queue
+		evs := make([]*Event, 0, 100)
+		for i := 0; i < 100; i++ {
+			evs = append(evs, q.Push(vtime.Time(r.Intn(30)), i))
+		}
+		for i := 0; i < 40; i++ {
+			q.Remove(evs[r.Intn(len(evs))])
+		}
+		last := vtime.Time(-1)
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.At < last {
+				return false
+			}
+			last = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

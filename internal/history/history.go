@@ -1,0 +1,175 @@
+// Package history implements the per-node sliding-window message history
+// DEFINED-RB maintains (paper §2.2, "Detecting if a rollback is
+// necessary"): every received message (and timer batch) is inserted into a
+// window kept sorted by the ordering function; an arrival that lands
+// anywhere but the end of the window means the speculative delivery order
+// has diverged and the entries after the insertion point must be rolled
+// back. Entries retire from the front of the window once no message that
+// could sort before them can still arrive (two times the maximum
+// propagation delay, per the paper).
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/vtime"
+)
+
+// Entry is one element of the window: an application message, a timer
+// batch pseudo-entry, or an external event application (for the latter two
+// Msg is nil; externals carry their payload in Ext).
+type Entry struct {
+	Key       ordering.Key
+	Msg       *msg.Message // nil for timer batches and externals
+	Ext       any          // payload for external-event entries
+	ArrivedAt vtime.Time   // physical arrival time, drives retirement
+	// ExtOffset is an external event's in-group time offset — the d_i
+	// anchor for the causal chains it starts (recorded for replay).
+	ExtOffset vtime.Duration
+	// Serial is the delivery serial number the rollback engine assigns
+	// each time the entry is (re-)delivered; it links sent messages to
+	// the delivery that caused them.
+	Serial uint64
+}
+
+// IsTimer reports whether the entry is a timer batch.
+func (e Entry) IsTimer() bool { return e.Key.IsTimer() }
+
+// IsExternal reports whether the entry is an external event.
+func (e Entry) IsExternal() bool { return e.Key.IsExternal() }
+
+// String renders the entry for debugging.
+func (e Entry) String() string {
+	if e.Msg == nil {
+		return fmt.Sprintf("%v@%v", e.Key, e.ArrivedAt)
+	}
+	return fmt.Sprintf("%v@%v", e.Msg, e.ArrivedAt)
+}
+
+// Window is the sorted sliding-window history of one node. The invariant
+// is that entries are always in ordering-function order, which equals the
+// order in which they have been (re-)delivered to the application.
+type Window struct {
+	f       ordering.Func
+	entries []Entry
+}
+
+// New creates an empty window ordered by f.
+func New(f ordering.Func) *Window {
+	return &Window{f: f}
+}
+
+// Func returns the ordering function the window sorts by.
+func (w *Window) Func() ordering.Func { return w.f }
+
+// Len reports the number of live entries.
+func (w *Window) Len() int { return len(w.entries) }
+
+// At returns the entry at position i in delivered order.
+func (w *Window) At(i int) Entry { return w.entries[i] }
+
+// Suffix returns a copy of the entries from position i to the end.
+func (w *Window) Suffix(i int) []Entry {
+	out := make([]Entry, len(w.entries)-i)
+	copy(out, w.entries[i:])
+	return out
+}
+
+// Insert places e into the window at its ordering position. It returns the
+// position and whether the entry was a duplicate (already present with an
+// identical key), in which case the window is unchanged and pos is the
+// existing entry's index.
+//
+// The caller interprets pos: pos == Len()-1 (appended at the end) means the
+// arrival is in order and can be delivered speculatively; anything earlier
+// means every entry now after pos was delivered out of order and must be
+// rolled back and replayed.
+func (w *Window) Insert(e Entry) (pos int, dup bool) {
+	pos = sort.Search(len(w.entries), func(i int) bool {
+		return w.f.Compare(w.entries[i].Key, e.Key) >= 0
+	})
+	if pos < len(w.entries) && w.f.Compare(w.entries[pos].Key, e.Key) == 0 {
+		return pos, true
+	}
+	w.entries = append(w.entries, Entry{})
+	copy(w.entries[pos+1:], w.entries[pos:])
+	w.entries[pos] = e
+	return pos, false
+}
+
+// SetSerial stamps the delivery serial of the entry at position i.
+func (w *Window) SetSerial(i int, serial uint64) { w.entries[i].Serial = serial }
+
+// RemoveAt deletes and returns the entry at position i ("unsend" received
+// for a message we had accepted).
+func (w *Window) RemoveAt(i int) Entry {
+	e := w.entries[i]
+	w.entries = append(w.entries[:i], w.entries[i+1:]...)
+	return e
+}
+
+// FindMsg returns the position of the entry carrying the message with id,
+// or -1. Timer batches never match.
+func (w *Window) FindMsg(id msg.ID) int {
+	for i, e := range w.entries {
+		if e.Msg != nil && e.Msg.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindKey returns the position of the entry with exactly key, or -1.
+func (w *Window) FindKey(key ordering.Key) int {
+	pos := sort.Search(len(w.entries), func(i int) bool {
+		return w.f.Compare(w.entries[i].Key, key) >= 0
+	})
+	if pos < len(w.entries) && w.f.Compare(w.entries[pos].Key, key) == 0 {
+		return pos
+	}
+	return -1
+}
+
+// Settle retires entries from the front whose arrival time is strictly
+// before cutoff, returning how many were removed. Retired entries can no
+// longer be rolled back; the caller must only settle entries older than
+// twice the maximum propagation delay (plus safety margin).
+//
+// Settlement stops at the first entry newer than the cutoff even if later
+// entries are older: delivered order is what matters for rollback, and a
+// suffix must stay intact.
+func (w *Window) Settle(cutoff vtime.Time) int {
+	n := 0
+	for n < len(w.entries) && w.entries[n].ArrivedAt.Before(cutoff) {
+		n++
+	}
+	if n > 0 {
+		w.entries = append(w.entries[:0], w.entries[n:]...)
+	}
+	return n
+}
+
+// Keys returns the keys of all live entries in delivered order (testing
+// helper).
+func (w *Window) Keys() []ordering.Key {
+	out := make([]ordering.Key, len(w.entries))
+	for i, e := range w.entries {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// CheckInvariant verifies the window is sorted; it returns an error
+// describing the first violation (testing/debug helper).
+func (w *Window) CheckInvariant() error {
+	for i := 1; i < len(w.entries); i++ {
+		if w.f.Compare(w.entries[i-1].Key, w.entries[i].Key) >= 0 {
+			return fmt.Errorf("history: window out of order at %d: %v >= %v",
+				i, w.entries[i-1].Key, w.entries[i].Key)
+		}
+	}
+	return nil
+}

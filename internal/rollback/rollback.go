@@ -1,0 +1,430 @@
+// Package rollback implements DEFINED-RB, the substrate that instruments a
+// production network to execute deterministically (paper §2.2, §3).
+//
+// Every node runs a shim between the network and its control-plane
+// application. Arriving events (messages, virtual-timer batches, external
+// events) are inserted into a sliding-window history kept in
+// ordering-function order and delivered to the application speculatively.
+// When an arrival lands anywhere but the end of the window, the shim:
+//
+//  1. restores the checkpoint taken before the first out-of-order delivery,
+//  2. "unsends" every message those deliveries produced — cancelling sends
+//     still queued locally and emitting anti-messages for ones already on
+//     the wire (anti-messages cascade: a receiver that already delivered
+//     the target rolls back in turn, Time-Warp style),
+//  3. replays the window suffix in the correct order.
+//
+// Determinism hinges on the s_i (origin sequence) and per-link send
+// counters being part of the checkpointed state: replays after a rollback
+// regenerate messages with identical annotations, so the final committed
+// delivery sequence at every node depends only on the external events —
+// not on jitter, arrival interleavings, or how many rollbacks occurred.
+//
+// Message loss is handled per the paper's footnote 4: drops are recorded
+// as external events (by ordering key) so DEFINED-LS can replay them.
+package rollback
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/annotate"
+	"defined/internal/checkpoint"
+	"defined/internal/history"
+	"defined/internal/msg"
+	"defined/internal/netsim"
+	"defined/internal/ordering"
+	"defined/internal/record"
+	"defined/internal/routing/api"
+	"defined/internal/topology"
+	"defined/internal/trace"
+	"defined/internal/vtime"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Ordering is the pseudorandom ordering function; defaults to
+	// ordering.Optimized() (OO).
+	Ordering ordering.Func
+	// Strategy selects checkpoint timing and rollback copy mode;
+	// defaults to checkpoint.Default (TM/MI).
+	Strategy checkpoint.Strategy
+	// Baseline disables the shim entirely — the unmodified-"XORP"
+	// series of the evaluation: no ordering, no checkpoints, no
+	// rollbacks, no determinism.
+	Baseline bool
+	// BeaconInterval is the timestep width; defaults to
+	// vtime.BeaconInterval (250 ms).
+	BeaconInterval vtime.Duration
+	// ChainBound caps causal chain length within one timestep; longer
+	// chains roll into the next group (paper §2.2). Default 64.
+	ChainBound int
+	// SettleAfter is how long a history entry lives before it retires.
+	// Zero selects the paper's rule: twice the maximum propagation time,
+	// estimated as mean + 4 standard deviations (footnote 3).
+	SettleAfter vtime.Duration
+	// BaseProcessing is the per-message application processing cost
+	// charged in virtual time. Default 100 µs.
+	BaseProcessing vtime.Duration
+	// Seed drives the simulator's jitter stream.
+	Seed uint64
+	// JitterScale scales link jitter (1.0 default).
+	JitterScale float64
+	// DropProb injects uniform app-message loss (tests).
+	DropProb float64
+	// Record, when true, captures the partial recording of external
+	// events (and message-loss events) for later replay.
+	Record bool
+	// LogDeliveries retains each node's committed delivery sequence for
+	// determinism verification (tests and experiments).
+	LogDeliveries bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Ordering == nil {
+		c.Ordering = ordering.Optimized()
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = vtime.BeaconInterval
+	}
+	if c.ChainBound <= 0 {
+		c.ChainBound = 64
+	}
+	if c.BaseProcessing <= 0 {
+		c.BaseProcessing = 100 * vtime.Microsecond
+	}
+	if c.JitterScale == 0 {
+		c.JitterScale = 1.0
+	}
+}
+
+// Stats aggregates engine-level counters.
+type Stats struct {
+	Deliveries       uint64 // committed + speculative deliveries performed
+	Rollbacks        uint64 // rollback episodes
+	RolledBack       uint64 // deliveries undone across all episodes
+	AntiMessages     uint64 // anti-messages emitted
+	Duplicates       uint64 // duplicate arrivals ignored
+	LateAnti         uint64 // anti-messages whose target was already gone
+	TimerBatches     uint64 // timer batch deliveries
+	ExternalEvents   uint64 // external events applied
+	DropsRecorded    uint64 // message-loss events recorded
+	SettleViolations uint64 // stragglers that arrived after their slot retired
+	LazyReuses       uint64 // replayed outputs that re-adopted their original transmission
+}
+
+// Engine drives one production network under DEFINED-RB (or bare, when
+// Config.Baseline is set).
+type Engine struct {
+	G   *topology.Graph
+	cfg Config
+
+	sim    *netsim.Sim
+	cost   checkpoint.CostModel
+	shims  []*shim
+	rec    *record.Recording
+	stats  Stats
+	skew   []vtime.Duration
+	leader msg.NodeID
+
+	scheduledThrough vtime.Time // group ticks scheduled up to here
+	dropLog          map[msg.ID]record.LossEvent
+}
+
+// New builds an engine over graph g with one application per node
+// (len(apps) == g.N). Applications are initialized with their neighbor
+// sets; link cost is derived from propagation delay.
+func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
+	if len(apps) != g.N {
+		panic(fmt.Sprintf("rollback: %d apps for %d nodes", len(apps), g.N))
+	}
+	cfg.fillDefaults()
+	e := &Engine{
+		G:       g,
+		cfg:     cfg,
+		cost:    checkpoint.ModelFor(cfg.Strategy),
+		skew:    make([]vtime.Duration, g.N),
+		leader:  0,
+		dropLog: map[msg.ID]record.LossEvent{},
+	}
+	if cfg.Baseline {
+		e.cost = checkpoint.Baseline()
+	}
+	if cfg.SettleAfter <= 0 {
+		e.cfg.SettleAfter = defaultSettle(g)
+	}
+	e.sim = netsim.New(g, netsim.Config{
+		Seed:        cfg.Seed,
+		JitterScale: cfg.JitterScale,
+		DropProb:    cfg.DropProb,
+	})
+	if cfg.Record {
+		e.rec = &record.Recording{
+			Topology:       g.Name,
+			Ordering:       e.cfg.Ordering.Name(),
+			Seed:           cfg.Seed,
+			BeaconInterval: e.cfg.BeaconInterval,
+		}
+	}
+	e.computeSkew()
+	e.shims = make([]*shim, g.N)
+	for i := 0; i < g.N; i++ {
+		n := msg.NodeID(i)
+		sh := &shim{
+			e:      e,
+			id:     n,
+			app:    apps[i],
+			win:    history.New(e.cfg.Ordering),
+			sender: annotate.NewSender(n, g, e.cfg.ChainBound, e.procEstimate()),
+			extSeq: map[uint64]uint64{},
+		}
+		e.shims[i] = sh
+		var neighbors []api.Neighbor
+		for _, nb := range g.Neighbors(i) {
+			l, _ := g.LinkBetween(i, nb)
+			neighbors = append(neighbors, api.Neighbor{ID: msg.NodeID(nb), Cost: api.LinkCost(l.Delay)})
+		}
+		apps[i].Init(n, neighbors)
+		e.sim.Attach(n, sh.onWire)
+	}
+	e.sim.OnDrop(e.onInFlightDrop)
+	return e
+}
+
+// procEstimate is the deterministic per-hop processing cost folded into
+// d_i estimates (base processing plus the checkpoint strategy's
+// per-message overhead).
+func (e *Engine) procEstimate() vtime.Duration {
+	return e.cfg.BaseProcessing + e.cost.PerMessage
+}
+
+// defaultSettle implements the paper's retirement bound: two times the
+// maximum propagation time, upper-bounded as mean + 4σ of per-link delays
+// accumulated over the propagation diameter (footnote 3). A beacon
+// interval is added so settlement never outruns group formation.
+func defaultSettle(g *topology.Graph) vtime.Duration {
+	maxProp := g.MaxPropagation()
+	// Jitter is a small fraction of delay; 4σ over the diameter is
+	// approximated by 40% headroom on the propagation bound.
+	bound := maxProp + maxProp*2/5
+	return 2*bound + vtime.BeaconInterval
+}
+
+// computeSkew sets each node's beacon-propagation skew: the shortest-path
+// delay from the beacon leader. Group numbers at a node lag the leader's
+// wall group by this skew, modeling beacon propagation (paper §2.2).
+func (e *Engine) computeSkew() {
+	d := e.G.ShortestDelays(int(e.leader))
+	for i, v := range d {
+		if v < 0 {
+			v = 0 // unreachable from leader: no beacons; degrade gracefully
+		}
+		e.skew[i] = v
+	}
+}
+
+// Sim exposes the underlying simulator (experiments read traffic stats).
+func (e *Engine) Sim() *netsim.Sim { return e.sim }
+
+// App returns node n's application.
+func (e *Engine) App(n msg.NodeID) api.Application { return e.shims[n].app }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Recording returns the partial recording (nil unless Config.Record).
+// Surviving message-loss events are flushed into it first, and the
+// replay envelope (chain bound, executed group count) is stamped.
+func (e *Engine) Recording() *record.Recording {
+	if e.rec == nil {
+		return nil
+	}
+	e.flushDrops()
+	e.rec.ChainBound = e.cfg.ChainBound
+	e.rec.ProcEstimate = e.procEstimate()
+	e.rec.Groups = vtime.GroupOf(e.scheduledThrough, e.cfg.BeaconInterval)
+	return e.rec
+}
+
+// flushDrops moves surviving drop-log entries into the recording as loss
+// events, sorted for determinism.
+func (e *Engine) flushDrops() {
+	if len(e.dropLog) == 0 {
+		return
+	}
+	losses := make([]record.LossEvent, 0, len(e.dropLog))
+	for _, le := range e.dropLog {
+		losses = append(losses, le)
+	}
+	sort.Slice(losses, func(i, j int) bool {
+		if c := e.cfg.Ordering.Compare(losses[i].Key, losses[j].Key); c != 0 {
+			return c < 0
+		}
+		return losses[i].To < losses[j].To
+	})
+	for _, le := range losses {
+		e.rec.Append(record.Event{
+			Group:   le.Key.Group,
+			Seq:     le.Key.LinkSeq,
+			Node:    le.Key.From,
+			Kind:    le.ExternalKind(),
+			Payload: le,
+		})
+		e.stats.DropsRecorded++
+	}
+	e.dropLog = map[msg.ID]record.LossEvent{}
+}
+
+// Now returns current virtual time.
+func (e *Engine) Now() vtime.Time { return e.sim.Now() }
+
+// groupAt returns node n's current beacon group at time t.
+func (e *Engine) groupAt(n msg.NodeID, t vtime.Time) uint64 {
+	local := t.Add(-e.skew[n])
+	if local < 0 {
+		local = 0
+	}
+	return vtime.GroupOf(local, e.cfg.BeaconInterval)
+}
+
+// Run advances the network to virtual time until, firing per-node timer
+// batches at every beacon-group boundary along the way.
+func (e *Engine) Run(until vtime.Time) {
+	if e.cfg.Baseline {
+		e.scheduleBaselineTimers(until)
+		e.sim.Run(until)
+		return
+	}
+	e.scheduleGroupTicks(until)
+	e.sim.Run(until)
+}
+
+// RunQuiescent processes pending events (without scheduling new group
+// ticks) until the queue drains or the event budget is exhausted. It
+// reports whether the network quiesced.
+func (e *Engine) RunQuiescent(maxEvents int) bool {
+	_, ok := e.sim.RunQuiescent(maxEvents)
+	return ok
+}
+
+// scheduleGroupTicks pre-schedules each node's timer-batch events for all
+// group boundaries in (scheduledThrough, until]. The schedule is keyed on
+// the boundary, not the skewed fire time, so every node executes exactly
+// the same set of groups — which is what the recording promises the
+// debugging network (Recording.Groups).
+func (e *Engine) scheduleGroupTicks(until vtime.Time) {
+	iv := e.cfg.BeaconInterval
+	for i := range e.shims {
+		sh := e.shims[i]
+		firstGroup := vtime.GroupOf(e.scheduledThrough, iv) + 1
+		for g := firstGroup; ; g++ {
+			boundary := vtime.GroupStart(g, iv)
+			if boundary > until {
+				break
+			}
+			g := g
+			sh := sh
+			e.sim.ScheduleFn(boundary.Add(e.skew[sh.id]), func() { sh.onTimerBatch(g) })
+		}
+	}
+	if until > e.scheduledThrough {
+		e.scheduledThrough = until
+	}
+}
+
+// scheduleBaselineTimers drives HandleTimer directly on beacon boundaries
+// for the unmodified baseline (apps still need their timer wheels turned).
+func (e *Engine) scheduleBaselineTimers(until vtime.Time) {
+	iv := e.cfg.BeaconInterval
+	for i := range e.shims {
+		sh := e.shims[i]
+		firstGroup := vtime.GroupOf(e.scheduledThrough, iv) + 1
+		for g := firstGroup; ; g++ {
+			boundary := vtime.GroupStart(g, iv)
+			if boundary > until {
+				break
+			}
+			g := g
+			sh := sh
+			e.sim.ScheduleFn(boundary.Add(e.skew[sh.id]), func() { sh.baselineTimer(g) })
+		}
+	}
+	if until > e.scheduledThrough {
+		e.scheduledThrough = until
+	}
+}
+
+// InjectExternal applies an external event at node n: it is recorded,
+// entered into the node's history window (class External) and delivered to
+// the application — or rolled back and replayed like any other entry if
+// late messages later displace it.
+func (e *Engine) InjectExternal(n msg.NodeID, ev api.ExternalEvent) {
+	sh := e.shims[n]
+	now := e.sim.Now()
+	group := e.groupAt(n, now)
+	// The event's offset from the group boundary anchors the d_i of the
+	// chains it starts; it is part of the partial recording so replay
+	// regenerates identical annotations.
+	offset := now.Sub(vtime.GroupStart(group, e.cfg.BeaconInterval))
+	if offset < 0 {
+		offset = 0
+	}
+	seq := sh.extSeq[group]
+	sh.extSeq[group] = seq + 1
+	if e.rec != nil {
+		e.rec.Append(record.Event{Group: group, Seq: seq, Node: n, Offset: offset, Kind: ev.ExternalKind(), Payload: ev})
+	}
+	e.stats.ExternalEvents++
+	if e.cfg.Baseline {
+		sh.sendOuts(sh.app.HandleExternal(ev), msg.Annotation{}, true, group, offset, e.cfg.BaseProcessing)
+		return
+	}
+	entry := history.Entry{
+		Key:       ordering.ExternalKey(group, n, seq),
+		Ext:       ev,
+		ArrivedAt: now,
+		ExtOffset: offset,
+	}
+	sh.onEntry(entry)
+}
+
+// InjectLinkChange flips the physical link state and delivers LinkChange
+// external events to both endpoints.
+func (e *Engine) InjectLinkChange(a, b int, up bool) error {
+	if err := e.sim.SetLinkState(a, b, up); err != nil {
+		return err
+	}
+	e.InjectExternal(msg.NodeID(a), api.LinkChange{Peer: msg.NodeID(b), Up: up})
+	e.InjectExternal(msg.NodeID(b), api.LinkChange{Peer: msg.NodeID(a), Up: up})
+	return nil
+}
+
+// InjectTrace applies a trace event.
+func (e *Engine) InjectTrace(ev trace.Event) error {
+	return e.InjectLinkChange(ev.A, ev.B, ev.Type == trace.LinkUp)
+}
+
+// CommittedKeys returns node n's committed delivery sequence: everything
+// already settled plus the live window (requires Config.LogDeliveries for
+// the settled prefix).
+func (e *Engine) CommittedKeys(n msg.NodeID) []ordering.Key {
+	sh := e.shims[n]
+	out := append([]ordering.Key(nil), sh.settledLog...)
+	return append(out, sh.win.Keys()...)
+}
+
+// WindowLen exposes node n's live history window size (tests).
+func (e *Engine) WindowLen(n msg.NodeID) int { return e.shims[n].win.Len() }
+
+// onInFlightDrop records app messages lost in flight so the loss can be
+// replayed (paper footnote 4). The sending shim's record is marked so a
+// later rollback retracts the loss event instead of sending an anti.
+func (e *Engine) onInFlightDrop(m *msg.Message) {
+	if m.Kind != msg.KindApp || e.cfg.Baseline {
+		return
+	}
+	e.dropLog[m.ID] = record.LossEvent{Key: ordering.KeyOf(m), To: m.To}
+	if rec := e.shims[m.From].findSent(m.ID); rec != nil {
+		rec.dropped = true
+	}
+}

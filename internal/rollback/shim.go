@@ -1,0 +1,471 @@
+package rollback
+
+import (
+	"reflect"
+
+	"defined/internal/annotate"
+	"defined/internal/checkpoint"
+	"defined/internal/eventq"
+	"defined/internal/history"
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/record"
+	"defined/internal/routing/api"
+	"defined/internal/vtime"
+)
+
+// shim is the per-node DEFINED-RB runtime: it intercepts the node's
+// receives and sends (paper §3, the user-space "shim layer").
+type shim struct {
+	e   *Engine
+	id  msg.NodeID
+	app api.Application
+
+	win   *history.Window
+	ckpts checkpoint.Keeper // ckpts[i] = state before delivering win entry i
+
+	sent   []*sentRec // live (unsettled, un-annulled) sent messages
+	serial uint64     // next delivery serial
+
+	// replayPool holds the undone deliveries' sent records during a
+	// rollback replay for lazy cancellation (see rollbackAndReplay).
+	replayPool []*sentRec
+
+	// sender assigns annotations and wire ids; its OriginSeq/LinkSeq
+	// counters are part of the checkpointed state so replayed messages
+	// come out identical.
+	sender *annotate.Sender
+
+	extSeq map[uint64]uint64 // per-group external event counter
+
+	settledLog []ordering.Key // committed deliveries (Config.LogDeliveries)
+
+	lastSettle     vtime.Time
+	lastSettledKey ordering.Key // largest key ever retired
+	hasSettled     bool
+}
+
+// sentRec tracks one transmitted message for potential unsending.
+type sentRec struct {
+	causeSerial uint64
+	m           *msg.Message
+	ev          *eventq.Event // pending send, nil once on the wire
+	wired       bool          // sim.Send succeeded
+	dropped     bool          // lost in flight (engine drop log has it)
+	sentAt      vtime.Time
+}
+
+// shimState is everything a checkpoint must capture beyond the simulator:
+// the application state plus the annotation counters.
+type shimState struct {
+	app      api.State
+	counters annotate.Counters
+}
+
+func (sh *shim) captureState() *shimState {
+	return &shimState{
+		app:      sh.app.State().Clone(),
+		counters: sh.sender.SnapshotCounters(),
+	}
+}
+
+func (sh *shim) restoreState(st *shimState) {
+	// The checkpoint stack keeps ownership of st: hand the app a clone
+	// it can adopt and mutate freely.
+	sh.app.Restore(st.app.Clone())
+	sh.sender.RestoreCounters(st.counters)
+}
+
+// ---- wire input -------------------------------------------------------------
+
+// onWire is the netsim delivery handler.
+func (sh *shim) onWire(m *msg.Message) {
+	switch m.Kind {
+	case msg.KindApp:
+		if sh.e.cfg.Baseline {
+			sh.baselineDeliver(m)
+			return
+		}
+		sh.onEntry(history.Entry{
+			Key:       ordering.KeyOf(m),
+			Msg:       m,
+			ArrivedAt: sh.e.sim.Now(),
+		})
+	case msg.KindAnti:
+		sh.onAnti(m)
+	default:
+		// Control kinds not used by the production engine are ignored.
+	}
+}
+
+// baselineDeliver is the unmodified-software path: no ordering, no
+// checkpoints.
+func (sh *shim) baselineDeliver(m *msg.Message) {
+	sh.e.stats.Deliveries++
+	outs := sh.app.HandleMessage(m)
+	sh.sendOuts(outs, m.Ann, false, 0, 0, sh.e.cfg.BaseProcessing)
+}
+
+// baselineTimer turns the app's timer wheel on beacon boundaries for the
+// baseline series.
+func (sh *shim) baselineTimer(group uint64) {
+	now := vtime.GroupStart(group, sh.e.cfg.BeaconInterval)
+	outs := sh.app.HandleTimer(now)
+	sh.e.stats.TimerBatches++
+	sh.sendOuts(outs, msg.Annotation{}, true, group, sh.e.skew[sh.id], sh.e.cfg.BaseProcessing)
+}
+
+// ---- speculative delivery and rollback --------------------------------------
+
+// onEntry inserts an arrival into the history window and either delivers
+// it speculatively (in-order case) or triggers a rollback (divergence).
+func (sh *shim) onEntry(entry history.Entry) {
+	if sh.hasSettled && sh.e.cfg.Ordering.Compare(entry.Key, sh.lastSettledKey) < 0 {
+		// A straggler sorted before an already-retired entry: the
+		// settle bound was too tight for this arrival. The entry is
+		// still applied (ordered within the live window), but exact
+		// global order can no longer be guaranteed — surfaced as a
+		// violation counter, never silently.
+		sh.e.stats.SettleViolations++
+	}
+	pos, dup := sh.win.Insert(entry)
+	if dup {
+		sh.e.stats.Duplicates++
+		return
+	}
+	if pos == sh.win.Len()-1 {
+		// Arrival matches the pseudorandom sequence: speculative
+		// delivery (paper: "If the order is the same as the
+		// pseudorandom sequence, the node delivers the event").
+		sh.deliverAt(pos, sh.e.cfg.BaseProcessing+sh.e.cost.PerMessage)
+		sh.maybeSettle()
+		return
+	}
+	// Divergence: roll back to the point where the sequences diverge and
+	// replay in the computed order.
+	if debugRollbacks != nil {
+		debugRollbacks(sh, entry, pos)
+	}
+	sh.rollbackAndReplay(pos, pos)
+	sh.maybeSettle()
+}
+
+// onTimerBatch fires the node's virtual-timer batch for group (scheduled
+// at the group boundary plus beacon skew).
+func (sh *shim) onTimerBatch(group uint64) {
+	sh.e.stats.TimerBatches++
+	sh.onEntry(history.Entry{
+		Key:       ordering.TimerKey(group, sh.id),
+		ArrivedAt: sh.e.sim.Now(),
+	})
+}
+
+// rollbackAndReplay restores the checkpoint preceding window position
+// restorePos, replays entries from replayFrom onward, and cancels what the
+// undone deliveries had sent. Callers arrange the window before calling:
+// for a divergent insert, restorePos == insert position; for an
+// anti-message, the target entry is already removed.
+//
+// Cancellation is lazy (Time Warp's lazy-cancellation optimization, fair
+// game under the paper's Jefferson-based design): the undone deliveries'
+// sent messages are pooled, and each replayed output that regenerates an
+// identical message simply re-adopts the original — no anti-message, no
+// retransmission, no repair-delay shift. Only outputs that genuinely
+// changed (or disappeared) after reordering are unsent. Without this,
+// repair delays shift downstream arrival times away from their d_i
+// estimates and rollbacks avalanche through heavy flood waves.
+func (sh *shim) rollbackAndReplay(restorePos, replayFrom int) {
+	e := sh.e
+	e.stats.Rollbacks++
+
+	// Serials of deliveries being undone: every entry at >= restorePos
+	// that has been delivered (the freshly inserted entry at restorePos
+	// has serial 0 and was never delivered; delivered entries have
+	// serial >= 1).
+	undone := map[uint64]bool{}
+	for i := restorePos; i < sh.win.Len(); i++ {
+		if s := sh.win.At(i).Serial; s != 0 {
+			undone[s] = true
+			e.stats.RolledBack++
+		}
+	}
+
+	// Restore the checkpoint taken before the first undone delivery.
+	sh.restoreState(sh.ckpts.At(restorePos).(*shimState))
+	sh.ckpts.TruncateFrom(restorePos)
+
+	// Pool the undone deliveries' sends for lazy cancellation.
+	sh.replayPool = sh.extractCaused(undone)
+
+	// Replay the suffix in the computed order, charging rollback costs.
+	delay := sh.e.cfg.BaseProcessing + e.cost.RollbackFixed
+	for i := replayFrom; i < sh.win.Len(); i++ {
+		delay += e.cost.RollbackPerReplay + e.cost.PerMessage
+		sh.deliverAt(i, delay)
+	}
+
+	// Whatever the replay did not regenerate is now genuinely unsent.
+	sh.cancelRecs(sh.replayPool)
+	sh.replayPool = nil
+}
+
+// extractCaused removes and returns the live sent records caused by the
+// given delivery serials.
+func (sh *shim) extractCaused(undone map[uint64]bool) []*sentRec {
+	if len(undone) == 0 {
+		return nil
+	}
+	var pool []*sentRec
+	kept := sh.sent[:0]
+	for _, rec := range sh.sent {
+		if undone[rec.causeSerial] {
+			pool = append(pool, rec)
+		} else {
+			kept = append(kept, rec)
+		}
+	}
+	sh.sent = kept
+	return pool
+}
+
+// deliverAt checkpoints, stamps a fresh serial, and delivers the window
+// entry at position i to the application; outputs are transmitted after
+// procDelay of virtual time.
+func (sh *shim) deliverAt(i int, procDelay vtime.Duration) {
+	e := sh.e
+	if sh.ckpts.Len() != i {
+		panic("rollback: checkpoint stack misaligned with window")
+	}
+	sh.ckpts.Push(sh.captureState())
+	sh.serial++
+	serial := sh.serial
+	sh.win.SetSerial(i, serial)
+	e.stats.Deliveries++
+
+	entry := sh.win.At(i)
+	var outs []msg.Out
+	switch {
+	case entry.Key.IsTimer():
+		now := vtime.GroupStart(entry.Key.Group, e.cfg.BeaconInterval)
+		outs = sh.app.HandleTimer(now)
+		sh.sendOutsTracked(outs, msg.Annotation{}, true, entry.Key.Group, sh.e.skew[sh.id], procDelay, serial)
+	case entry.Key.IsExternal():
+		outs = sh.app.HandleExternal(entry.Ext.(api.ExternalEvent))
+		sh.sendOutsTracked(outs, msg.Annotation{}, true, entry.Key.Group, entry.ExtOffset, procDelay, serial)
+	default:
+		outs = sh.app.HandleMessage(entry.Msg)
+		sh.sendOutsTracked(outs, entry.Msg.Ann, false, entry.Key.Group, 0, procDelay, serial)
+	}
+}
+
+// ---- sending ----------------------------------------------------------------
+
+// sendOuts transmits outputs without rollback tracking (baseline mode).
+func (sh *shim) sendOuts(outs []msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset, procDelay vtime.Duration) {
+	for _, out := range outs {
+		m := sh.sender.Build(out, parent, fresh, group, freshOffset)
+		sh.scheduleSend(m, procDelay, nil)
+	}
+}
+
+// sendOutsTracked transmits outputs and records them for unsending.
+// During a rollback replay, an output identical to a pooled original
+// (lazy cancellation) re-adopts it instead of retransmitting.
+func (sh *shim) sendOutsTracked(outs []msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset, procDelay vtime.Duration, causeSerial uint64) {
+	for _, out := range outs {
+		m := sh.sender.Build(out, parent, fresh, group, freshOffset)
+		if rec := sh.adoptFromPool(m); rec != nil {
+			rec.causeSerial = causeSerial
+			sh.sent = append(sh.sent, rec)
+			continue
+		}
+		rec := &sentRec{causeSerial: causeSerial, m: m}
+		sh.sent = append(sh.sent, rec)
+		sh.scheduleSend(m, procDelay, rec)
+	}
+}
+
+// adoptFromPool matches a regenerated message against the lazy-cancellation
+// pool: identical destination, ordering key and payload mean the original
+// transmission stands for the replayed output.
+func (sh *shim) adoptFromPool(m *msg.Message) *sentRec {
+	if len(sh.replayPool) == 0 {
+		return nil
+	}
+	key := ordering.KeyOf(m)
+	for i, rec := range sh.replayPool {
+		if rec.m.To != m.To || ordering.KeyOf(rec.m) != key {
+			continue
+		}
+		if !reflect.DeepEqual(rec.m.Payload, m.Payload) {
+			continue
+		}
+		sh.replayPool = append(sh.replayPool[:i], sh.replayPool[i+1:]...)
+		sh.e.stats.LazyReuses++
+		return rec
+	}
+	return nil
+}
+
+// cancelRecs retracts sent records whose outputs the replay did not
+// regenerate: pending sends are cancelled; wired sends get an
+// anti-message; known-dropped sends just retract their loss record.
+func (sh *shim) cancelRecs(recs []*sentRec) {
+	for _, rec := range recs {
+		switch {
+		case rec.ev != nil:
+			// Not yet on the wire: silently cancel.
+			sh.e.sim.Cancel(rec.ev)
+		case rec.dropped:
+			// Lost (at send time or in flight): retract the recorded
+			// loss event instead of sending an anti.
+			delete(sh.e.dropLog, rec.m.ID)
+		default:
+			sh.sendAnti(rec.m)
+		}
+	}
+}
+
+// scheduleSend queues the physical transmission after procDelay. rec (when
+// non-nil) is updated so unsend can cancel or chase the message.
+//
+// A send-time drop (link or peer down when the packet would leave) is a
+// nondeterministic loss exactly like an in-flight drop — whether the packet
+// escapes before a failure depends on physical timing — so it is recorded
+// as a loss event for replay (paper footnote 4).
+func (sh *shim) scheduleSend(m *msg.Message, procDelay vtime.Duration, rec *sentRec) {
+	sim := sh.e.sim
+	ev := sim.After(procDelay, func() {
+		ok := sim.Send(m)
+		if rec != nil {
+			rec.ev = nil
+			rec.wired = ok
+			rec.sentAt = sim.Now()
+			if !ok {
+				rec.dropped = true
+				sh.e.dropLog[m.ID] = record.LossEvent{Key: ordering.KeyOf(m), To: m.To}
+			}
+		}
+	})
+	if rec != nil {
+		rec.ev = ev
+		rec.sentAt = sim.Now()
+	}
+}
+
+// antiPayload identifies the message to roll back.
+type antiPayload struct {
+	Target msg.ID
+}
+
+// sendAnti emits the "unsend" notification chasing message m on its link.
+// FIFO links guarantee the anti arrives after the original.
+func (sh *shim) sendAnti(orig *msg.Message) {
+	sh.e.stats.AntiMessages++
+	sh.sender.MsgSeq++
+	anti := &msg.Message{
+		ID:      msg.ID{Sender: sh.id, Seq: sh.sender.MsgSeq},
+		From:    sh.id,
+		To:      orig.To,
+		Kind:    msg.KindAnti,
+		Payload: antiPayload{Target: orig.ID},
+	}
+	sh.e.sim.Send(anti)
+}
+
+// onAnti processes a received unsend notification: if the target was
+// delivered, roll back to just before it, annihilate it, and replay the
+// rest; the rollback cascades through our own unsends.
+func (sh *shim) onAnti(m *msg.Message) {
+	target := m.Payload.(antiPayload).Target
+	pos := sh.win.FindMsg(target)
+	if pos < 0 {
+		// Already settled or never arrived (e.g. dropped in flight).
+		sh.e.stats.LateAnti++
+		return
+	}
+	e := sh.e
+	e.stats.Rollbacks++
+	undone := map[uint64]bool{}
+	for i := pos; i < sh.win.Len(); i++ {
+		if s := sh.win.At(i).Serial; s != 0 {
+			undone[s] = true
+			e.stats.RolledBack++
+		}
+	}
+	sh.restoreState(sh.ckpts.At(pos).(*shimState))
+	sh.ckpts.TruncateFrom(pos)
+	sh.replayPool = sh.extractCaused(undone)
+	sh.win.RemoveAt(pos)
+	delay := sh.e.cfg.BaseProcessing + e.cost.RollbackFixed
+	for i := pos; i < sh.win.Len(); i++ {
+		delay += e.cost.RollbackPerReplay + e.cost.PerMessage
+		sh.deliverAt(i, delay)
+	}
+	sh.cancelRecs(sh.replayPool)
+	sh.replayPool = nil
+	sh.maybeSettle()
+}
+
+// findSent locates the live sent record for a wire id.
+func (sh *shim) findSent(id msg.ID) *sentRec {
+	for _, rec := range sh.sent {
+		if rec.m.ID == id {
+			return rec
+		}
+	}
+	return nil
+}
+
+// ---- settlement -------------------------------------------------------------
+
+// maybeSettle retires history entries older than the settle bound. Runs at
+// most once per beacon interval per node.
+func (sh *shim) maybeSettle() {
+	now := sh.e.sim.Now()
+	if now.Sub(sh.lastSettle) < sh.e.cfg.BeaconInterval {
+		return
+	}
+	sh.lastSettle = now
+	cutoff := now.Add(-sh.e.cfg.SettleAfter)
+	if cutoff <= 0 {
+		return
+	}
+	if sh.e.cfg.LogDeliveries {
+		n := 0
+		for n < sh.win.Len() && sh.win.At(n).ArrivedAt.Before(cutoff) {
+			sh.settledLog = append(sh.settledLog, sh.win.At(n).Key)
+			n++
+		}
+	}
+	var retiredLast ordering.Key
+	willRetire := 0
+	for willRetire < sh.win.Len() && sh.win.At(willRetire).ArrivedAt.Before(cutoff) {
+		retiredLast = sh.win.At(willRetire).Key
+		willRetire++
+	}
+	n := sh.win.Settle(cutoff)
+	if n > 0 {
+		sh.ckpts.DropFirst(n)
+		sh.lastSettledKey = retiredLast
+		sh.hasSettled = true
+	}
+	// Prune sent records whose cause has settled: a record sent before
+	// the cutoff was caused by an entry that arrived no later, which has
+	// retired — it can never be unsent now.
+	kept := sh.sent[:0]
+	for _, rec := range sh.sent {
+		if rec.ev == nil && rec.sentAt.Before(cutoff) {
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	sh.sent = kept
+	// Drop stale per-group external counters (two settle windows back).
+	staleGroup := vtime.GroupOf(cutoff, sh.e.cfg.BeaconInterval)
+	for g := range sh.extSeq {
+		if g+2 < staleGroup {
+			delete(sh.extSeq, g)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package api defines the contract between control-plane software (the
+// routing daemons) and the DEFINED substrate (the rollback and lockstep
+// engines). It corresponds to the instrumentation interface of the paper's
+// implementation section (§3): the substrate intercepts message sending,
+// message receiving and timer calls, and the application exposes enough
+// state management for checkpoint/restore.
+//
+// Applications must be deterministic: outputs may depend only on the
+// current state and the input being processed. They must not read wall
+// clocks, use global randomness, or mutate received messages — virtual
+// time only advances through HandleTimer.
+package api
+
+import (
+	"defined/internal/msg"
+	"defined/internal/vtime"
+)
+
+// Neighbor describes one adjacent router as seen from a node.
+type Neighbor struct {
+	ID msg.NodeID
+	// Cost is the routing metric of the connecting link (derived from
+	// the link's propagation delay by the engines).
+	Cost uint32
+}
+
+// State is checkpointable application state. Clone must return a deep copy
+// that shares no mutable structure with the receiver.
+type State interface {
+	Clone() State
+}
+
+// Application is one node's control-plane software instance run under
+// DEFINED (or bare, for the unmodified baseline).
+type Application interface {
+	// Init installs the node identity and adjacent links. It is called
+	// exactly once before any other method.
+	Init(self msg.NodeID, neighbors []Neighbor)
+
+	// HandleMessage processes one delivered message and returns the
+	// messages to send in response. The substrate assigns causal
+	// annotations: outputs are children of m unless Out.CausedBy says
+	// otherwise.
+	HandleMessage(m *msg.Message) []msg.Out
+
+	// HandleTimer advances the application's virtual clock to now and
+	// fires any due protocol timers. Outputs start fresh causal chains.
+	// now only moves forward, in beacon-interval steps.
+	HandleTimer(now vtime.Time) []msg.Out
+
+	// HandleExternal applies an external event (link change, route
+	// injection). Outputs start fresh causal chains.
+	HandleExternal(ev ExternalEvent) []msg.Out
+
+	// State returns the current application state. The substrate clones
+	// it for checkpoints; the application keeps ownership.
+	State() State
+
+	// Restore replaces the application state with a checkpoint
+	// previously obtained from State().Clone(). The substrate retains
+	// ownership of st; implementations must clone anything they intend
+	// to mutate.
+	Restore(st State)
+}
+
+// ExternalEvent is an event arriving from outside the instrumented network
+// — exactly what DEFINED's partial recordings capture (paper §2.5).
+type ExternalEvent interface {
+	// ExternalKind returns a stable identifier used by the recording
+	// codec ("link-change", "bgp-inject", ...).
+	ExternalKind() string
+}
+
+// LinkChange reports that the link between the receiving node and Peer
+// changed state. Both endpoints of a link receive one.
+type LinkChange struct {
+	Peer msg.NodeID `json:"peer"`
+	Up   bool       `json:"up"`
+}
+
+// ExternalKind implements ExternalEvent.
+func (LinkChange) ExternalKind() string { return "link-change" }
+
+// LinkCost derives the routing metric of a link from its propagation
+// delay: one cost unit per 100 µs, with a floor of 1. Both engines use it
+// so production and debugging networks agree on metrics.
+func LinkCost(delay vtime.Duration) uint32 {
+	c := uint32(delay / (100 * vtime.Microsecond))
+	if c == 0 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,314 @@
+// Package bgp implements the BGP decision process exercised by the paper's
+// first case study (§4): the ordering bug in XORP 0.4's path selection.
+//
+// The decision rules modeled are the three the case study depends on:
+//
+//  1. prefer the shortest AS path;
+//  2. among paths from the *same neighboring AS*, prefer the lowest
+//     multi-exit discriminator (MED) — note this rule compares only within
+//     a group, which makes pairwise preference non-transitive;
+//  3. prefer the lowest IGP distance to the egress.
+//
+// Two selection engines are provided. SelectCorrect re-runs the full
+// decision over all valid paths, as BGP requires. SelectXORP04 reproduces
+// the bug: an incoming path is compared pairwise against the current best
+// only, so with the Figure 4 path triple (p2 beats p1, p3 beats p2, p1
+// beats p3) the outcome depends on arrival order.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/msg"
+	"defined/internal/routing/api"
+	"defined/internal/vtime"
+)
+
+// Path is one candidate BGP path for a prefix. Paths are immutable once
+// created.
+type Path struct {
+	Name       string `json:"name"` // human label, e.g. "p1"
+	Prefix     string `json:"prefix"`
+	ASPathLen  int    `json:"as_path_len"`
+	NeighborAS int    `json:"neighbor_as"`
+	MED        int    `json:"med"`
+	IGPDist    int    `json:"igp_dist"`
+}
+
+// Announce is the external event that delivers an eBGP path at a border
+// router (the recordings of the case study capture these at R1 and R2).
+type Announce struct {
+	Path Path `json:"path"`
+}
+
+// ExternalKind implements api.ExternalEvent.
+func (Announce) ExternalKind() string { return "bgp-announce" }
+
+// update is the iBGP wire payload propagating a path.
+type update struct {
+	Path Path
+}
+
+// Mode selects the decision engine.
+type Mode uint8
+
+const (
+	// XORP04 reproduces the buggy incremental selection of XORP 0.4.
+	XORP04 Mode = iota
+	// Fixed re-runs the full decision process on every change.
+	Fixed
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case XORP04:
+		return "xorp-0.4"
+	case Fixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ---- decision process --------------------------------------------------------
+
+// pairwiseBetter reports whether a beats b under the three case-study
+// rules compared pairwise — the comparison XORP 0.4 applies between an
+// incoming path and the current best. The MED rule only applies when both
+// paths come from the same neighboring AS, which is what breaks
+// transitivity.
+func pairwiseBetter(a, b Path) bool {
+	if a.ASPathLen != b.ASPathLen {
+		return a.ASPathLen < b.ASPathLen
+	}
+	if a.NeighborAS == b.NeighborAS && a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	if a.IGPDist != b.IGPDist {
+		return a.IGPDist < b.IGPDist
+	}
+	// Fully tied: deterministic tie-break so selection is stable.
+	return a.Name < b.Name
+}
+
+// SelectCorrect runs the full decision process over all candidate paths:
+// shortest AS path; then per-neighbor-AS MED elimination; then lowest IGP
+// distance (the paper's description of the correct process).
+func SelectCorrect(paths []Path) (Path, bool) {
+	if len(paths) == 0 {
+		return Path{}, false
+	}
+	// Rule 1: shortest AS path length.
+	minLen := paths[0].ASPathLen
+	for _, p := range paths[1:] {
+		if p.ASPathLen < minLen {
+			minLen = p.ASPathLen
+		}
+	}
+	var survivors []Path
+	for _, p := range paths {
+		if p.ASPathLen == minLen {
+			survivors = append(survivors, p)
+		}
+	}
+	// Rule 2: within each neighboring-AS group, keep lowest MED.
+	bestMED := map[int]int{}
+	for _, p := range survivors {
+		if m, ok := bestMED[p.NeighborAS]; !ok || p.MED < m {
+			bestMED[p.NeighborAS] = p.MED
+		}
+	}
+	var medSurvivors []Path
+	for _, p := range survivors {
+		if p.MED == bestMED[p.NeighborAS] {
+			medSurvivors = append(medSurvivors, p)
+		}
+	}
+	// Rule 3: lowest IGP distance, name tie-break.
+	best := medSurvivors[0]
+	for _, p := range medSurvivors[1:] {
+		if p.IGPDist < best.IGPDist || (p.IGPDist == best.IGPDist && p.Name < best.Name) {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// SelectXORP04 reproduces the buggy incremental selection: paths are
+// considered in arrival order and each is compared only against the
+// current best.
+func SelectXORP04(arrivalOrder []Path) (Path, bool) {
+	if len(arrivalOrder) == 0 {
+		return Path{}, false
+	}
+	best := arrivalOrder[0]
+	for _, p := range arrivalOrder[1:] {
+		if pairwiseBetter(p, best) {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// ---- daemon -------------------------------------------------------------------
+
+// state is the daemon's checkpointable state.
+type state struct {
+	// ribIn stores received paths per prefix, in arrival order (the
+	// arrival order is what the XORP 0.4 bug is sensitive to).
+	ribIn map[string][]Path
+	// best is the currently selected path per prefix.
+	best map[string]Path
+	// decisions counts selection runs (experiments).
+	decisions uint64
+}
+
+func (s *state) Clone() api.State {
+	ns := &state{
+		ribIn:     make(map[string][]Path, len(s.ribIn)),
+		best:      make(map[string]Path, len(s.best)),
+		decisions: s.decisions,
+	}
+	for k, v := range s.ribIn {
+		ns.ribIn[k] = append([]Path(nil), v...)
+	}
+	for k, v := range s.best {
+		ns.best[k] = v
+	}
+	return ns
+}
+
+// Daemon is one iBGP speaker. Paths arrive either as external events
+// (eBGP announcements at border routers) or as iBGP updates from peers;
+// each new path triggers (re)selection, and best-path changes propagate to
+// all peers except the one the path came from.
+type Daemon struct {
+	mode      Mode
+	self      msg.NodeID
+	neighbors []api.Neighbor
+	st        *state
+}
+
+// New creates a daemon running the given decision engine.
+func New(mode Mode) *Daemon { return &Daemon{mode: mode} }
+
+var _ api.Application = (*Daemon)(nil)
+
+// Init implements api.Application.
+func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
+	d.self = self
+	d.neighbors = append([]api.Neighbor(nil), neighbors...)
+	sort.Slice(d.neighbors, func(i, j int) bool { return d.neighbors[i].ID < d.neighbors[j].ID })
+	d.st = &state{ribIn: map[string][]Path{}, best: map[string]Path{}}
+}
+
+// learn ingests one path and returns the updates to propagate.
+func (d *Daemon) learn(p Path, from msg.NodeID) []msg.Out {
+	// Deduplicate by path name per prefix (iBGP can deliver the same
+	// path over several peerings).
+	for _, have := range d.st.ribIn[p.Prefix] {
+		if have.Name == p.Name {
+			return nil
+		}
+	}
+	d.st.ribIn[p.Prefix] = append(d.st.ribIn[p.Prefix], p)
+	d.st.decisions++
+
+	var newBest Path
+	var ok bool
+	switch d.mode {
+	case Fixed:
+		newBest, ok = SelectCorrect(d.st.ribIn[p.Prefix])
+	default:
+		// XORP 0.4: compare the incoming path against the current best
+		// only.
+		cur, have := d.st.best[p.Prefix]
+		if !have {
+			newBest, ok = p, true
+		} else if pairwiseBetter(p, cur) {
+			newBest, ok = p, true
+		} else {
+			newBest, ok = cur, true
+		}
+	}
+	if !ok {
+		return nil
+	}
+	if cur, have := d.st.best[p.Prefix]; have && cur == newBest {
+		return nil // selection unchanged: nothing to advertise
+	}
+	d.st.best[p.Prefix] = newBest
+	var outs []msg.Out
+	for _, nb := range d.neighbors {
+		if nb.ID == from {
+			continue
+		}
+		outs = append(outs, msg.Out{To: nb.ID, Payload: update{Path: newBest}})
+	}
+	return outs
+}
+
+// HandleMessage implements api.Application.
+func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
+	u, ok := m.Payload.(update)
+	if !ok {
+		return nil
+	}
+	return d.learn(u.Path, m.From)
+}
+
+// HandleTimer implements api.Application (BGP's MRAI and keepalives are
+// not needed for the case study; the timer is a no-op).
+func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out { return nil }
+
+// HandleExternal implements api.Application: eBGP announcements arrive at
+// border routers as recorded external events.
+func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	a, ok := ev.(Announce)
+	if !ok {
+		return nil
+	}
+	return d.learn(a.Path, msg.None)
+}
+
+// State implements api.Application.
+func (d *Daemon) State() api.State { return d.st }
+
+// Restore implements api.Application.
+func (d *Daemon) Restore(st api.State) { d.st = st.(*state) }
+
+// Best returns the selected path for prefix.
+func (d *Daemon) Best(prefix string) (Path, bool) {
+	p, ok := d.st.best[prefix]
+	return p, ok
+}
+
+// PathCount returns the number of stored candidate paths for prefix.
+func (d *Daemon) PathCount(prefix string) int { return len(d.st.ribIn[prefix]) }
+
+// ArrivalOrder returns the names of the stored paths in arrival order
+// (debugging the case study).
+func (d *Daemon) ArrivalOrder(prefix string) []string {
+	var names []string
+	for _, p := range d.st.ribIn[prefix] {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Decisions reports how many selection runs the daemon executed.
+func (d *Daemon) Decisions() uint64 { return d.st.decisions }
+
+// Figure4Paths returns the path triple from the paper's Figure 4: p1 and
+// p2 share a neighboring AS; p1 has MED 10 and IGP 10, p2 has MED 5 and
+// IGP 30, p3 has MED 20 and IGP 20 from another AS. Pairwise, p2 beats p1
+// (MED), p3 beats p2 (IGP; different AS so MED skipped), p1 beats p3
+// (IGP) — a preference cycle. The correct full decision selects p3.
+func Figure4Paths(prefix string) (p1, p2, p3 Path) {
+	p1 = Path{Name: "p1", Prefix: prefix, ASPathLen: 3, NeighborAS: 100, MED: 10, IGPDist: 10}
+	p2 = Path{Name: "p2", Prefix: prefix, ASPathLen: 3, NeighborAS: 100, MED: 5, IGPDist: 30}
+	p3 = Path{Name: "p3", Prefix: prefix, ASPathLen: 3, NeighborAS: 200, MED: 20, IGPDist: 20}
+	return
+}

@@ -1,0 +1,456 @@
+// Package ospf implements a link-state interior routing daemon — the
+// control-plane workload of the paper's evaluation (§5: "we run our
+// implementation with the XORP OSPF router daemon").
+//
+// The daemon implements the OSPF mechanisms the evaluation exercises:
+// hello keepalives with dead-interval detection, link-state advertisement
+// (LSA) origination and reliable-style flooding with sequence numbers, and
+// shortest-path-first (Dijkstra) route computation. Two fidelity knobs
+// mirror the paper's setup: HelloInterval (reduced to 1 s to stress the
+// substrate) and FloodHolddown (XORP's default 1 s retransmit-timer delay
+// between receiving and propagating a routing message, which the paper
+// removes to expose DEFINED's overheads — Figure 6b).
+package ospf
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/msg"
+	"defined/internal/routing/api"
+	"defined/internal/vtime"
+)
+
+// Config tunes the daemon. The zero value selects the paper's stressed
+// configuration: 1 s hellos, 4 s dead interval, no flood holddown.
+type Config struct {
+	// HelloInterval is the keepalive period (default 1 s).
+	HelloInterval vtime.Duration
+	// DeadInterval is how long without hellos an adjacency survives
+	// (default 4 × HelloInterval).
+	DeadInterval vtime.Duration
+	// FloodHolddown delays propagation of received LSAs until the next
+	// timer tick at least this far in the future (XORP's default OSPF
+	// configuration uses 1 s; 0 disables, as the paper's modified XORP).
+	FloodHolddown vtime.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = vtime.Second
+	}
+	if c.DeadInterval <= 0 {
+		c.DeadInterval = 4 * c.HelloInterval
+	}
+}
+
+// LSA is a link-state advertisement: the set of links a router currently
+// has up, with a per-origin sequence number. LSAs are immutable once
+// created (they are shared across forwarding paths and rollback replays).
+type LSA struct {
+	Origin msg.NodeID
+	Seq    uint64
+	Links  []Adj // sorted by neighbor id
+}
+
+// Adj is one advertised adjacency.
+type Adj struct {
+	To   msg.NodeID
+	Cost uint32
+}
+
+// hello is the keepalive payload.
+type hello struct {
+	From msg.NodeID
+}
+
+// Route is one computed routing-table entry.
+type Route struct {
+	Dest    msg.NodeID
+	NextHop msg.NodeID
+	Cost    uint32
+}
+
+// state is the daemon's checkpointable state.
+type state struct {
+	lsdb      map[msg.NodeID]*LSA
+	adjUp     map[msg.NodeID]bool       // adjacency believed up
+	lastHello map[msg.NodeID]vtime.Time // last hello seen per neighbor
+	seq       uint64                    // own LSA sequence
+	table     map[msg.NodeID]Route
+	now       vtime.Time
+	booted    bool // initial own-LSA flood performed
+	// holdQueue buffers LSAs awaiting FloodHolddown release; releaseAt
+	// keyed parallel.
+	holdQueue []heldLSA
+	spfRuns   uint64
+}
+
+type heldLSA struct {
+	lsa       *LSA
+	exclude   msg.NodeID // neighbor not to flood back to
+	releaseAt vtime.Time
+}
+
+// Clone implements api.State.
+func (s *state) Clone() api.State {
+	ns := &state{
+		lsdb:      make(map[msg.NodeID]*LSA, len(s.lsdb)),
+		adjUp:     make(map[msg.NodeID]bool, len(s.adjUp)),
+		lastHello: make(map[msg.NodeID]vtime.Time, len(s.lastHello)),
+		seq:       s.seq,
+		table:     make(map[msg.NodeID]Route, len(s.table)),
+		now:       s.now,
+		booted:    s.booted,
+		holdQueue: append([]heldLSA(nil), s.holdQueue...),
+		spfRuns:   s.spfRuns,
+	}
+	for k, v := range s.lsdb {
+		ns.lsdb[k] = v // LSAs are immutable: share
+	}
+	for k, v := range s.adjUp {
+		ns.adjUp[k] = v
+	}
+	for k, v := range s.lastHello {
+		ns.lastHello[k] = v
+	}
+	for k, v := range s.table {
+		ns.table[k] = v
+	}
+	return ns
+}
+
+// Daemon is one OSPF instance.
+type Daemon struct {
+	cfg       Config
+	self      msg.NodeID
+	neighbors []api.Neighbor
+	nbrCost   map[msg.NodeID]uint32
+	st        *state
+}
+
+// New creates a daemon with the given configuration.
+func New(cfg Config) *Daemon {
+	cfg.fillDefaults()
+	return &Daemon{cfg: cfg}
+}
+
+var _ api.Application = (*Daemon)(nil)
+
+// Init implements api.Application.
+func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
+	d.self = self
+	d.neighbors = append([]api.Neighbor(nil), neighbors...)
+	sort.Slice(d.neighbors, func(i, j int) bool { return d.neighbors[i].ID < d.neighbors[j].ID })
+	d.nbrCost = make(map[msg.NodeID]uint32, len(neighbors))
+	d.st = &state{
+		lsdb:      map[msg.NodeID]*LSA{},
+		adjUp:     map[msg.NodeID]bool{},
+		lastHello: map[msg.NodeID]vtime.Time{},
+		table:     map[msg.NodeID]Route{},
+	}
+	for _, nb := range d.neighbors {
+		d.nbrCost[nb.ID] = nb.Cost
+		d.st.adjUp[nb.ID] = true
+		d.st.lastHello[nb.ID] = 0
+	}
+	d.originate()
+	d.runSPF()
+}
+
+// originate installs a fresh own-LSA reflecting current adjacencies.
+func (d *Daemon) originate() *LSA {
+	d.st.seq++
+	var links []Adj
+	for _, nb := range d.neighbors {
+		if d.st.adjUp[nb.ID] {
+			links = append(links, Adj{To: nb.ID, Cost: nb.Cost})
+		}
+	}
+	lsa := &LSA{Origin: d.self, Seq: d.st.seq, Links: links}
+	d.st.lsdb[d.self] = lsa
+	return lsa
+}
+
+// floodOuts builds the messages that flood lsa to all up adjacencies
+// except exclude.
+func (d *Daemon) floodOuts(lsa *LSA, exclude msg.NodeID) []msg.Out {
+	var outs []msg.Out
+	for _, nb := range d.neighbors {
+		if nb.ID == exclude || !d.st.adjUp[nb.ID] {
+			continue
+		}
+		outs = append(outs, msg.Out{To: nb.ID, Payload: lsa})
+	}
+	return outs
+}
+
+// HandleMessage implements api.Application.
+func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
+	switch p := m.Payload.(type) {
+	case *LSA:
+		return d.onLSA(p, m.From)
+	case hello:
+		d.st.lastHello[p.From] = d.st.now
+		if !d.st.adjUp[p.From] {
+			// Adjacency resurrects on hello (simplified exchange: send
+			// our full LSDB so the peer resynchronizes).
+			d.st.adjUp[p.From] = true
+			lsa := d.originate()
+			outs := d.floodOuts(lsa, msg.None)
+			outs = append(outs, d.databaseOuts(p.From)...)
+			d.runSPF()
+			return outs
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// databaseOuts sends every stored LSA to one neighbor (simplified database
+// exchange on adjacency formation).
+func (d *Daemon) databaseOuts(to msg.NodeID) []msg.Out {
+	origins := make([]int, 0, len(d.st.lsdb))
+	for o := range d.st.lsdb {
+		origins = append(origins, int(o))
+	}
+	sort.Ints(origins)
+	var outs []msg.Out
+	for _, o := range origins {
+		outs = append(outs, msg.Out{To: to, Payload: d.st.lsdb[msg.NodeID(o)]})
+	}
+	return outs
+}
+
+// onLSA applies a received LSA: newer sequence wins; newer LSAs flood on.
+func (d *Daemon) onLSA(lsa *LSA, from msg.NodeID) []msg.Out {
+	cur, ok := d.st.lsdb[lsa.Origin]
+	if ok && cur.Seq >= lsa.Seq {
+		return nil // stale or duplicate
+	}
+	d.st.lsdb[lsa.Origin] = lsa
+	d.runSPF()
+	if d.cfg.FloodHolddown > 0 {
+		d.st.holdQueue = append(d.st.holdQueue, heldLSA{
+			lsa: lsa, exclude: from, releaseAt: d.st.now.Add(d.cfg.FloodHolddown),
+		})
+		return nil
+	}
+	return d.floodOuts(lsa, from)
+}
+
+// HandleTimer implements api.Application: initial database flood, hello
+// emission, dead-interval expiry, and holddown release.
+func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
+	d.st.now = now
+	var outs []msg.Out
+
+	// Boot: flood the own LSA on the first timer batch so the network
+	// synchronizes LSDBs (stands in for OSPF's initial database
+	// exchange on adjacency formation).
+	if !d.st.booted {
+		d.st.booted = true
+		for _, nb := range d.neighbors {
+			d.st.lastHello[nb.ID] = now
+		}
+		outs = append(outs, d.floodOuts(d.st.lsdb[d.self], msg.None)...)
+	}
+
+	// Release held LSAs that matured.
+	if len(d.st.holdQueue) > 0 {
+		var still []heldLSA
+		for _, h := range d.st.holdQueue {
+			if h.releaseAt.After(now) {
+				still = append(still, h)
+				continue
+			}
+			outs = append(outs, d.floodOuts(h.lsa, h.exclude)...)
+		}
+		d.st.holdQueue = still
+	}
+
+	// Hellos on the hello interval grid.
+	if int64(now)%int64(d.cfg.HelloInterval) == 0 {
+		for _, nb := range d.neighbors {
+			outs = append(outs, msg.Out{To: nb.ID, Payload: hello{From: d.self}})
+		}
+	}
+
+	// Dead-interval expiry.
+	changed := false
+	for _, nb := range d.neighbors {
+		if d.st.adjUp[nb.ID] && now.Sub(d.st.lastHello[nb.ID]) > d.cfg.DeadInterval {
+			d.st.adjUp[nb.ID] = false
+			changed = true
+		}
+	}
+	if changed {
+		lsa := d.originate()
+		outs = append(outs, d.floodOuts(lsa, msg.None)...)
+		d.runSPF()
+	}
+	return outs
+}
+
+// HandleExternal implements api.Application: interface state changes from
+// the substrate (failure detection in the paper's testbed).
+func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	lc, ok := ev.(api.LinkChange)
+	if !ok {
+		return nil
+	}
+	if _, known := d.nbrCost[lc.Peer]; !known {
+		return nil
+	}
+	if d.st.adjUp[lc.Peer] == lc.Up {
+		return nil
+	}
+	d.st.adjUp[lc.Peer] = lc.Up
+	if lc.Up {
+		d.st.lastHello[lc.Peer] = d.st.now
+	}
+	lsa := d.originate()
+	outs := d.floodOuts(lsa, msg.None)
+	if lc.Up {
+		outs = append(outs, d.databaseOuts(lc.Peer)...)
+	}
+	d.runSPF()
+	return outs
+}
+
+// State implements api.Application.
+func (d *Daemon) State() api.State { return d.st }
+
+// Restore implements api.Application.
+func (d *Daemon) Restore(st api.State) { d.st = st.(*state) }
+
+// ---- SPF --------------------------------------------------------------------
+
+// runSPF recomputes the routing table from the LSDB with Dijkstra.
+// A link is usable only when both endpoints advertise it (bidirectional
+// check, as OSPF requires).
+func (d *Daemon) runSPF() {
+	s := d.st
+	s.spfRuns++
+	type cand struct {
+		node msg.NodeID
+		cost uint32
+		via  msg.NodeID // first hop from self
+	}
+	const inf = ^uint32(0)
+	dist := map[msg.NodeID]uint32{d.self: 0}
+	via := map[msg.NodeID]msg.NodeID{}
+	visited := map[msg.NodeID]bool{}
+	for {
+		// Deterministic linear extraction (LSDB is small at PoP scale).
+		best := cand{cost: inf}
+		found := false
+		for n, c := range dist {
+			if !visited[n] && (c < best.cost || (c == best.cost && (!found || n < best.node))) {
+				best = cand{node: n, cost: c, via: via[n]}
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		visited[best.node] = true
+		lsa, ok := s.lsdb[best.node]
+		if !ok {
+			continue
+		}
+		for _, adj := range lsa.Links {
+			if !d.linkBidirectional(best.node, adj.To) {
+				continue
+			}
+			nc := best.cost + adj.Cost
+			firstHop := best.via
+			if best.node == d.self {
+				firstHop = adj.To
+			}
+			old, seen := dist[adj.To]
+			if !seen || nc < old || (nc == old && firstHop < via[adj.To]) {
+				dist[adj.To] = nc
+				via[adj.To] = firstHop
+			}
+		}
+	}
+	table := make(map[msg.NodeID]Route, len(dist))
+	for n, c := range dist {
+		if n == d.self {
+			continue
+		}
+		table[n] = Route{Dest: n, NextHop: via[n], Cost: c}
+	}
+	s.table = table
+}
+
+// linkBidirectional reports whether both a and b advertise each other.
+func (d *Daemon) linkBidirectional(a, b msg.NodeID) bool {
+	la, ok := d.st.lsdb[a]
+	if !ok || !advertises(la, b) {
+		return false
+	}
+	lb, ok := d.st.lsdb[b]
+	return ok && advertises(lb, a)
+}
+
+func advertises(l *LSA, to msg.NodeID) bool {
+	for _, adj := range l.Links {
+		if adj.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- inspection --------------------------------------------------------------
+
+// RoutingTable returns a copy of the current routing table.
+func (d *Daemon) RoutingTable() map[msg.NodeID]Route {
+	out := make(map[msg.NodeID]Route, len(d.st.table))
+	for k, v := range d.st.table {
+		out[k] = v
+	}
+	return out
+}
+
+// Reachable reports whether dest is in the routing table.
+func (d *Daemon) Reachable(dest msg.NodeID) bool {
+	_, ok := d.st.table[dest]
+	return ok
+}
+
+// NextHop returns the first hop toward dest (msg.None if unreachable).
+func (d *Daemon) NextHop(dest msg.NodeID) msg.NodeID {
+	r, ok := d.st.table[dest]
+	if !ok {
+		return msg.None
+	}
+	return r.NextHop
+}
+
+// LSDBSize reports the number of stored LSAs (tests).
+func (d *Daemon) LSDBSize() int { return len(d.st.lsdb) }
+
+// SPFRuns reports the number of SPF computations (experiments).
+func (d *Daemon) SPFRuns() uint64 { return d.st.spfRuns }
+
+// AdjacencyUp reports whether the adjacency to peer is currently up.
+func (d *Daemon) AdjacencyUp(peer msg.NodeID) bool { return d.st.adjUp[peer] }
+
+// DumpTable renders the routing table sorted by destination (debugger).
+func (d *Daemon) DumpTable() string {
+	dests := make([]int, 0, len(d.st.table))
+	for dst := range d.st.table {
+		dests = append(dests, int(dst))
+	}
+	sort.Ints(dests)
+	out := ""
+	for _, dst := range dests {
+		r := d.st.table[msg.NodeID(dst)]
+		out += fmt.Sprintf("dest %d via %d cost %d\n", r.Dest, r.NextHop, r.Cost)
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package rip implements a Routing Information Protocol daemon — the
+// subject of the paper's second case study (§4): the timing bug in Quagga
+// 0.96.5's route-timer refresh.
+//
+// RIP keeps a timer per routing-table entry, refreshed by periodic
+// announcements; an expired route is withdrawn. When comparing an incoming
+// announcement with an installed route, the daemon must match both the
+// destination *and the next hop*. Quagga 0.96.5 matched only the
+// destination, so announcements from a backup router refresh the timer of
+// the route through the (dead) main router; if a backup announcement
+// arrives before the route expires, the stale route is refreshed forever —
+// a permanent black hole (the paper's Figure 5).
+//
+// Mode selects the faithful buggy behaviour (Quagga0965) or the fixed one.
+package rip
+
+import (
+	"fmt"
+	"sort"
+
+	"defined/internal/msg"
+	"defined/internal/routing/api"
+	"defined/internal/vtime"
+)
+
+// Mode selects the timer-refresh comparison.
+type Mode uint8
+
+const (
+	// Quagga0965 refreshes an installed route's timer on any
+	// announcement for the same destination (the bug).
+	Quagga0965 Mode = iota
+	// FixedMode refreshes only when the announcing next hop matches the
+	// installed route.
+	FixedMode
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Quagga0965:
+		return "quagga-0.96.5"
+	case FixedMode:
+		return "fixed"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Infinity is the RIP unreachable metric.
+const Infinity = 16
+
+// Config tunes protocol timing. Defaults follow RIP (30 s updates, 180 s
+// timeout) — tests and the case study compress them to keep virtual
+// runtimes short.
+type Config struct {
+	Mode Mode
+	// UpdateInterval is the periodic announcement period (default 30 s).
+	UpdateInterval vtime.Duration
+	// Timeout expires a route that has not been refreshed (default 180 s).
+	Timeout vtime.Duration
+	// SplitHorizon suppresses advertising a route back to its next hop.
+	SplitHorizon bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.UpdateInterval <= 0 {
+		c.UpdateInterval = 30 * vtime.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 180 * vtime.Second
+	}
+}
+
+// Originate is the external event that makes a router originate a prefix
+// (it is directly connected to the destination).
+type Originate struct {
+	Prefix string `json:"prefix"`
+	Metric int    `json:"metric"`
+}
+
+// ExternalKind implements api.ExternalEvent.
+func (Originate) ExternalKind() string { return "rip-originate" }
+
+// Crash is the external event that silently halts a router: it stops
+// announcing and responding, as the failed main router R2 in Figure 5.
+// (The failure is deliberately invisible to neighbors except through
+// missed announcements — that is what makes the bug a *timing* bug.)
+type Crash struct{}
+
+// ExternalKind implements api.ExternalEvent.
+func (Crash) ExternalKind() string { return "rip-crash" }
+
+// announcement is the wire payload: the sender's distance vector.
+type announcement struct {
+	From   msg.NodeID
+	Routes []advert
+}
+
+// advert is one advertised route. Immutable once sent.
+type advert struct {
+	Prefix string
+	Metric int
+}
+
+// routeEntry is one installed route.
+type routeEntry struct {
+	Prefix   string
+	NextHop  msg.NodeID // msg.None when originated locally
+	Metric   int
+	Deadline vtime.Time // expiry; vtime.Never for local routes
+}
+
+// state is the daemon's checkpointable state.
+type state struct {
+	table      map[string]routeEntry
+	originated map[string]int // prefix → metric
+	crashed    bool
+	now        vtime.Time
+	expiries   uint64 // count of routes expired (experiments)
+	refreshes  uint64 // count of timer refreshes
+}
+
+func (s *state) Clone() api.State {
+	ns := &state{
+		table:      make(map[string]routeEntry, len(s.table)),
+		originated: make(map[string]int, len(s.originated)),
+		crashed:    s.crashed,
+		now:        s.now,
+		expiries:   s.expiries,
+		refreshes:  s.refreshes,
+	}
+	for k, v := range s.table {
+		ns.table[k] = v
+	}
+	for k, v := range s.originated {
+		ns.originated[k] = v
+	}
+	return ns
+}
+
+// Daemon is one RIP instance.
+type Daemon struct {
+	cfg       Config
+	self      msg.NodeID
+	neighbors []api.Neighbor
+	st        *state
+}
+
+// New creates a daemon.
+func New(cfg Config) *Daemon {
+	cfg.fillDefaults()
+	return &Daemon{cfg: cfg}
+}
+
+var _ api.Application = (*Daemon)(nil)
+
+// Init implements api.Application.
+func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
+	d.self = self
+	d.neighbors = append([]api.Neighbor(nil), neighbors...)
+	sort.Slice(d.neighbors, func(i, j int) bool { return d.neighbors[i].ID < d.neighbors[j].ID })
+	d.st = &state{table: map[string]routeEntry{}, originated: map[string]int{}}
+}
+
+// announceOuts builds the periodic announcement to every neighbor.
+func (d *Daemon) announceOuts() []msg.Out {
+	prefixes := make([]string, 0, len(d.st.table))
+	for p := range d.st.table {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	var outs []msg.Out
+	for _, nb := range d.neighbors {
+		var routes []advert
+		for _, p := range prefixes {
+			e := d.st.table[p]
+			if d.cfg.SplitHorizon && e.NextHop == nb.ID {
+				continue
+			}
+			routes = append(routes, advert{Prefix: p, Metric: e.Metric})
+		}
+		if len(routes) == 0 {
+			continue
+		}
+		outs = append(outs, msg.Out{To: nb.ID, Payload: announcement{From: d.self, Routes: routes}})
+	}
+	return outs
+}
+
+// HandleTimer implements api.Application: periodic announcements and route
+// expiry.
+func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
+	d.st.now = now
+	if d.st.crashed {
+		return nil
+	}
+	// Expire routes first (an expiry and an announcement in the same
+	// batch must not let the stale route ride out).
+	for p, e := range d.st.table {
+		if e.Deadline != vtime.Never && now.After(e.Deadline) {
+			delete(d.st.table, p)
+			d.st.expiries++
+		}
+	}
+	if int64(now)%int64(d.cfg.UpdateInterval) == 0 {
+		return d.announceOuts()
+	}
+	return nil
+}
+
+// HandleMessage implements api.Application: process a neighbor's
+// announcement.
+func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
+	if d.st.crashed {
+		return nil
+	}
+	ann, ok := m.Payload.(announcement)
+	if !ok {
+		return nil
+	}
+	for _, adv := range ann.Routes {
+		d.learn(adv, ann.From)
+	}
+	return nil
+}
+
+// learn applies one advertised route from neighbor via.
+func (d *Daemon) learn(adv advert, via msg.NodeID) {
+	metric := adv.Metric + 1
+	if metric > Infinity {
+		metric = Infinity
+	}
+	cur, have := d.st.table[adv.Prefix]
+	if have && cur.NextHop == msg.None {
+		return // locally originated routes never change
+	}
+	deadline := d.st.now.Add(d.cfg.Timeout)
+	switch {
+	case !have:
+		if metric < Infinity {
+			d.st.table[adv.Prefix] = routeEntry{
+				Prefix: adv.Prefix, NextHop: via, Metric: metric, Deadline: deadline,
+			}
+		}
+	case via == cur.NextHop:
+		// Same next hop: always accept (metric may worsen) and refresh.
+		if metric >= Infinity {
+			delete(d.st.table, adv.Prefix)
+			return
+		}
+		cur.Metric = metric
+		cur.Deadline = deadline
+		d.st.table[adv.Prefix] = cur
+		d.st.refreshes++
+	case metric < cur.Metric:
+		// Strictly better via another neighbor: switch.
+		d.st.table[adv.Prefix] = routeEntry{
+			Prefix: adv.Prefix, NextHop: via, Metric: metric, Deadline: deadline,
+		}
+	default:
+		// Equal-or-worse route from a different next hop. THE BUG:
+		// Quagga 0.96.5 compares only the destination when deciding
+		// whether this announcement refreshes the installed route's
+		// timer, so the backup's announcements keep the dead main
+		// route alive (paper Figure 5).
+		if d.cfg.Mode == Quagga0965 {
+			cur.Deadline = deadline
+			d.st.table[adv.Prefix] = cur
+			d.st.refreshes++
+		}
+		// FixedMode: ignore — the timer belongs to cur.NextHop.
+	}
+}
+
+// HandleExternal implements api.Application.
+func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	switch e := ev.(type) {
+	case Originate:
+		d.st.originated[e.Prefix] = e.Metric
+		d.st.table[e.Prefix] = routeEntry{
+			Prefix: e.Prefix, NextHop: msg.None, Metric: e.Metric, Deadline: vtime.Never,
+		}
+		return d.announceOuts()
+	case Crash:
+		d.st.crashed = true
+		return nil
+	case api.LinkChange:
+		// RIP learns topology only through announcements and timeouts;
+		// interface events are ignored (that is what makes the Figure 5
+		// scenario a timing bug).
+		return nil
+	default:
+		return nil
+	}
+}
+
+// State implements api.Application.
+func (d *Daemon) State() api.State { return d.st }
+
+// Restore implements api.Application.
+func (d *Daemon) Restore(st api.State) { d.st = st.(*state) }
+
+// Route returns the installed route for prefix.
+func (d *Daemon) Route(prefix string) (nextHop msg.NodeID, metric int, ok bool) {
+	e, ok := d.st.table[prefix]
+	if !ok {
+		return msg.None, Infinity, false
+	}
+	return e.NextHop, e.Metric, true
+}
+
+// Crashed reports whether the daemon has been halted by a Crash event.
+func (d *Daemon) Crashed() bool { return d.st.crashed }
+
+// Expiries reports how many routes timed out.
+func (d *Daemon) Expiries() uint64 { return d.st.expiries }
+
+// Refreshes reports how many timer refreshes occurred.
+func (d *Daemon) Refreshes() uint64 { return d.st.refreshes }
+
+// DumpTable renders the routing table sorted by prefix (debugger).
+func (d *Daemon) DumpTable() string {
+	prefixes := make([]string, 0, len(d.st.table))
+	for p := range d.st.table {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	out := ""
+	for _, p := range prefixes {
+		e := d.st.table[p]
+		out += fmt.Sprintf("prefix %s via %d metric %d deadline %v\n", p, e.NextHop, e.Metric, e.Deadline)
+	}
+	return out
+}

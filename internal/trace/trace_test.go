@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+func sprint() *topology.Graph { return topology.Sprintlink() }
+
+func TestSynthesizeDefaults(t *testing.T) {
+	evs := Synthesize(sprint(), Config{Seed: 1})
+	if len(evs) == 0 || len(evs) > 651 {
+		t.Fatalf("got %d events, want (0, 651]", len(evs))
+	}
+	// Trace must fit in (roughly) the two-week window.
+	last := evs[len(evs)-1].At
+	if last > vtime.Time(15*vtime.Day) {
+		t.Fatalf("trace exceeds window: %v", last)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(sprint(), Config{Seed: 5})
+	b := Synthesize(sprint(), Config{Seed: 5})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Synthesize(sprint(), Config{Seed: 6})
+	if len(a) == len(c) {
+		identical := true
+		for i := range a {
+			if a[i] != c[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds gave identical traces")
+		}
+	}
+}
+
+func TestEventsSortedAndAlternating(t *testing.T) {
+	evs := Synthesize(sprint(), Config{Seed: 2})
+	checkWellFormed(t, evs)
+}
+
+func checkWellFormed(t *testing.T, evs []Event) {
+	t.Helper()
+	type key struct{ a, b int }
+	down := map[key]bool{}
+	for i, e := range evs {
+		if i > 0 && e.At < evs[i-1].At {
+			t.Fatalf("events not sorted at %d: %v after %v", i, e.At, evs[i-1].At)
+		}
+		k := key{e.A, e.B}
+		switch e.Type {
+		case LinkDown:
+			if down[k] {
+				t.Fatalf("double down for link %v at event %d", k, i)
+			}
+			down[k] = true
+		case LinkUp:
+			if !down[k] {
+				t.Fatalf("up without down for link %v at event %d", k, i)
+			}
+			down[k] = false
+		}
+	}
+}
+
+func TestEventsReferenceRealLinks(t *testing.T) {
+	g := sprint()
+	for _, e := range Synthesize(g, Config{Seed: 3}) {
+		if _, ok := g.LinkBetween(e.A, e.B); !ok {
+			t.Fatalf("event references non-link %d-%d", e.A, e.B)
+		}
+	}
+}
+
+func TestCompressPreservesOrderAndCount(t *testing.T) {
+	g := sprint()
+	raw := Synthesize(g, Config{Seed: 4})
+	target := 60 * vtime.Second
+	comp := Compress(raw, target)
+	if len(comp) == 0 {
+		t.Fatal("compress dropped everything")
+	}
+	checkWellFormed(t, comp)
+	if last := comp[len(comp)-1].At; last > vtime.Time(target)+vtime.Time(len(comp)) {
+		t.Fatalf("compressed trace exceeds target window: %v", last)
+	}
+	// Type multiset per link must be preserved up to sanitize trims.
+	if len(comp) < len(raw)*9/10 {
+		t.Fatalf("compress lost too many events: %d -> %d", len(raw), len(comp))
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	if Compress(nil, vtime.Second) != nil {
+		t.Fatal("compress(nil) should be nil")
+	}
+}
+
+func TestCompressSingleInstant(t *testing.T) {
+	evs := []Event{
+		{At: 100, Type: LinkDown, A: 0, B: 1},
+		{At: 100, Type: LinkUp, A: 0, B: 1},
+	}
+	comp := Compress(evs, 10*vtime.Second)
+	if len(comp) != 2 {
+		t.Fatalf("got %d events", len(comp))
+	}
+	if comp[1].At <= comp[0].At {
+		t.Fatal("same-link same-instant events must stay strictly ordered")
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	g := sprint()
+	window := 100 * vtime.Second
+	evs := Poisson(g, 5, window, vtime.Second, 7)
+	checkWellFormed(t, evs)
+	// 5 incidents/s over 100 s = ~500 incidents = ~1000 events; allow wide slack.
+	if len(evs) < 500 || len(evs) > 1500 {
+		t.Fatalf("poisson event count %d outside expected band", len(evs))
+	}
+}
+
+func TestPoissonZeroRate(t *testing.T) {
+	if evs := Poisson(sprint(), 0, vtime.Second, vtime.Second, 1); evs != nil {
+		t.Fatal("zero rate should produce no events")
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := Poisson(sprint(), 3, 30*vtime.Second, vtime.Second, 9)
+	b := Poisson(sprint(), 3, 30*vtime.Second, vtime.Second, 9)
+	if len(a) != len(b) {
+		t.Fatal("poisson not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("poisson not deterministic")
+		}
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if LinkDown.String() != "link-down" || LinkUp.String() != "link-up" {
+		t.Fatal("event type strings wrong")
+	}
+	if EventType(9).String() != "event(9)" {
+		t.Fatal("unknown event type string wrong")
+	}
+	e := Event{At: vtime.Time(vtime.Second), Type: LinkDown, A: 1, B: 2}
+	if e.String() != "1.000000s link-down 1-2" {
+		t.Fatalf("Event.String() = %q", e.String())
+	}
+}
+
+// Property: any synthesized trace is well-formed for arbitrary seeds and
+// (small) event budgets.
+func TestSynthesizeWellFormedProperty(t *testing.T) {
+	g := topology.Ebone()
+	f := func(seed uint64, budget uint8) bool {
+		evs := Synthesize(g, Config{Seed: seed, Events: int(budget%100) + 2})
+		type key struct{ a, b int }
+		down := map[key]bool{}
+		for i, e := range evs {
+			if i > 0 && e.At < evs[i-1].At {
+				return false
+			}
+			k := key{e.A, e.B}
+			if e.Type == LinkDown {
+				if down[k] {
+					return false
+				}
+				down[k] = true
+			} else {
+				if !down[k] {
+					return false
+				}
+				down[k] = false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package defined
+
+import (
+	"defined/internal/checkpoint"
+	"defined/internal/ordering"
+	"defined/internal/rollback"
+	"defined/internal/trace"
+	"defined/internal/vtime"
+)
+
+// Network is a production network instrumented by DEFINED-RB (or running
+// bare when the Baseline option is set).
+type Network struct {
+	eng *rollback.Engine
+	g   *Topology
+}
+
+// Option configures a Network.
+type Option func(*rollback.Config)
+
+// WithSeed sets the physical-jitter seed (different seeds = different
+// arrival interleavings; committed orders stay identical under DEFINED).
+func WithSeed(seed uint64) Option {
+	return func(c *rollback.Config) { c.Seed = seed }
+}
+
+// WithJitterScale scales link jitter (stress knob; default 1.0).
+func WithJitterScale(scale float64) Option {
+	return func(c *rollback.Config) { c.JitterScale = scale }
+}
+
+// WithOrdering overrides the pseudorandom ordering function (default OO).
+func WithOrdering(f ordering.Func) Option {
+	return func(c *rollback.Config) { c.Ordering = f }
+}
+
+// WithBaseline disables the DEFINED substrate entirely — the unmodified
+// software baseline of the evaluation.
+func WithBaseline() Option {
+	return func(c *rollback.Config) { c.Baseline = true }
+}
+
+// WithRecording captures the partial recording of external events.
+func WithRecording() Option {
+	return func(c *rollback.Config) { c.Record = true }
+}
+
+// WithDeliveryLog retains committed delivery sequences (determinism
+// verification).
+func WithDeliveryLog() Option {
+	return func(c *rollback.Config) { c.LogDeliveries = true }
+}
+
+// WithStrategy selects checkpoint timing and rollback copy mode.
+func WithStrategy(s checkpoint.Strategy) Option {
+	return func(c *rollback.Config) { c.Strategy = s }
+}
+
+// WithChainBound caps causal chain length per timestep.
+func WithChainBound(n int) Option {
+	return func(c *rollback.Config) { c.ChainBound = n }
+}
+
+// WithDropProbability injects uniform application-message loss.
+func WithDropProbability(p float64) Option {
+	return func(c *rollback.Config) { c.DropProb = p }
+}
+
+// NewNetwork builds a production network over g with one application per
+// node (len(apps) == g.N).
+func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
+	var cfg rollback.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Network{eng: rollback.New(g, apps, cfg), g: g}
+}
+
+// Run advances the network to virtual time until.
+func (n *Network) Run(until Time) { n.eng.Run(until) }
+
+// Drain processes all pending events until the network quiesces; it
+// reports whether quiescence was reached within the internal event budget
+// (Theorem 2 guarantees it for finite inputs).
+func (n *Network) Drain() bool { return n.eng.RunQuiescent(50_000_000) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() Time { return n.eng.Now() }
+
+// At schedules fn at virtual time t (scenario drivers inject external
+// events from such callbacks).
+func (n *Network) At(t Time, fn func()) { n.eng.Sim().ScheduleFn(t, fn) }
+
+// InjectExternal applies (and records) an external event at node id.
+func (n *Network) InjectExternal(id NodeID, ev ExternalEvent) {
+	n.eng.InjectExternal(id, ev)
+}
+
+// InjectLinkChange fails or repairs the a-b link, notifying both
+// endpoints.
+func (n *Network) InjectLinkChange(a, b int, up bool) error {
+	return n.eng.InjectLinkChange(a, b, up)
+}
+
+// InjectTrace applies one synthesized trace event.
+func (n *Network) InjectTrace(ev trace.Event) error { return n.eng.InjectTrace(ev) }
+
+// App returns node id's application for inspection.
+func (n *Network) App(id NodeID) Application { return n.eng.App(id) }
+
+// Recording returns the captured partial recording (nil unless
+// WithRecording was set).
+func (n *Network) Recording() *Recording { return n.eng.Recording() }
+
+// Stats returns engine counters (rollbacks, anti-messages, ...).
+func (n *Network) Stats() rollback.Stats { return n.eng.Stats() }
+
+// CommittedOrder returns node id's committed delivery sequence rendered as
+// strings (requires WithDeliveryLog for the settled prefix).
+func (n *Network) CommittedOrder(id NodeID) []string {
+	keys := n.eng.CommittedKeys(id)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// PacketsReceived reports how many packets node id has received.
+func (n *Network) PacketsReceived(id NodeID) uint64 {
+	return n.eng.Sim().Stats(id).Received
+}
+
+// ResetPacketCounters zeroes traffic counters (per-event overhead
+// measurements).
+func (n *Network) ResetPacketCounters() { n.eng.Sim().ResetStats() }
+
+// Millisecond re-exports the virtual millisecond for option values.
+const Millisecond = vtime.Millisecond
+
+// Second re-exports the virtual second.
+const Second = vtime.Second
