@@ -52,6 +52,7 @@ func lastY(pts []metrics.Point) float64 {
 // BenchmarkFig6a_ControlOverhead regenerates Figure 6a: per-node control
 // packets per trace event, XORP vs DEFINED-RB (CDF medians reported).
 func BenchmarkFig6a_ControlOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig6a(benchOpt)
 		b.ReportMetric(medianX(f.SeriesByName("XORP").Points), "xorp-median-pkts")
@@ -61,6 +62,7 @@ func BenchmarkFig6a_ControlOverhead(b *testing.B) {
 
 // BenchmarkFig6b_Convergence regenerates Figure 6b: convergence time CDFs.
 func BenchmarkFig6b_Convergence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig6b(benchOpt)
 		b.ReportMetric(medianX(f.SeriesByName("XORP").Points), "xorp-median-s")
@@ -71,6 +73,7 @@ func BenchmarkFig6b_Convergence(b *testing.B) {
 // BenchmarkFig6c_StepResponse regenerates Figure 6c: DEFINED-LS per-step
 // response time CDF (paper: every step under one second).
 func BenchmarkFig6c_StepResponse(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig6c(benchOpt)
 		pts := f.SeriesByName("DEFINED-LS").Points
@@ -117,6 +120,7 @@ func BenchmarkFig7c_Memory(b *testing.B) {
 // BenchmarkFig8a_ControlVsSize regenerates Figure 8a: packets/node vs
 // network size for RO, OO and XORP (values at the largest size).
 func BenchmarkFig8a_ControlVsSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig8a(benchOpt)
 		b.ReportMetric(lastY(f.SeriesByName("DEFINED-RB(RO)").Points), "ro-pkts")
@@ -127,6 +131,7 @@ func BenchmarkFig8a_ControlVsSize(b *testing.B) {
 
 // BenchmarkFig8b_ConvergenceVsSize regenerates Figure 8b.
 func BenchmarkFig8b_ConvergenceVsSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig8b(benchOpt)
 		b.ReportMetric(lastY(f.SeriesByName("DEFINED-RB(RO)").Points), "ro-s")
@@ -138,6 +143,7 @@ func BenchmarkFig8b_ConvergenceVsSize(b *testing.B) {
 // BenchmarkFig8c_ResponseVsSize regenerates Figure 8c: DEFINED-LS step
 // response vs size (paper: slow growth, < 0.8 s at 80 nodes).
 func BenchmarkFig8c_ResponseVsSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig8c(benchOpt)
 		b.ReportMetric(lastY(f.SeriesByName("DEFINED-LS").Points), "largest-size-s")
@@ -147,6 +153,7 @@ func BenchmarkFig8c_ResponseVsSize(b *testing.B) {
 // BenchmarkFig8d_EventRate regenerates Figure 8d: convergence vs external
 // event rate (paper: ≈ 2 s at 10 events/s).
 func BenchmarkFig8d_EventRate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := experiments.Fig8d(benchOpt)
 		b.ReportMetric(lastY(f.SeriesByName("DEFINED-RB").Points), "highest-rate-s")

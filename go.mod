@@ -1,0 +1,3 @@
+module defined
+
+go 1.24

@@ -29,8 +29,10 @@ type Sender struct {
 	ProcEstimate vtime.Duration
 
 	OriginSeq uint64
-	LinkSeq   map[msg.NodeID]uint64
-	MsgSeq    uint64
+	// LinkSeq is dense by destination node id (len == graph size):
+	// checkpoints copy it with a single memmove instead of a map clone.
+	LinkSeq []uint64
+	MsgSeq  uint64
 }
 
 // NewSender creates a sender for node self.
@@ -39,30 +41,29 @@ func NewSender(self msg.NodeID, g *topology.Graph, chainBound int, procEstimate 
 		chainBound = 64
 	}
 	return &Sender{Self: self, G: g, ChainBound: chainBound, ProcEstimate: procEstimate,
-		LinkSeq: map[msg.NodeID]uint64{}}
+		LinkSeq: make([]uint64, g.N)}
 }
 
 // Counters is the checkpointable portion of the sender.
 type Counters struct {
 	OriginSeq uint64
-	LinkSeq   map[msg.NodeID]uint64
+	LinkSeq   []uint64
 }
 
 // SnapshotCounters deep-copies the checkpointable counters.
 func (s *Sender) SnapshotCounters() Counters {
-	ls := make(map[msg.NodeID]uint64, len(s.LinkSeq))
-	for k, v := range s.LinkSeq {
-		ls[k] = v
-	}
-	return Counters{OriginSeq: s.OriginSeq, LinkSeq: ls}
+	return Counters{OriginSeq: s.OriginSeq, LinkSeq: append([]uint64(nil), s.LinkSeq...)}
 }
 
-// RestoreCounters rewinds the checkpointable counters.
+// RestoreCounters rewinds the checkpointable counters. The checkpoint
+// keeps ownership of c (it may be restored again), so values are copied
+// out of it — in place when sizes match, which is the steady state.
 func (s *Sender) RestoreCounters(c Counters) {
 	s.OriginSeq = c.OriginSeq
-	s.LinkSeq = make(map[msg.NodeID]uint64, len(c.LinkSeq))
-	for k, v := range c.LinkSeq {
-		s.LinkSeq[k] = v
+	if len(s.LinkSeq) == len(c.LinkSeq) {
+		copy(s.LinkSeq, c.LinkSeq)
+	} else {
+		s.LinkSeq = append(s.LinkSeq[:0:0], c.LinkSeq...)
 	}
 }
 

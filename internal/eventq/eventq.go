@@ -3,108 +3,243 @@
 // timestamp with a strictly increasing insertion sequence as tie-breaker,
 // so simulations are fully deterministic even when many events share a
 // timestamp.
+//
+// The queue is allocation-free in steady state. Events live in a slab of
+// reusable slots rather than individually heap-allocated nodes, and the
+// payload is a typed union — a message delivery (Deliver) or a scheduled
+// callback (Fn) — instead of a boxed `any`. The heap itself is a 4-ary
+// min-heap over slot indices: compared to a binary heap it halves the
+// sift-down depth, and its level layout keeps children of a node in at
+// most two cache lines.
+//
+// Push returns a Handle (slot index + generation counter) instead of a
+// pointer. A Handle taken for an event that has since fired or been
+// removed goes stale: the slot's generation advances when it is freed, so
+// Remove with a stale Handle is a safe no-op even if the slot has been
+// reused for a different event — exactly the semantics rollback's lazy
+// anti-message cancellation relies on.
 package eventq
 
 import (
-	"container/heap"
-
+	"defined/internal/msg"
 	"defined/internal/vtime"
 )
 
-// Event is a scheduled occurrence. Payload is interpreted by the simulator.
-type Event struct {
-	At      vtime.Time
-	Seq     uint64 // insertion order, assigned by the queue
-	Payload any
+// Kind discriminates the payload union of an Event.
+type Kind uint8
 
-	index int // heap index; -1 once popped or removed
+const (
+	// KindNone marks a free slot (never returned by Pop).
+	KindNone Kind = iota
+	// KindDeliver is a scheduled message delivery.
+	KindDeliver
+	// KindFn is a scheduled callback (timer, scenario driver, ...).
+	KindFn
+)
+
+// Event is the by-value view of a scheduled occurrence, as returned by
+// Pop and Peek. Exactly one of Msg (KindDeliver) and Fn (KindFn) is set.
+type Event struct {
+	At   vtime.Time
+	Seq  uint64 // insertion order, assigned by the queue
+	Kind Kind
+	Msg  *msg.Message
+	Fn   func()
+}
+
+// Handle identifies a pending event for cancellation. The zero Handle is
+// never valid (generations start at 1), so it can encode "no event".
+type Handle struct {
+	slot int32
+	gen  uint32
+}
+
+// IsZero reports whether h is the zero Handle ("no event").
+func (h Handle) IsZero() bool { return h == Handle{} }
+
+// slot is one slab cell. Freed slots advance gen (invalidating handles)
+// and chain onto the free list; heapIdx is -1 while free.
+type slot struct {
+	at      vtime.Time
+	seq     uint64
+	gen     uint32
+	heapIdx int32
+	kind    Kind
+	m       *msg.Message
+	fn      func()
 }
 
 // Queue is a deterministic min-heap of events. The zero value is ready to
 // use. Queue is not safe for concurrent use; the simulator is
 // single-threaded by design (determinism comes first).
 type Queue struct {
-	h    eventHeap
-	next uint64
+	slots []slot  // slab; grows monotonically, cells are reused
+	free  []int32 // freed slot indices (LIFO keeps the slab cache-hot)
+	heap  []int32 // slot indices in 4-ary min-heap order
+	next  uint64  // insertion sequence
 }
 
-type eventHeap []*Event
+// Live reports whether h still refers to a pending event.
+func (q *Queue) Live(h Handle) bool {
+	return h.slot >= 0 && int(h.slot) < len(q.slots) &&
+		q.slots[h.slot].gen == h.gen && h.gen != 0 &&
+		q.slots[h.slot].heapIdx >= 0
+}
 
-func (h eventHeap) Len() int { return len(h) }
+// PushDeliver schedules delivery of m at time at.
+func (q *Queue) PushDeliver(at vtime.Time, m *msg.Message) Handle {
+	return q.push(at, KindDeliver, m, nil)
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// PushFn schedules fn at time at.
+func (q *Queue) PushFn(at vtime.Time, fn func()) Handle {
+	return q.push(at, KindFn, nil, fn)
+}
+
+func (q *Queue) push(at vtime.Time, kind Kind, m *msg.Message, fn func()) Handle {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slots = append(q.slots, slot{gen: 1})
+		idx = int32(len(q.slots) - 1)
 	}
-	return h[i].Seq < h[j].Seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Push schedules payload at time at and returns the event handle, which can
-// later be passed to Remove (e.g. to cancel a timer).
-func (q *Queue) Push(at vtime.Time, payload any) *Event {
-	ev := &Event{At: at, Seq: q.next, Payload: payload}
+	s := &q.slots[idx]
+	s.at = at
+	s.seq = q.next
+	s.kind = kind
+	s.m = m
+	s.fn = fn
+	s.heapIdx = int32(len(q.heap))
 	q.next++
-	heap.Push(&q.h, ev)
-	return ev
+	q.heap = append(q.heap, idx)
+	q.siftUp(len(q.heap) - 1)
+	return Handle{slot: idx, gen: s.gen}
 }
 
-// Pop removes and returns the earliest event. It returns nil when empty.
-func (q *Queue) Pop() *Event {
-	if len(q.h) == 0 {
-		return nil
+// Pop removes and returns the earliest event. The second result is false
+// when the queue is empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
 	}
-	return heap.Pop(&q.h).(*Event)
+	root := q.heap[0]
+	s := &q.slots[root]
+	ev := Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn}
+	q.deleteAt(0)
+	return ev, true
 }
 
-// Peek returns the earliest event without removing it, or nil when empty.
-func (q *Queue) Peek() *Event {
-	if len(q.h) == 0 {
-		return nil
+// Peek returns the earliest event without removing it; the second result
+// is false when the queue is empty.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
 	}
-	return q.h[0]
+	s := &q.slots[q.heap[0]]
+	return Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn}, true
 }
 
-// Remove cancels a previously pushed event. Removing an event that was
-// already popped or removed is a no-op and returns false.
-func (q *Queue) Remove(ev *Event) bool {
-	if ev == nil || ev.index < 0 || ev.index >= len(q.h) || q.h[ev.index] != ev {
+// Remove cancels a previously pushed event. Removing an event that has
+// already fired or been removed — even if its slot has since been reused —
+// is a no-op and returns false.
+func (q *Queue) Remove(h Handle) bool {
+	if !q.Live(h) {
 		return false
 	}
-	heap.Remove(&q.h, ev.index)
-	ev.index = -1
+	q.deleteAt(int(q.slots[h.slot].heapIdx))
 	return true
 }
 
+// deleteAt removes the heap entry at position i and frees its slot.
+func (q *Queue) deleteAt(i int) {
+	idx := q.heap[i]
+	last := len(q.heap) - 1
+	if i != last {
+		q.heap[i] = q.heap[last]
+		q.slots[q.heap[i]].heapIdx = int32(i)
+	}
+	q.heap = q.heap[:last]
+	if i < last {
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
+	s := &q.slots[idx]
+	s.gen++
+	s.heapIdx = -1
+	s.kind = KindNone
+	s.m = nil
+	s.fn = nil
+	q.free = append(q.free, idx)
+}
+
 // Len reports the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return len(q.heap) }
 
 // NextAt returns the timestamp of the earliest pending event, or
 // vtime.Never when the queue is empty.
 func (q *Queue) NextAt() vtime.Time {
-	if len(q.h) == 0 {
+	if len(q.heap) == 0 {
 		return vtime.Never
 	}
-	return q.h[0].At
+	return q.slots[q.heap[0]].at
+}
+
+// less orders heap entries by (timestamp, insertion sequence).
+func (q *Queue) less(a, b int32) bool {
+	sa, sb := &q.slots[a], &q.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores the heap invariant from position i toward the root.
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the heap invariant from position i toward the leaves.
+// It reports whether any swap happened.
+func (q *Queue) siftDown(i int) bool {
+	moved := false
+	n := len(q.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(q.heap[c], q.heap[best]) {
+				best = c
+			}
+		}
+		if !q.less(q.heap[best], q.heap[i]) {
+			break
+		}
+		q.swap(i, best)
+		i = best
+		moved = true
+	}
+	return moved
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.slots[q.heap[i]].heapIdx = int32(i)
+	q.slots[q.heap[j]].heapIdx = int32(j)
 }

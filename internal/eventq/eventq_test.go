@@ -4,62 +4,111 @@ import (
 	"testing"
 	"testing/quick"
 
+	"defined/internal/msg"
 	"defined/internal/rng"
 	"defined/internal/vtime"
 )
 
+// mk builds a deliver event payload with a recognizable sequence number.
+func mk(seq uint64) *msg.Message {
+	return &msg.Message{ID: msg.ID{Sender: 0, Seq: seq}}
+}
+
 func TestOrderedPop(t *testing.T) {
 	var q Queue
-	q.Push(30, "c")
-	q.Push(10, "a")
-	q.Push(20, "b")
-	want := []string{"a", "b", "c"}
-	for i, w := range want {
-		ev := q.Pop()
-		if ev == nil || ev.Payload.(string) != w {
-			t.Fatalf("pop %d: got %v, want %q", i, ev, w)
+	q.PushDeliver(30, mk(3))
+	q.PushDeliver(10, mk(1))
+	q.PushDeliver(20, mk(2))
+	for i, want := range []uint64{1, 2, 3} {
+		ev, ok := q.Pop()
+		if !ok || ev.Kind != KindDeliver || ev.Msg.ID.Seq != want {
+			t.Fatalf("pop %d: got %+v ok=%v, want msg seq %d", i, ev, ok, want)
 		}
 	}
-	if q.Pop() != nil {
-		t.Fatal("pop on empty queue should return nil")
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue should report empty")
+	}
+}
+
+func TestFnEvents(t *testing.T) {
+	var q Queue
+	fired := 0
+	q.PushFn(5, func() { fired++ })
+	ev, ok := q.Pop()
+	if !ok || ev.Kind != KindFn || ev.Fn == nil {
+		t.Fatalf("got %+v ok=%v, want fn event", ev, ok)
+	}
+	ev.Fn()
+	if fired != 1 {
+		t.Fatal("fn payload should round-trip")
 	}
 }
 
 func TestFIFOWithinSameTimestamp(t *testing.T) {
 	var q Queue
 	for i := 0; i < 100; i++ {
-		q.Push(5, i)
+		q.PushDeliver(5, mk(uint64(i)))
 	}
 	for i := 0; i < 100; i++ {
-		ev := q.Pop()
-		if ev.Payload.(int) != i {
-			t.Fatalf("tie-break violated: got %d at position %d", ev.Payload, i)
+		ev, _ := q.Pop()
+		if ev.Msg.ID.Seq != uint64(i) {
+			t.Fatalf("tie-break violated: got %d at position %d", ev.Msg.ID.Seq, i)
 		}
+	}
+}
+
+// Seq tie-break stability must survive interleaved removals: freeing and
+// reusing slots mid-stream must not disturb insertion order among equal
+// timestamps.
+func TestTieBreakSurvivesSlotReuse(t *testing.T) {
+	var q Queue
+	var handles []Handle
+	for i := 0; i < 50; i++ {
+		handles = append(handles, q.PushDeliver(7, mk(uint64(i))))
+	}
+	// Remove every third event, then push replacements at the same
+	// timestamp (they reuse freed slots but get later seqs).
+	for i := 0; i < 50; i += 3 {
+		q.Remove(handles[i])
+	}
+	for i := 50; i < 60; i++ {
+		q.PushDeliver(7, mk(uint64(i)))
+	}
+	last := uint64(0)
+	first := true
+	for q.Len() > 0 {
+		ev, _ := q.Pop()
+		if !first && ev.Seq <= last {
+			t.Fatalf("insertion order violated: seq %d after %d", ev.Seq, last)
+		}
+		last, first = ev.Seq, false
 	}
 }
 
 func TestPeekDoesNotRemove(t *testing.T) {
 	var q Queue
-	q.Push(1, "x")
-	if q.Peek().Payload.(string) != "x" {
+	q.PushDeliver(1, mk(9))
+	pv, ok := q.Peek()
+	if !ok || pv.Msg.ID.Seq != 9 {
 		t.Fatal("peek wrong payload")
 	}
 	if q.Len() != 1 {
 		t.Fatal("peek must not remove")
 	}
-	if q.Peek() != q.Pop() {
+	ev, _ := q.Pop()
+	if ev.At != pv.At || ev.Seq != pv.Seq || ev.Kind != pv.Kind || ev.Msg != pv.Msg {
 		t.Fatal("peek and pop disagree")
 	}
-	if q.Peek() != nil {
-		t.Fatal("peek on empty should be nil")
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty should report empty")
 	}
 }
 
 func TestRemove(t *testing.T) {
 	var q Queue
-	a := q.Push(1, "a")
-	b := q.Push(2, "b")
-	c := q.Push(3, "c")
+	a := q.PushDeliver(1, mk(1))
+	b := q.PushDeliver(2, mk(2))
+	c := q.PushDeliver(3, mk(3))
 	if !q.Remove(b) {
 		t.Fatal("remove should succeed")
 	}
@@ -69,14 +118,42 @@ func TestRemove(t *testing.T) {
 	if q.Len() != 2 {
 		t.Fatalf("len = %d, want 2", q.Len())
 	}
-	if q.Pop() != a || q.Pop() != c {
+	e1, _ := q.Pop()
+	e2, _ := q.Pop()
+	if e1.Msg.ID.Seq != 1 || e2.Msg.ID.Seq != 3 {
 		t.Fatal("remaining order wrong after remove")
 	}
-	if q.Remove(nil) {
-		t.Fatal("removing nil should be a no-op")
+	if q.Remove(Handle{}) {
+		t.Fatal("removing the zero handle should be a no-op")
 	}
-	if q.Remove(a) {
-		t.Fatal("removing popped event should fail")
+	if q.Remove(a) || q.Remove(c) {
+		t.Fatal("removing popped events should fail")
+	}
+}
+
+// Remove on a handle whose event already fired must stay a no-op even
+// after the slot has been reused by a new event — the generation counter
+// is what protects rollback's lazy cancellation from cancelling a
+// stranger's timer.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	var q Queue
+	stale := q.PushDeliver(1, mk(1))
+	if ev, _ := q.Pop(); ev.Msg.ID.Seq != 1 {
+		t.Fatal("setup pop failed")
+	}
+	// This push reuses the freed slot.
+	fresh := q.PushDeliver(2, mk(2))
+	if q.Live(stale) {
+		t.Fatal("stale handle must not read as live")
+	}
+	if q.Remove(stale) {
+		t.Fatal("stale handle must not remove the slot's new occupant")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (new event must survive stale remove)", q.Len())
+	}
+	if !q.Live(fresh) || !q.Remove(fresh) {
+		t.Fatal("fresh handle should be live and removable")
 	}
 }
 
@@ -85,7 +162,7 @@ func TestNextAt(t *testing.T) {
 	if q.NextAt() != vtime.Never {
 		t.Fatal("NextAt on empty should be Never")
 	}
-	q.Push(42, nil)
+	q.PushFn(42, func() {})
 	if q.NextAt() != 42 {
 		t.Fatalf("NextAt = %v, want 42", q.NextAt())
 	}
@@ -99,13 +176,13 @@ func TestPopOrderProperty(t *testing.T) {
 		r := rng.New(seed)
 		var q Queue
 		for i := 0; i < n; i++ {
-			q.Push(vtime.Time(r.Intn(50)), i)
+			q.PushDeliver(vtime.Time(r.Intn(50)), mk(uint64(i)))
 		}
 		lastAt := vtime.Time(-1)
 		lastSeq := uint64(0)
 		first := true
 		for q.Len() > 0 {
-			ev := q.Pop()
+			ev, _ := q.Pop()
 			if ev.At < lastAt {
 				return false
 			}
@@ -121,21 +198,26 @@ func TestPopOrderProperty(t *testing.T) {
 	}
 }
 
-// Property: remove keeps heap invariants (pops still sorted).
+// Property: interleaved removes keep heap invariants (pops still sorted),
+// with slot reuse churning the slab.
 func TestRemoveKeepsOrderProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		var q Queue
-		evs := make([]*Event, 0, 100)
+		handles := make([]Handle, 0, 150)
 		for i := 0; i < 100; i++ {
-			evs = append(evs, q.Push(vtime.Time(r.Intn(30)), i))
+			handles = append(handles, q.PushDeliver(vtime.Time(r.Intn(30)), mk(uint64(i))))
 		}
 		for i := 0; i < 40; i++ {
-			q.Remove(evs[r.Intn(len(evs))])
+			q.Remove(handles[r.Intn(len(handles))])
+		}
+		// Refill some of the freed slots.
+		for i := 0; i < 20; i++ {
+			handles = append(handles, q.PushDeliver(vtime.Time(r.Intn(30)), mk(uint64(100+i))))
 		}
 		last := vtime.Time(-1)
 		for q.Len() > 0 {
-			ev := q.Pop()
+			ev, _ := q.Pop()
 			if ev.At < last {
 				return false
 			}
@@ -145,5 +227,35 @@ func TestRemoveKeepsOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Steady-state churn on a warm queue must not allocate: the slab and the
+// free list make push/pop reuse the same cells.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var q Queue
+	for i := 0; i < 64; i++ {
+		q.PushDeliver(vtime.Time(i), mk(uint64(i)))
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		ev, _ := q.Pop()
+		q.PushDeliver(ev.At+64, ev.Msg)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state churn allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	b.ReportAllocs()
+	var q Queue
+	m := mk(1)
+	for i := 0; i < 128; i++ {
+		q.PushDeliver(vtime.Time(i%32), m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, _ := q.Pop()
+		q.PushDeliver(ev.At+32, m)
 	}
 }

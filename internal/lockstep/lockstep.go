@@ -27,7 +27,7 @@ package lockstep
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"defined/internal/annotate"
 	"defined/internal/msg"
@@ -125,9 +125,11 @@ type Engine struct {
 
 	// queue holds transmitted-but-undelivered messages of the current
 	// group, kept sorted by the ordering function; future parks messages
-	// tagged for a later group (chain-bound rollovers).
-	queue  []*msg.Message
-	future map[uint64][]*msg.Message
+	// tagged for a later group (chain-bound rollovers). Ordering keys are
+	// computed once at transmission and cached alongside each message so
+	// the per-round sort never recomputes them.
+	queue  []queued
+	future map[uint64][]queued
 
 	// minLink is the conservative-replay lookahead: the smallest link
 	// delay in the graph.
@@ -155,6 +157,13 @@ type dropKey struct {
 	to  msg.NodeID
 }
 
+// queued is one transmitted-but-undelivered message with its cached
+// ordering key.
+type queued struct {
+	m   *msg.Message
+	key ordering.Key
+}
+
 // New builds a debugging network over graph g with one application per
 // node, replaying rec. Applications must be fresh instances of the same
 // software the production network ran.
@@ -174,7 +183,7 @@ func New(g *topology.Graph, apps []api.Application, rec *record.Recording, cfg C
 	e := &Engine{
 		G: g, cfg: cfg, f: f, rec: rec,
 		drops:        map[dropKey]int{},
-		future:       map[uint64][]*msg.Message{},
+		future:       map[uint64][]queued{},
 		roundPerNode: make([]int, g.N),
 	}
 	if co, ok := f.(ordering.ChainOrdered); ok {
@@ -413,18 +422,18 @@ func (e *Engine) lastGroup() uint64 {
 func (e *Engine) transmit() {
 	for _, n := range e.nodes {
 		for _, m := range n.sendBuf {
-			dk := dropKey{key: ordering.KeyOf(m), to: m.To}
-			if cnt := e.drops[dk]; cnt > 0 {
+			k := ordering.KeyOf(m)
+			if cnt := e.drops[dropKey{key: k, to: m.To}]; cnt > 0 {
 				// The production network lost this message; replay
 				// the loss (paper footnote 4).
-				e.drops[dk] = cnt - 1
+				e.drops[dropKey{key: k, to: m.To}] = cnt - 1
 				continue
 			}
 			if m.Ann.Group > e.curGroup {
-				e.future[m.Ann.Group] = append(e.future[m.Ann.Group], m)
+				e.future[m.Ann.Group] = append(e.future[m.Ann.Group], queued{m: m, key: k})
 				continue
 			}
-			e.queue = append(e.queue, m)
+			e.queue = append(e.queue, queued{m: m, key: k})
 		}
 		n.sendBuf = n.sendBuf[:0]
 	}
@@ -438,12 +447,12 @@ func (e *Engine) buildProcessing() {
 	if len(e.queue) == 0 {
 		return
 	}
-	sort.Slice(e.queue, func(i, j int) bool {
-		return e.f.Compare(ordering.KeyOf(e.queue[i]), ordering.KeyOf(e.queue[j])) < 0
+	slices.SortFunc(e.queue, func(a, b queued) int {
+		return e.f.Compare(a.key, b.key)
 	})
 	batch := e.safeBatchSize()
-	for _, m := range e.queue[:batch] {
-		e.pending = append(e.pending, Delivery{Node: m.To, Key: ordering.KeyOf(m), Msg: m})
+	for _, q := range e.queue[:batch] {
+		e.pending = append(e.pending, Delivery{Node: q.m.To, Key: q.key, Msg: q.m})
 	}
 	e.queue = append(e.queue[:0], e.queue[batch:]...)
 }
@@ -460,11 +469,11 @@ func (e *Engine) buildProcessing() {
 // chain shares its hash, so entries of *other* chains are unsafe until the
 // active chain drains.
 func (e *Engine) safeBatchSize() int {
-	head := ordering.KeyOf(e.queue[0])
+	head := e.queue[0].key
 	threshold := head.Delay + e.minLink
 	n := 1
 	for ; n < len(e.queue); n++ {
-		k := ordering.KeyOf(e.queue[n])
+		k := e.queue[n].key
 		if e.chains != nil && e.chains.ChainHash(k) != e.chains.ChainHash(head) {
 			break
 		}

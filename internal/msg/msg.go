@@ -69,6 +69,10 @@ const (
 	KindSemaphore
 	// KindElection is a beacon-source leader-election packet.
 	KindElection
+
+	// NumKinds is the number of traffic classes; Kind values are dense in
+	// [0, NumKinds), so per-kind counters can live in fixed arrays.
+	NumKinds = int(KindElection) + 1
 )
 
 // String names the kind.

@@ -1,0 +1,40 @@
+package msg
+
+// Pool is a free list of Message structs for traffic whose lifetime the
+// substrate controls. Application messages (KindApp) must never be pooled:
+// they are retained by history windows, sent-record tables and rollback
+// replays long after delivery. Control traffic (anti-messages, markers,
+// semaphores, election packets) is transient by contract — the receiver's
+// handler may read it but not retain it — so the simulator can recycle
+// those structs the moment the handler returns.
+//
+// Pool is not safe for concurrent use; like the simulator it serves, it
+// assumes the single-threaded deterministic event loop.
+type Pool struct {
+	free []*Message
+}
+
+// Get returns a zeroed Message, reusing a recycled struct when one is
+// available.
+func (p *Pool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// Put recycles m. The struct is zeroed immediately, so any retained
+// reference turns into a visible bug rather than silent aliasing.
+func (p *Pool) Put(m *Message) {
+	if m == nil {
+		return
+	}
+	*m = Message{}
+	p.free = append(p.free, m)
+}
+
+// Len reports the number of recycled messages currently pooled (tests).
+func (p *Pool) Len() int { return len(p.free) }

@@ -11,6 +11,16 @@
 // other), matching the TCP/adjacency transports control-plane protocols
 // use; cross-link and cross-sender reordering — the nondeterminism the
 // paper targets — arises naturally from differing path delays and jitter.
+//
+// The event path is allocation-aware: scheduling goes through eventq's
+// slab-backed typed queue (no per-event boxing), the per-directed-link
+// FIFO clamp is a dense array indexed by the topology's link indices, and
+// per-kind traffic counters are fixed arrays indexed by msg.Kind. Control
+// messages (every kind except msg.KindApp) are transient by contract —
+// handlers must not retain them — and are recycled through a msg.Pool the
+// moment their delivery handler returns; engines allocate them via Pool()
+// to close the loop. Application messages are never pooled: history
+// windows and rollback replays retain them indefinitely.
 package netsim
 
 import (
@@ -42,14 +52,23 @@ type Config struct {
 }
 
 // NodeStats counts per-node traffic, the raw material of the control
-// overhead figures (6a, 8a).
+// overhead figures (6a, 8a). Drops are split by where the loss is
+// observed: DroppedTx counts send-time drops (link or endpoint already
+// down when the packet would leave, or injected loss) at the sender;
+// DroppedRx counts delivery-time drops (link failed mid-flight or
+// destination down on arrival) at the receiver. A single loss is counted
+// exactly once, on exactly one side.
 type NodeStats struct {
 	Sent      uint64
 	Received  uint64
-	Dropped   uint64 // packets lost to down links/nodes or injected loss
-	ByKindIn  map[msg.Kind]uint64
-	ByKindOut map[msg.Kind]uint64
+	DroppedTx uint64 // send-time drops, charged to this node as sender
+	DroppedRx uint64 // delivery-time drops, charged to this node as receiver
+	ByKindIn  [msg.NumKinds]uint64
+	ByKindOut [msg.NumKinds]uint64
 }
+
+// Dropped is the node's total loss count (both directions).
+func (st *NodeStats) Dropped() uint64 { return st.DroppedTx + st.DroppedRx }
 
 // Sim is a deterministic discrete-event network simulation. Not safe for
 // concurrent use: determinism requires a single driver goroutine.
@@ -62,25 +81,26 @@ type Sim struct {
 	handlers []Handler
 	nodeUp   []bool
 	linkUp   []bool
-	lastArr  map[dirLink]vtime.Time // FIFO clamp per directed link
-	jitter   *rng.Source
-	loss     *rng.Source
-	stats    []NodeStats
-	inFlight int
-	onDrop   func(m *msg.Message)
+	// lastArr is the FIFO clamp: last scheduled arrival per directed
+	// link, indexed 2*linkIdx (+1 for the high→low direction). Arrivals
+	// are always > 0, so zero means "no packet sent yet".
+	lastArr   []vtime.Time
+	jitter    *rng.Source
+	loss      *rng.Source
+	stats     []NodeStats
+	pool      msg.Pool
+	inFlight  int
+	processed uint64
+	onDrop    func(m *msg.Message)
 }
 
-type dirLink struct {
-	from, to msg.NodeID
-}
-
-// event payload types
-type deliverEvent struct {
-	m *msg.Message
-}
-
-type fnEvent struct {
-	fn func()
+// dirIndex maps a directed link to its lastArr cell.
+func dirIndex(linkIdx int, from, to msg.NodeID) int {
+	i := 2 * linkIdx
+	if from > to {
+		i++
+	}
+	return i
 }
 
 // New creates a simulator over graph g.
@@ -94,7 +114,7 @@ func New(g *topology.Graph, cfg Config) *Sim {
 		handlers: make([]Handler, g.N),
 		nodeUp:   make([]bool, g.N),
 		linkUp:   make([]bool, len(g.Links)),
-		lastArr:  make(map[dirLink]vtime.Time),
+		lastArr:  make([]vtime.Time, 2*len(g.Links)),
 		jitter:   rng.New(cfg.Seed).Derive("netsim-jitter"),
 		loss:     rng.New(cfg.Seed).Derive("netsim-loss"),
 		stats:    make([]NodeStats, g.N),
@@ -104,10 +124,6 @@ func New(g *topology.Graph, cfg Config) *Sim {
 	}
 	for i := range s.linkUp {
 		s.linkUp[i] = true
-	}
-	for i := range s.stats {
-		s.stats[i].ByKindIn = make(map[msg.Kind]uint64)
-		s.stats[i].ByKindOut = make(map[msg.Kind]uint64)
 	}
 	return s
 }
@@ -129,12 +145,15 @@ func (s *Sim) Stats(n msg.NodeID) *NodeStats { return &s.stats[n] }
 // measuring per-event overhead).
 func (s *Sim) ResetStats() {
 	for i := range s.stats {
-		s.stats[i] = NodeStats{
-			ByKindIn:  make(map[msg.Kind]uint64),
-			ByKindOut: make(map[msg.Kind]uint64),
-		}
+		s.stats[i] = NodeStats{}
 	}
 }
+
+// Pool returns the simulator's control-message free list. Engines allocate
+// transient control messages (anti-messages, markers, ...) from it; the
+// simulator recycles them automatically after the delivery handler
+// returns. Never allocate KindApp messages from the pool.
+func (s *Sim) Pool() *msg.Pool { return &s.pool }
 
 // SetLinkState marks the a-b link up or down. Packets in flight on a link
 // when it goes down are lost (checked at delivery time).
@@ -171,21 +190,23 @@ func (s *Sim) NodeState(n msg.NodeID) bool { return s.nodeUp[n] }
 // ride a reliable out-of-band channel, as the paper's TCP-based
 // coordination does (§2.3 and footnote 4).
 func (s *Sim) Send(m *msg.Message) bool {
-	link, ok := s.G.LinkBetween(int(m.From), int(m.To))
-	if !ok {
+	idx := s.G.LinkIndex(int(m.From), int(m.To))
+	if idx < 0 {
 		panic(fmt.Sprintf("netsim: send over non-existent link %d-%d", m.From, m.To))
 	}
+	link := s.G.Links[idx]
 	st := &s.stats[m.From]
 	st.Sent++
 	st.ByKindOut[m.Kind]++
-	idx := s.G.LinkIndex(int(m.From), int(m.To))
-	if m.Kind == msg.KindApp && (!s.linkUp[idx] || !s.nodeUp[m.From] || !s.nodeUp[m.To]) {
-		s.stats[m.From].Dropped++
-		return false
-	}
-	if s.cfg.DropProb > 0 && m.Kind == msg.KindApp && s.loss.Float64() < s.cfg.DropProb {
-		s.stats[m.From].Dropped++
-		return false
+	if m.Kind == msg.KindApp {
+		if !s.linkUp[idx] || !s.nodeUp[m.From] || !s.nodeUp[m.To] {
+			st.DroppedTx++
+			return false
+		}
+		if s.cfg.DropProb > 0 && s.loss.Float64() < s.cfg.DropProb {
+			st.DroppedTx++
+			return false
+		}
 	}
 	delay := link.Delay
 	if !s.cfg.Deterministic && link.Jitter > 0 {
@@ -196,12 +217,12 @@ func (s *Sim) Send(m *msg.Message) bool {
 		delay = 1
 	}
 	at := s.now.Add(delay)
-	dl := dirLink{m.From, m.To}
-	if last, ok := s.lastArr[dl]; ok && at <= last {
+	di := dirIndex(idx, m.From, m.To)
+	if last := s.lastArr[di]; at <= last {
 		at = last + 1 // FIFO: never overtake the previous packet
 	}
-	s.lastArr[dl] = at
-	s.q.Push(at, deliverEvent{m: m})
+	s.lastArr[di] = at
+	s.q.PushDeliver(at, m)
 	s.inFlight++
 	return true
 }
@@ -215,39 +236,40 @@ func absNorm(r *rng.Source) float64 {
 }
 
 // ScheduleFn runs fn at virtual time at (>= now). fn runs on the simulation
-// goroutine and may send messages or change link state. The returned event
+// goroutine and may send messages or change link state. The returned handle
 // may be cancelled with Cancel.
-func (s *Sim) ScheduleFn(at vtime.Time, fn func()) *eventq.Event {
+func (s *Sim) ScheduleFn(at vtime.Time, fn func()) eventq.Handle {
 	if at < s.now {
 		at = s.now
 	}
-	return s.q.Push(at, fnEvent{fn: fn})
+	return s.q.PushFn(at, fn)
 }
 
 // After schedules fn d after now.
-func (s *Sim) After(d vtime.Duration, fn func()) *eventq.Event {
+func (s *Sim) After(d vtime.Duration, fn func()) eventq.Handle {
 	return s.ScheduleFn(s.now.Add(d), fn)
 }
 
-// Cancel removes a scheduled fn event. Cancelling an already-fired event is
-// a no-op.
-func (s *Sim) Cancel(ev *eventq.Event) { s.q.Remove(ev) }
+// Cancel removes a scheduled fn event. Cancelling an already-fired event —
+// even one whose queue slot has since been reused — is a safe no-op.
+func (s *Sim) Cancel(h eventq.Handle) { s.q.Remove(h) }
 
 // Step processes the next event. It returns false when the queue is empty.
 func (s *Sim) Step() bool {
-	ev := s.q.Pop()
-	if ev == nil {
+	ev, ok := s.q.Pop()
+	if !ok {
 		return false
 	}
 	s.now = ev.At
-	switch p := ev.Payload.(type) {
-	case deliverEvent:
+	s.processed++
+	switch ev.Kind {
+	case eventq.KindDeliver:
 		s.inFlight--
-		s.deliver(p.m)
-	case fnEvent:
-		p.fn()
+		s.deliver(ev.Msg)
+	case eventq.KindFn:
+		ev.Fn()
 	default:
-		panic(fmt.Sprintf("netsim: unknown event payload %T", ev.Payload))
+		panic(fmt.Sprintf("netsim: unknown event kind %d", ev.Kind))
 	}
 	return true
 }
@@ -258,19 +280,26 @@ func (s *Sim) Step() bool {
 func (s *Sim) OnDrop(h func(m *msg.Message)) { s.onDrop = h }
 
 func (s *Sim) deliver(m *msg.Message) {
-	idx := s.G.LinkIndex(int(m.From), int(m.To))
-	if m.Kind == msg.KindApp && (idx < 0 || !s.linkUp[idx] || !s.nodeUp[m.To]) {
-		s.stats[m.To].Dropped++
-		if s.onDrop != nil {
-			s.onDrop(m)
+	if m.Kind == msg.KindApp {
+		idx := s.G.LinkIndex(int(m.From), int(m.To))
+		if idx < 0 || !s.linkUp[idx] || !s.nodeUp[m.To] {
+			s.stats[m.To].DroppedRx++
+			if s.onDrop != nil {
+				s.onDrop(m)
+			}
+			return
 		}
-		return
 	}
 	st := &s.stats[m.To]
 	st.Received++
 	st.ByKindIn[m.Kind]++
 	if h := s.handlers[m.To]; h != nil {
 		h(m)
+	}
+	if m.Kind != msg.KindApp {
+		// Control messages are transient by contract: the handler has
+		// returned, so the struct goes back to the free list.
+		s.pool.Put(m)
 	}
 }
 
@@ -280,8 +309,8 @@ func (s *Sim) deliver(m *msg.Message) {
 func (s *Sim) Run(until vtime.Time) int {
 	n := 0
 	for {
-		ev := s.q.Peek()
-		if ev == nil || ev.At > until {
+		at := s.q.NextAt()
+		if at == vtime.Never || at > until {
 			break
 		}
 		s.Step()
@@ -314,6 +343,10 @@ func (s *Sim) Pending() int { return s.q.Len() }
 
 // InFlight reports the number of messages currently in flight.
 func (s *Sim) InFlight() int { return s.inFlight }
+
+// Processed reports the total number of events executed since creation
+// (the throughput benchmarks' numerator).
+func (s *Sim) Processed() uint64 { return s.processed }
 
 // NextAt exposes the timestamp of the next scheduled event (vtime.Never if
 // none), letting engines interleave their own bookkeeping with the event

@@ -135,16 +135,16 @@ func TestLinkDownDropsAtSendAndInFlight(t *testing.T) {
 	if delivered != 0 {
 		t.Fatal("packet should be lost when link fails in flight")
 	}
-	if s.Stats(1).Dropped != 1 {
-		t.Fatalf("receiver dropped = %d, want 1", s.Stats(1).Dropped)
+	if s.Stats(1).DroppedRx != 1 {
+		t.Fatalf("receiver droppedRx = %d, want 1", s.Stats(1).DroppedRx)
 	}
 
 	// Send on a down link: dropped at send.
 	if s.Send(mkMsg(0, 1, 2)) {
 		t.Fatal("send on down link should report false")
 	}
-	if s.Stats(0).Dropped != 1 {
-		t.Fatalf("sender dropped = %d, want 1", s.Stats(0).Dropped)
+	if s.Stats(0).DroppedTx != 1 {
+		t.Fatalf("sender droppedTx = %d, want 1", s.Stats(0).DroppedTx)
 	}
 
 	// Repair and verify traffic flows again.
@@ -321,5 +321,118 @@ func TestFIFOProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Drop ownership: a single loss is counted exactly once, on exactly one
+// side — send-time drops at the sender (DroppedTx), delivery-time drops at
+// the receiver (DroppedRx).
+func TestDropAccountingOwnership(t *testing.T) {
+	g := topology.Line(2, 10*vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	s.Attach(1, func(m *msg.Message) {})
+
+	// Send-time drop: link already down when the packet would leave.
+	if err := s.SetLinkState(0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Send(mkMsg(0, 1, 1))
+	if tx, rx := s.Stats(0).DroppedTx, s.Stats(0).DroppedRx; tx != 1 || rx != 0 {
+		t.Fatalf("sender after send-time drop: tx=%d rx=%d, want 1/0", tx, rx)
+	}
+	if tx, rx := s.Stats(1).DroppedTx, s.Stats(1).DroppedRx; tx != 0 || rx != 0 {
+		t.Fatalf("receiver after send-time drop: tx=%d rx=%d, want 0/0", tx, rx)
+	}
+
+	// Delivery-time drop: link fails while the packet is in flight.
+	if err := s.SetLinkState(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	s.Send(mkMsg(0, 1, 2))
+	s.After(vtime.Millisecond, func() { _ = s.SetLinkState(0, 1, false) })
+	s.RunQuiescent(100)
+	if tx, rx := s.Stats(0).DroppedTx, s.Stats(0).DroppedRx; tx != 1 || rx != 0 {
+		t.Fatalf("sender after in-flight drop: tx=%d rx=%d, want 1/0", tx, rx)
+	}
+	if tx, rx := s.Stats(1).DroppedTx, s.Stats(1).DroppedRx; tx != 0 || rx != 1 {
+		t.Fatalf("receiver after in-flight drop: tx=%d rx=%d, want 0/1", tx, rx)
+	}
+	if s.Stats(0).Dropped() != 1 || s.Stats(1).Dropped() != 1 {
+		t.Fatalf("totals: sender=%d receiver=%d, want 1/1", s.Stats(0).Dropped(), s.Stats(1).Dropped())
+	}
+}
+
+// Golden cross-seed FIFO test: for every seed, with jitter far larger than
+// the link delay, the clamp must keep each directed link FIFO (a packet
+// never overtakes its predecessor), and the same seed must reproduce the
+// identical delivery schedule.
+func TestFIFOClampGoldenCrossSeed(t *testing.T) {
+	g := topology.Star(4, 2*vtime.Millisecond)
+	run := func(seed uint64) []string {
+		s := New(g, Config{Seed: seed, JitterScale: 8})
+		var sched []string
+		lastSeq := map[[2]msg.NodeID]uint64{}
+		for n := msg.NodeID(0); n < 4; n++ {
+			n := n
+			s.Attach(n, func(m *msg.Message) {
+				dl := [2]msg.NodeID{m.From, m.To}
+				if prev, ok := lastSeq[dl]; ok && m.ID.Seq <= prev {
+					t.Fatalf("seed %d: packet %d overtook %d on link %d→%d",
+						seed, m.ID.Seq, prev, m.From, m.To)
+				}
+				lastSeq[dl] = m.ID.Seq
+				sched = append(sched, m.String())
+			})
+		}
+		// Bidirectional traffic on every spoke: hub→spoke and spoke→hub
+		// are distinct directed links and are clamped independently.
+		for i := uint64(1); i <= 25; i++ {
+			for spoke := msg.NodeID(1); spoke < 4; spoke++ {
+				s.Send(mkMsg(spoke, 0, i))
+				s.Send(mkMsg(0, spoke, i))
+			}
+		}
+		s.RunQuiescent(10000)
+		return sched
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		a, b := run(seed), run(seed)
+		if len(a) != 150 {
+			t.Fatalf("seed %d: delivered %d of 150", seed, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d not reproducible at %d: %s vs %s", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Control messages are recycled through the pool once their handler
+// returns; the pool hands the same struct back for the next control send.
+func TestControlMessagePoolRecycling(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{Deterministic: true})
+	var seen *msg.Message
+	s.Attach(1, func(m *msg.Message) { seen = m })
+
+	anti := s.Pool().Get()
+	anti.ID = msg.ID{Sender: 0, Seq: 1}
+	anti.From, anti.To, anti.Kind = 0, 1, msg.KindAnti
+	if !s.Send(anti) {
+		t.Fatal("control send should succeed")
+	}
+	s.RunQuiescent(10)
+	if seen != anti {
+		t.Fatal("handler should have seen the control message")
+	}
+	if s.Pool().Len() != 1 {
+		t.Fatalf("pool len = %d after control delivery, want 1", s.Pool().Len())
+	}
+	if anti.Kind != msg.KindApp || anti.From != 0 || anti.To != 0 {
+		t.Fatal("recycled message should be zeroed")
+	}
+	if got := s.Pool().Get(); got != anti {
+		t.Fatal("pool should reuse the recycled struct")
 	}
 }

@@ -49,7 +49,7 @@ type shim struct {
 type sentRec struct {
 	causeSerial uint64
 	m           *msg.Message
-	ev          *eventq.Event // pending send, nil once on the wire
+	ev          eventq.Handle // pending send; zero once on the wire
 	wired       bool          // sim.Send succeeded
 	dropped     bool          // lost in flight (engine drop log has it)
 	sentAt      vtime.Time
@@ -313,8 +313,11 @@ func (sh *shim) adoptFromPool(m *msg.Message) *sentRec {
 func (sh *shim) cancelRecs(recs []*sentRec) {
 	for _, rec := range recs {
 		switch {
-		case rec.ev != nil:
-			// Not yet on the wire: silently cancel.
+		case !rec.ev.IsZero():
+			// Not yet on the wire: silently cancel. The send callback
+			// zeroes rec.ev when it fires, so a non-zero handle here is
+			// always live — and even a stale one would be a safe no-op
+			// thanks to the queue's generation counters.
 			sh.e.sim.Cancel(rec.ev)
 		case rec.dropped:
 			// Lost (at send time or in flight): retract the recorded
@@ -338,7 +341,7 @@ func (sh *shim) scheduleSend(m *msg.Message, procDelay vtime.Duration, rec *sent
 	ev := sim.After(procDelay, func() {
 		ok := sim.Send(m)
 		if rec != nil {
-			rec.ev = nil
+			rec.ev = eventq.Handle{}
 			rec.wired = ok
 			rec.sentAt = sim.Now()
 			if !ok {
@@ -363,13 +366,15 @@ type antiPayload struct {
 func (sh *shim) sendAnti(orig *msg.Message) {
 	sh.e.stats.AntiMessages++
 	sh.sender.MsgSeq++
-	anti := &msg.Message{
-		ID:      msg.ID{Sender: sh.id, Seq: sh.sender.MsgSeq},
-		From:    sh.id,
-		To:      orig.To,
-		Kind:    msg.KindAnti,
-		Payload: antiPayload{Target: orig.ID},
-	}
+	// Anti-messages are transient control traffic: the simulator recycles
+	// the struct through its pool right after the receiver's handler
+	// returns, so steady-state rollback traffic stops allocating wrappers.
+	anti := sh.e.sim.Pool().Get()
+	anti.ID = msg.ID{Sender: sh.id, Seq: sh.sender.MsgSeq}
+	anti.From = sh.id
+	anti.To = orig.To
+	anti.Kind = msg.KindAnti
+	anti.Payload = antiPayload{Target: orig.ID}
 	sh.e.sim.Send(anti)
 }
 
@@ -455,7 +460,7 @@ func (sh *shim) maybeSettle() {
 	// retired — it can never be unsent now.
 	kept := sh.sent[:0]
 	for _, rec := range sh.sent {
-		if rec.ev == nil && rec.sentAt.Before(cutoff) {
+		if rec.ev.IsZero() && rec.sentAt.Before(cutoff) {
 			continue
 		}
 		kept = append(kept, rec)

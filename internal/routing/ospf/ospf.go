@@ -71,15 +71,22 @@ type Route struct {
 	Cost    uint32
 }
 
-// state is the daemon's checkpointable state.
+// state is the daemon's checkpointable state. Node ids are dense indices,
+// so every collection is a slice indexed by node id: DEFINED-RB
+// checkpoints before *every* speculative delivery, which makes Clone the
+// hottest allocation site in the whole system — slice copies keep it to a
+// handful of memmoves where map clones cost one allocation per bucket
+// chain.
 type state struct {
-	lsdb      map[msg.NodeID]*LSA
-	adjUp     map[msg.NodeID]bool       // adjacency believed up
-	lastHello map[msg.NodeID]vtime.Time // last hello seen per neighbor
-	seq       uint64                    // own LSA sequence
-	table     map[msg.NodeID]Route
-	now       vtime.Time
-	booted    bool // initial own-LSA flood performed
+	lsdb      []*LSA       // by origin id; nil = no LSA stored
+	adjUp     []bool       // by neighbor id: adjacency believed up
+	lastHello []vtime.Time // by neighbor id: last hello seen
+	seq       uint64       // own LSA sequence
+	// table is rebuilt wholesale by runSPF and never mutated in place, so
+	// clones share it; entries with NextHop == msg.None are unreachable.
+	table  []Route
+	now    vtime.Time
+	booted bool // initial own-LSA flood performed
 	// holdQueue buffers LSAs awaiting FloodHolddown release; releaseAt
 	// keyed parallel.
 	holdQueue []heldLSA
@@ -92,32 +99,27 @@ type heldLSA struct {
 	releaseAt vtime.Time
 }
 
+// grown returns s extended with zero values so index n is addressable.
+func grown[T any](s []T, n int) []T {
+	if n < len(s) {
+		return s
+	}
+	return append(s, make([]T, n+1-len(s))...)
+}
+
 // Clone implements api.State.
 func (s *state) Clone() api.State {
-	ns := &state{
-		lsdb:      make(map[msg.NodeID]*LSA, len(s.lsdb)),
-		adjUp:     make(map[msg.NodeID]bool, len(s.adjUp)),
-		lastHello: make(map[msg.NodeID]vtime.Time, len(s.lastHello)),
+	return &state{
+		lsdb:      append([]*LSA(nil), s.lsdb...), // LSAs are immutable: share
+		adjUp:     append([]bool(nil), s.adjUp...),
+		lastHello: append([]vtime.Time(nil), s.lastHello...),
 		seq:       s.seq,
-		table:     make(map[msg.NodeID]Route, len(s.table)),
+		table:     s.table, // immutable once built: share
 		now:       s.now,
 		booted:    s.booted,
 		holdQueue: append([]heldLSA(nil), s.holdQueue...),
 		spfRuns:   s.spfRuns,
 	}
-	for k, v := range s.lsdb {
-		ns.lsdb[k] = v // LSAs are immutable: share
-	}
-	for k, v := range s.adjUp {
-		ns.adjUp[k] = v
-	}
-	for k, v := range s.lastHello {
-		ns.lastHello[k] = v
-	}
-	for k, v := range s.table {
-		ns.table[k] = v
-	}
-	return ns
 }
 
 // Daemon is one OSPF instance.
@@ -127,6 +129,12 @@ type Daemon struct {
 	neighbors []api.Neighbor
 	nbrCost   map[msg.NodeID]uint32
 	st        *state
+
+	// Dijkstra scratch space, reused across SPF runs (not part of the
+	// checkpointable state: SPF output depends only on the LSDB).
+	spfDist    []uint32
+	spfVia     []msg.NodeID
+	spfVisited []bool
 }
 
 // New creates a daemon with the given configuration.
@@ -143,14 +151,11 @@ func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
 	d.neighbors = append([]api.Neighbor(nil), neighbors...)
 	sort.Slice(d.neighbors, func(i, j int) bool { return d.neighbors[i].ID < d.neighbors[j].ID })
 	d.nbrCost = make(map[msg.NodeID]uint32, len(neighbors))
-	d.st = &state{
-		lsdb:      map[msg.NodeID]*LSA{},
-		adjUp:     map[msg.NodeID]bool{},
-		lastHello: map[msg.NodeID]vtime.Time{},
-		table:     map[msg.NodeID]Route{},
-	}
+	d.st = &state{}
 	for _, nb := range d.neighbors {
 		d.nbrCost[nb.ID] = nb.Cost
+		d.st.adjUp = grown(d.st.adjUp, int(nb.ID))
+		d.st.lastHello = grown(d.st.lastHello, int(nb.ID))
 		d.st.adjUp[nb.ID] = true
 		d.st.lastHello[nb.ID] = 0
 	}
@@ -168,6 +173,7 @@ func (d *Daemon) originate() *LSA {
 		}
 	}
 	lsa := &LSA{Origin: d.self, Seq: d.st.seq, Links: links}
+	d.st.lsdb = grown(d.st.lsdb, int(d.self))
 	d.st.lsdb[d.self] = lsa
 	return lsa
 }
@@ -175,7 +181,7 @@ func (d *Daemon) originate() *LSA {
 // floodOuts builds the messages that flood lsa to all up adjacencies
 // except exclude.
 func (d *Daemon) floodOuts(lsa *LSA, exclude msg.NodeID) []msg.Out {
-	var outs []msg.Out
+	outs := make([]msg.Out, 0, len(d.neighbors))
 	for _, nb := range d.neighbors {
 		if nb.ID == exclude || !d.st.adjUp[nb.ID] {
 			continue
@@ -209,24 +215,22 @@ func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
 }
 
 // databaseOuts sends every stored LSA to one neighbor (simplified database
-// exchange on adjacency formation).
+// exchange on adjacency formation). The LSDB slice is ordered by origin
+// id, so iteration is already deterministic.
 func (d *Daemon) databaseOuts(to msg.NodeID) []msg.Out {
-	origins := make([]int, 0, len(d.st.lsdb))
-	for o := range d.st.lsdb {
-		origins = append(origins, int(o))
-	}
-	sort.Ints(origins)
 	var outs []msg.Out
-	for _, o := range origins {
-		outs = append(outs, msg.Out{To: to, Payload: d.st.lsdb[msg.NodeID(o)]})
+	for _, lsa := range d.st.lsdb {
+		if lsa != nil {
+			outs = append(outs, msg.Out{To: to, Payload: lsa})
+		}
 	}
 	return outs
 }
 
 // onLSA applies a received LSA: newer sequence wins; newer LSAs flood on.
 func (d *Daemon) onLSA(lsa *LSA, from msg.NodeID) []msg.Out {
-	cur, ok := d.st.lsdb[lsa.Origin]
-	if ok && cur.Seq >= lsa.Seq {
+	d.st.lsdb = grown(d.st.lsdb, int(lsa.Origin))
+	if cur := d.st.lsdb[lsa.Origin]; cur != nil && cur.Seq >= lsa.Seq {
 		return nil // stale or duplicate
 	}
 	d.st.lsdb[lsa.Origin] = lsa
@@ -329,71 +333,98 @@ func (d *Daemon) Restore(st api.State) { d.st = st.(*state) }
 
 // runSPF recomputes the routing table from the LSDB with Dijkstra.
 // A link is usable only when both endpoints advertise it (bidirectional
-// check, as OSPF requires).
+// check, as OSPF requires). Distance/first-hop/visited state lives in
+// daemon-level scratch slices reused across runs; the only allocation per
+// run is the freshly built (immutable) routing table.
 func (d *Daemon) runSPF() {
 	s := d.st
 	s.spfRuns++
-	type cand struct {
-		node msg.NodeID
-		cost uint32
-		via  msg.NodeID // first hop from self
-	}
 	const inf = ^uint32(0)
-	dist := map[msg.NodeID]uint32{d.self: 0}
-	via := map[msg.NodeID]msg.NodeID{}
-	visited := map[msg.NodeID]bool{}
-	for {
-		// Deterministic linear extraction (LSDB is small at PoP scale).
-		best := cand{cost: inf}
-		found := false
-		for n, c := range dist {
-			if !visited[n] && (c < best.cost || (c == best.cost && (!found || n < best.node))) {
-				best = cand{node: n, cost: c, via: via[n]}
-				found = true
-			}
-		}
-		if !found {
-			break
-		}
-		visited[best.node] = true
-		lsa, ok := s.lsdb[best.node]
-		if !ok {
+	// The node-id universe: own id, every LSA origin, every advertised
+	// adjacency target.
+	n := int(d.self) + 1
+	if len(s.lsdb) > n {
+		n = len(s.lsdb)
+	}
+	for _, lsa := range s.lsdb {
+		if lsa == nil {
 			continue
 		}
 		for _, adj := range lsa.Links {
-			if !d.linkBidirectional(best.node, adj.To) {
+			if int(adj.To)+1 > n {
+				n = int(adj.To) + 1
+			}
+		}
+	}
+	d.spfDist = grown(d.spfDist[:0], n-1)
+	d.spfVia = grown(d.spfVia[:0], n-1)
+	d.spfVisited = grown(d.spfVisited[:0], n-1)
+	dist, via, visited := d.spfDist, d.spfVia, d.spfVisited
+	for i := 0; i < n; i++ {
+		dist[i] = inf
+		via[i] = msg.None
+		visited[i] = false
+	}
+	dist[d.self] = 0
+	for {
+		// Deterministic linear extraction (LSDB is small at PoP scale);
+		// the ascending scan breaks cost ties toward the smallest id.
+		best, bestCost := -1, inf
+		for i := 0; i < n; i++ {
+			if !visited[i] && dist[i] < bestCost {
+				best, bestCost = i, dist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		visited[best] = true
+		if best >= len(s.lsdb) || s.lsdb[best] == nil {
+			continue
+		}
+		lsa := s.lsdb[best]
+		for _, adj := range lsa.Links {
+			if !d.linkBidirectional(msg.NodeID(best), adj.To) {
 				continue
 			}
-			nc := best.cost + adj.Cost
-			firstHop := best.via
-			if best.node == d.self {
+			nc := bestCost + adj.Cost
+			firstHop := via[best]
+			if best == int(d.self) {
 				firstHop = adj.To
 			}
-			old, seen := dist[adj.To]
-			if !seen || nc < old || (nc == old && firstHop < via[adj.To]) {
+			if old := dist[adj.To]; nc < old || (nc == old && firstHop < via[adj.To]) {
 				dist[adj.To] = nc
 				via[adj.To] = firstHop
 			}
 		}
 	}
-	table := make(map[msg.NodeID]Route, len(dist))
-	for n, c := range dist {
-		if n == d.self {
+	table := make([]Route, n)
+	for i := 0; i < n; i++ {
+		if i == int(d.self) || dist[i] == inf {
+			table[i].NextHop = msg.None
 			continue
 		}
-		table[n] = Route{Dest: n, NextHop: via[n], Cost: c}
+		table[i] = Route{Dest: msg.NodeID(i), NextHop: via[i], Cost: dist[i]}
 	}
 	s.table = table
 }
 
 // linkBidirectional reports whether both a and b advertise each other.
 func (d *Daemon) linkBidirectional(a, b msg.NodeID) bool {
-	la, ok := d.st.lsdb[a]
-	if !ok || !advertises(la, b) {
+	la := d.lsaOf(a)
+	if la == nil || !advertises(la, b) {
 		return false
 	}
-	lb, ok := d.st.lsdb[b]
-	return ok && advertises(lb, a)
+	lb := d.lsaOf(b)
+	return lb != nil && advertises(lb, a)
+}
+
+// lsaOf returns the stored LSA for origin n, or nil.
+func (d *Daemon) lsaOf(n msg.NodeID) *LSA {
+	if int(n) >= len(d.st.lsdb) {
+		return nil
+	}
+	return d.st.lsdb[n]
 }
 
 func advertises(l *LSA, to msg.NodeID) bool {
@@ -410,46 +441,54 @@ func advertises(l *LSA, to msg.NodeID) bool {
 // RoutingTable returns a copy of the current routing table.
 func (d *Daemon) RoutingTable() map[msg.NodeID]Route {
 	out := make(map[msg.NodeID]Route, len(d.st.table))
-	for k, v := range d.st.table {
-		out[k] = v
+	for _, r := range d.st.table {
+		if r.NextHop != msg.None {
+			out[r.Dest] = r
+		}
 	}
 	return out
 }
 
 // Reachable reports whether dest is in the routing table.
 func (d *Daemon) Reachable(dest msg.NodeID) bool {
-	_, ok := d.st.table[dest]
-	return ok
+	return int(dest) < len(d.st.table) && d.st.table[dest].NextHop != msg.None
 }
 
 // NextHop returns the first hop toward dest (msg.None if unreachable).
 func (d *Daemon) NextHop(dest msg.NodeID) msg.NodeID {
-	r, ok := d.st.table[dest]
-	if !ok {
+	if int(dest) >= len(d.st.table) {
 		return msg.None
 	}
-	return r.NextHop
+	return d.st.table[dest].NextHop
 }
 
 // LSDBSize reports the number of stored LSAs (tests).
-func (d *Daemon) LSDBSize() int { return len(d.st.lsdb) }
+func (d *Daemon) LSDBSize() int {
+	n := 0
+	for _, lsa := range d.st.lsdb {
+		if lsa != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // SPFRuns reports the number of SPF computations (experiments).
 func (d *Daemon) SPFRuns() uint64 { return d.st.spfRuns }
 
 // AdjacencyUp reports whether the adjacency to peer is currently up.
-func (d *Daemon) AdjacencyUp(peer msg.NodeID) bool { return d.st.adjUp[peer] }
+func (d *Daemon) AdjacencyUp(peer msg.NodeID) bool {
+	return int(peer) < len(d.st.adjUp) && d.st.adjUp[peer]
+}
 
 // DumpTable renders the routing table sorted by destination (debugger).
+// The table slice is indexed by destination, so it is already sorted.
 func (d *Daemon) DumpTable() string {
-	dests := make([]int, 0, len(d.st.table))
-	for dst := range d.st.table {
-		dests = append(dests, int(dst))
-	}
-	sort.Ints(dests)
 	out := ""
-	for _, dst := range dests {
-		r := d.st.table[msg.NodeID(dst)]
+	for _, r := range d.st.table {
+		if r.NextHop == msg.None {
+			continue
+		}
 		out += fmt.Sprintf("dest %d via %d cost %d\n", r.Dest, r.NextHop, r.Cost)
 	}
 	return out
