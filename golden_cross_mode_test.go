@@ -1,0 +1,116 @@
+package defined_test
+
+// Cross-mode golden tests for the checkpoint implementations: FK (full
+// clone) is the reference, MI (undo journal) the optimized path, and the
+// clone fallback is MI's behaviour for applications without the journal
+// capability. The determinism theorem says committed delivery orders
+// depend only on the external events — so FK and MI must commit identical
+// orders even though their virtual rollback costs differ — and the journal
+// must be *observationally invisible*: an MI run with journaling apps must
+// match an MI run with the capability hidden in every counter and metric.
+
+import (
+	"fmt"
+	"testing"
+
+	"defined"
+	"defined/internal/checkpoint"
+	"defined/internal/routing/api"
+	"defined/internal/routing/ospf"
+	"defined/internal/vtime"
+)
+
+// cloneOnlyApp hides the Journaled capability behind an embedded
+// interface, forcing the engine's clone fallback even in MI mode.
+type cloneOnlyApp struct{ api.Application }
+
+// goldenRun drives one link-flap scenario on g and returns every node's
+// committed delivery order, the engine stats, and every node's final
+// routing table.
+func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hideJournal bool) (orders [][]string, stats string, tables []string) {
+	apps := make([]defined.Application, g.N)
+	daemons := make([]*ospf.Daemon, g.N)
+	for i := range apps {
+		daemons[i] = ospf.New(ospf.Config{})
+		if hideJournal {
+			apps[i] = cloneOnlyApp{daemons[i]}
+		} else {
+			apps[i] = daemons[i]
+		}
+	}
+	net := defined.NewNetwork(g, apps,
+		defined.WithSeed(seed), defined.WithStrategy(strat), defined.WithDeliveryLog())
+	l := g.Links[0]
+	net.At(vtime.Time(300*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
+	net.At(vtime.Time(700*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, true) })
+	net.Run(vtime.Time(1200 * vtime.Millisecond))
+	net.Drain()
+	for i := 0; i < g.N; i++ {
+		orders = append(orders, net.CommittedOrder(defined.NodeID(i)))
+		tables = append(tables, daemons[i].DumpTable())
+	}
+	return orders, fmt.Sprintf("%+v", net.Stats()), tables
+}
+
+func diffOrders(t *testing.T, what string, a, b [][]string) {
+	t.Helper()
+	for n := range a {
+		if len(a[n]) != len(b[n]) {
+			t.Fatalf("%s: node %d committed %d vs %d deliveries", what, n, len(a[n]), len(b[n]))
+		}
+		for i := range a[n] {
+			if a[n][i] != b[n][i] {
+				t.Fatalf("%s: node %d delivery %d: %s vs %s", what, n, i, a[n][i], b[n][i])
+			}
+		}
+	}
+}
+
+func diffTables(t *testing.T, what string, a, b []string) {
+	t.Helper()
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("%s: node %d routing tables differ:\n%s\nvs\n%s", what, n, a[n], b[n])
+		}
+	}
+}
+
+// TestCrossModeGolden checks, across three seeds and both evaluation
+// topology families (Fig6's Sprintlink, Fig8's BRITE):
+//
+//  1. journal exactness — MI with journaling apps is bit-identical to MI
+//     through the clone fallback: same committed orders, same Stats
+//     counters (deliveries, rollbacks, antis, lazy reuses, ...), same
+//     final routing tables;
+//  2. cross-mode determinism — FK and MI commit identical delivery orders
+//     and converge to identical routing tables, even though their
+//     rollback cost models differ.
+func TestCrossModeGolden(t *testing.T) {
+	fk := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.FK}
+	mi := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.MI}
+	topos := []struct {
+		name string
+		mk   func(seed uint64) *defined.Topology
+	}{
+		{"sprintlink", func(uint64) *defined.Topology { return defined.Sprintlink() }},
+		{"brite20", func(seed uint64) *defined.Topology { return defined.Brite(20, 2, 9000+seed) }},
+	}
+	for _, tp := range topos {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", tp.name, seed), func(t *testing.T) {
+				miOrders, miStats, miTables := goldenRun(tp.mk(seed), seed, mi, false)
+
+				fbOrders, fbStats, fbTables := goldenRun(tp.mk(seed), seed, mi, true)
+				diffOrders(t, "journal vs fallback", miOrders, fbOrders)
+				diffTables(t, "journal vs fallback", miTables, fbTables)
+				if miStats != fbStats {
+					t.Fatalf("journal vs fallback stats differ:\n%s\n%s", miStats, fbStats)
+				}
+
+				fkOrders, _, fkTables := goldenRun(tp.mk(seed), seed, fk, false)
+				diffOrders(t, "FK vs MI", fkOrders, miOrders)
+				diffTables(t, "FK vs MI", fkTables, miTables)
+			})
+		}
+	}
+}

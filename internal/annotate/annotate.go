@@ -9,6 +9,7 @@ package annotate
 import (
 	"fmt"
 
+	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/topology"
 	"defined/internal/vtime"
@@ -18,6 +19,12 @@ import (
 // messages. OriginSeq and LinkSeq are part of the node's checkpointable
 // state (they must roll back so replays reassign identical values); MsgSeq
 // is wire-level identity and monotonically increases across rollbacks.
+//
+// Two checkpoint representations are supported, matching the engine's
+// FK/MI modes: SnapshotCounters/RestoreCounters deep-copy the counters
+// (full-snapshot checkpoints), while the undo journal — enabled with
+// JournalEnable — records a (slot, old-value) pair per counter mutation so
+// an MI checkpoint is just a JournalMark and rollback a JournalRewind.
 type Sender struct {
 	Self       msg.NodeID
 	G          *topology.Graph
@@ -33,16 +40,48 @@ type Sender struct {
 	// checkpoints copy it with a single memmove instead of a map clone.
 	LinkSeq []uint64
 	MsgSeq  uint64
+
+	j *journal.Log[counterUndo]
 }
+
+// counterUndo is one counter mutation: slot is the LinkSeq index, or
+// originSlot for OriginSeq; old is the value to restore.
+type counterUndo struct {
+	slot int32
+	old  uint64
+}
+
+// originSlot marks a counterUndo that restores OriginSeq.
+const originSlot int32 = -1
 
 // NewSender creates a sender for node self.
 func NewSender(self msg.NodeID, g *topology.Graph, chainBound int, procEstimate vtime.Duration) *Sender {
 	if chainBound <= 0 {
 		chainBound = 64
 	}
-	return &Sender{Self: self, G: g, ChainBound: chainBound, ProcEstimate: procEstimate,
+	s := &Sender{Self: self, G: g, ChainBound: chainBound, ProcEstimate: procEstimate,
 		LinkSeq: make([]uint64, g.N)}
+	s.j = journal.New(func(u counterUndo) {
+		if u.slot == originSlot {
+			s.OriginSeq = u.old
+			return
+		}
+		s.LinkSeq[u.slot] = u.old
+	})
+	return s
 }
+
+// JournalEnable turns on counter undo recording (MI checkpointing).
+func (s *Sender) JournalEnable() { s.j.Enable() }
+
+// JournalMark returns the counter journal position (an MI checkpoint).
+func (s *Sender) JournalMark() journal.Mark { return s.j.Mark() }
+
+// JournalRewind undoes counter mutations back to mark m.
+func (s *Sender) JournalRewind(m journal.Mark) { s.j.Rewind(m) }
+
+// JournalCompact discards undo entries older than m (checkpoint settled).
+func (s *Sender) JournalCompact(m journal.Mark) { s.j.Compact(m) }
 
 // Counters is the checkpointable portion of the sender.
 type Counters struct {
@@ -80,35 +119,55 @@ func (s *Sender) RestoreCounters(c Counters) {
 // timer-triggered traffic from differently-skewed nodes systematically
 // misorders against the estimate and triggers spurious rollbacks.
 func (s *Sender) Build(out msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset vtime.Duration) *msg.Message {
+	ann, ls := s.Prepare(out, parent, fresh, group, freshOffset)
+	return s.Materialize(out, ann, ls)
+}
+
+// Prepare performs everything Build does except allocating the message
+// struct: it computes the annotation and advances the counters (OriginSeq,
+// LinkSeq, MsgSeq — journaled as usual). The rollback engine's
+// lazy-cancellation matching compares the prepared identity against pooled
+// originals and calls Materialize only for outputs that did not re-adopt
+// one — which is what removes the replay path's dominant allocation.
+func (s *Sender) Prepare(out msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset vtime.Duration) (ann msg.Annotation, linkSeq uint64) {
 	link, ok := s.G.LinkBetween(int(s.Self), int(out.To))
 	if !ok {
 		panic(fmt.Sprintf("annotate: node %d sent to non-neighbor %d", s.Self, out.To))
 	}
 	hop := link.Delay + s.ProcEstimate
-	var ann msg.Annotation
 	switch {
 	case fresh || out.Fresh:
 		ann = msg.AnnotateOrigin(s.Self, s.OriginSeq, freshOffset+hop, group)
+		s.j.Record(counterUndo{slot: originSlot, old: s.OriginSeq})
 		s.OriginSeq++
 	case parent.Chain+1 >= s.ChainBound:
 		// Chain bound exceeded: start a fresh chain in the next
 		// timestep (paper §2.2). Relative to that next boundary the
 		// message is immediate: only one hop anchors it.
 		ann = msg.AnnotateOrigin(s.Self, s.OriginSeq, hop, parent.Group+1)
+		s.j.Record(counterUndo{slot: originSlot, old: s.OriginSeq})
 		s.OriginSeq++
 	default:
 		ann = msg.AnnotateChild(parent, hop)
 	}
 	s.MsgSeq++
 	ls := s.LinkSeq[out.To]
+	s.j.Record(counterUndo{slot: int32(out.To), old: ls})
 	s.LinkSeq[out.To] = ls + 1
+	return ann, ls
+}
+
+// Materialize allocates the wire message for a prepared output. The wire
+// id uses the current MsgSeq, i.e. the value Prepare assigned — callers
+// materialize (or drop) a prepared output before preparing the next one.
+func (s *Sender) Materialize(out msg.Out, ann msg.Annotation, linkSeq uint64) *msg.Message {
 	return &msg.Message{
 		ID:      msg.ID{Sender: s.Self, Seq: s.MsgSeq},
 		From:    s.Self,
 		To:      out.To,
 		Kind:    msg.KindApp,
 		Ann:     ann,
-		LinkSeq: ls,
+		LinkSeq: linkSeq,
 		Payload: out.Payload,
 	}
 }

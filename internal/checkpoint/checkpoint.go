@@ -1,6 +1,7 @@
 // Package checkpoint defines the checkpointing strategies DEFINED-RB can
-// run with and their cost models, mirroring the paper's implementation
-// section (§3) and the optimizations evaluated in §5.2:
+// run with, their cost models, and the per-node checkpoint stack (Keeper),
+// mirroring the paper's implementation section (§3) and the optimizations
+// evaluated in §5.2:
 //
 //   - rollback copy modes: FK (resume the fork — copy everything) vs MI
 //     (intercepted memory writes — copy only changed bytes), Figure 7a;
@@ -9,17 +10,53 @@
 //     still hit the next packet) and TM (pre-fork plus touching the heap so
 //     COW copies also happen in idle time), Figure 7b.
 //
+// # FK/MI selection semantics
+//
+// Strategy.Mode selects how the rollback engine captures and restores
+// state, and both modes are real implementations, not just cost models:
+//
+//   - FK is the reference implementation: before every speculative
+//     delivery the engine stores a full deep clone of the application
+//     state (api.State.Clone) plus a snapshot of the annotation counters,
+//     and rollback reinstalls the clone. Checkpoint cost scales with
+//     state size — at every delivery, whether or not a rollback ever
+//     happens.
+//
+//   - MI is the undo-journal implementation (paper §3's intercepted
+//     memory writes, ~13× cheaper in Figure 7a). Applications that
+//     implement api.Journaled record a compact (slot, old-value) undo
+//     entry per mutation into an internal/journal log; a checkpoint is
+//     then an O(1) Checkpoint mark pair (application journal position +
+//     annotation-counter journal position) and rollback replays the
+//     journal backward to the mark. Checkpoint cost scales with the bytes
+//     *dirtied* per delivery, not with topology size. Applications
+//     without the capability silently fall back to FK-style clones, so
+//     third-party apps keep working under the default strategy.
+//
+// # The Keeper
+//
+// Keeper is the per-node checkpoint stack, aligned one-to-one with the
+// node's history window: checkpoint i captures the state before the i-th
+// live window entry was delivered. It stores Checkpoint values directly
+// (no boxing): a Checkpoint is either a full snapshot (State != nil) or a
+// mark pair, and the two kinds may coexist in one stack — the rollback
+// engine dispatches per entry. Settlement (Keeper.DropFirst) is the
+// moment mark checkpoints die, which is when the engine compacts the
+// journal prefix older than the new oldest live mark.
+//
 // Two consumers exist. The single-node microbenchmarks (experiments
 // fig7a/7b/7c) exercise the strategies for real against a memstore-backed
 // state and measure wall-clock nanoseconds. The network-level simulations
 // (fig6/8) charge the equivalent *virtual-time* costs via CostModel so that
 // checkpointing overhead shows up in convergence times the way it does on
-// the paper's testbed.
+// the paper's testbed — while the engine's actual capture/restore work now
+// also follows the selected mode for real.
 package checkpoint
 
 import (
 	"fmt"
 
+	"defined/internal/journal"
 	"defined/internal/vtime"
 )
 
@@ -132,36 +169,61 @@ func ModelFor(s Strategy) CostModel {
 // ("XORP" series): no checkpointing, no rollback.
 func Baseline() CostModel { return CostModel{} }
 
+// Checkpoint is one entry of a Keeper stack. Exactly one representation
+// is set:
+//
+//   - State != nil: a full snapshot (FK mode, or the clone fallback for
+//     applications without the journal capability). The value is opaque
+//     to the keeper; the rollback engine owns its meaning.
+//   - State == nil: a mark pair (MI mode). App is the application
+//     undo-journal position and Counters the annotation-counter journal
+//     position at capture time.
+//
+// Checkpoint is stored by value so mark checkpoints cost no allocation.
+type Checkpoint struct {
+	State    any
+	App      journal.Mark
+	Counters journal.Mark
+}
+
+// IsMark reports whether the checkpoint is a journal-mark pair rather
+// than a full snapshot.
+func (c Checkpoint) IsMark() bool { return c.State == nil }
+
 // Keeper stores the checkpoint stack of one node, aligned with the node's
 // history window: checkpoint i captures the application state *before* the
-// i-th live window entry was delivered. The stored states are opaque to
-// the keeper; the rollback engine clones application state into it.
+// i-th live window entry was delivered. Entries are full snapshots or
+// journal marks per Checkpoint; the keeper never interprets them.
 type Keeper struct {
-	snaps []any
+	snaps []Checkpoint
 }
 
 // Len reports the number of stored checkpoints.
 func (k *Keeper) Len() int { return len(k.snaps) }
 
 // Push appends a checkpoint.
-func (k *Keeper) Push(state any) { k.snaps = append(k.snaps, state) }
+func (k *Keeper) Push(c Checkpoint) { k.snaps = append(k.snaps, c) }
 
 // At returns checkpoint i.
-func (k *Keeper) At(i int) any { return k.snaps[i] }
+func (k *Keeper) At(i int) Checkpoint { return k.snaps[i] }
 
 // TruncateFrom drops checkpoints at positions >= i (rollback rewinds the
-// stack alongside the history window).
+// stack alongside the history window). Dropped mark checkpoints need no
+// further bookkeeping: the rewind that accompanies the truncation already
+// discarded their journal suffix.
 func (k *Keeper) TruncateFrom(i int) {
 	if i < 0 || i > len(k.snaps) {
 		panic(fmt.Sprintf("checkpoint: truncate at %d of %d", i, len(k.snaps)))
 	}
 	for j := i; j < len(k.snaps); j++ {
-		k.snaps[j] = nil
+		k.snaps[j] = Checkpoint{}
 	}
 	k.snaps = k.snaps[:i]
 }
 
-// DropFirst discards the n oldest checkpoints (history settlement).
+// DropFirst discards the n oldest checkpoints (history settlement). When
+// mark checkpoints settle, the caller compacts the journals to the new
+// oldest live mark (see OldestMarks).
 func (k *Keeper) DropFirst(n int) {
 	if n < 0 || n > len(k.snaps) {
 		panic(fmt.Sprintf("checkpoint: drop %d of %d", n, len(k.snaps)))
@@ -169,7 +231,20 @@ func (k *Keeper) DropFirst(n int) {
 	m := len(k.snaps) - n
 	copy(k.snaps, k.snaps[n:])
 	for j := m; j < len(k.snaps); j++ {
-		k.snaps[j] = nil // release settled states for collection
+		k.snaps[j] = Checkpoint{} // release settled states for collection
 	}
 	k.snaps = k.snaps[:m]
+}
+
+// OldestMarks returns the mark pair of the oldest stored checkpoint —
+// the compaction bound for the undo journals after settlement — and
+// whether such a checkpoint exists. An empty stack (or one whose oldest
+// entry is a full snapshot) yields ok == false; with an empty stack the
+// caller may compact everything recorded so far.
+func (k *Keeper) OldestMarks() (app, counters journal.Mark, ok bool) {
+	if len(k.snaps) == 0 || !k.snaps[0].IsMark() {
+		return 0, 0, false
+	}
+	c := k.snaps[0]
+	return c.App, c.Counters, true
 }

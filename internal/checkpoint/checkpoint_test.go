@@ -51,30 +51,63 @@ func TestModelOrdering(t *testing.T) {
 func TestKeeperStack(t *testing.T) {
 	var k Keeper
 	for i := 0; i < 5; i++ {
-		k.Push(i)
+		k.Push(Checkpoint{State: i})
 	}
 	if k.Len() != 5 {
 		t.Fatalf("len = %d", k.Len())
 	}
-	if k.At(2).(int) != 2 {
+	if k.At(2).State.(int) != 2 {
 		t.Fatalf("At(2) = %v", k.At(2))
 	}
 	k.TruncateFrom(3)
 	if k.Len() != 3 {
 		t.Fatalf("after truncate len = %d", k.Len())
 	}
-	if k.At(2).(int) != 2 {
+	if k.At(2).State.(int) != 2 {
 		t.Fatal("truncate removed wrong elements")
 	}
 	k.DropFirst(2)
-	if k.Len() != 1 || k.At(0).(int) != 2 {
+	if k.Len() != 1 || k.At(0).State.(int) != 2 {
 		t.Fatalf("after drop len = %d", k.Len())
+	}
+}
+
+func TestKeeperMarks(t *testing.T) {
+	var k Keeper
+	k.Push(Checkpoint{App: 3, Counters: 7})
+	k.Push(Checkpoint{App: 9, Counters: 11})
+	if !k.At(0).IsMark() {
+		t.Fatal("mark checkpoint not recognized")
+	}
+	if k.At(0).App != 3 || k.At(0).Counters != 7 {
+		t.Fatalf("marks = %+v", k.At(0))
+	}
+	app, ctr, ok := k.OldestMarks()
+	if !ok || app != 3 || ctr != 7 {
+		t.Fatalf("OldestMarks = %d,%d,%v", app, ctr, ok)
+	}
+	k.DropFirst(1)
+	app, ctr, ok = k.OldestMarks()
+	if !ok || app != 9 || ctr != 11 {
+		t.Fatalf("OldestMarks after drop = %d,%d,%v", app, ctr, ok)
+	}
+	k.DropFirst(1)
+	if _, _, ok := k.OldestMarks(); ok {
+		t.Fatal("OldestMarks on empty stack must report !ok")
+	}
+	// A full snapshot at the front also reports !ok.
+	k.Push(Checkpoint{State: "snap"})
+	if k.At(0).IsMark() {
+		t.Fatal("snapshot checkpoint misclassified as mark")
+	}
+	if _, _, ok := k.OldestMarks(); ok {
+		t.Fatal("OldestMarks with snapshot front must report !ok")
 	}
 }
 
 func TestKeeperPanics(t *testing.T) {
 	var k Keeper
-	k.Push(1)
+	k.Push(Checkpoint{State: 1})
 	for _, f := range []func(){
 		func() { k.TruncateFrom(5) },
 		func() { k.TruncateFrom(-1) },

@@ -63,7 +63,16 @@ type network struct {
 
 // newNetwork boots an OSPF network (engine plus initial LSDB flood) and
 // runs it to initial convergence.
+//
+// Figure reproductions pin the checkpoint strategy their shapes were
+// calibrated against (the seed tree's TF/FK cost point) unless a caller
+// explicitly selects one: the network-level figures study ordering
+// functions and trace workloads, and pinning keeps their metric series
+// comparable across engine-default changes (the engine default is now the
+// paper-recommended TM/MI with real undo-journal checkpointing, whose
+// cheaper rollback repair shifts speculation dynamics).
 func newNetwork(g *topology.Graph, cfg rollback.Config) *network {
+	cfg.StrategySet = true
 	apps := ospfApps(g.N, ospf.Config{})
 	e := rollback.New(g, apps, cfg)
 	n := &network{e: e, apps: apps, g: g, down: map[int]bool{}}

@@ -115,6 +115,19 @@ func (m *Message) String() string {
 	return fmt.Sprintf("[%s %s %d→%d %s]", m.Kind, m.ID, m.From, m.To, m.Ann)
 }
 
+// PayloadEq lets a payload type report equality with another payload
+// without reflection. The rollback engine's lazy-cancellation matching
+// compares every replayed output against the pooled originals on the
+// rollback-replay critical path; payloads that implement PayloadEq are
+// compared through it, everything else falls back to reflect.DeepEqual.
+//
+// PayloadEqual must implement structural equality over the payload's
+// ordering-relevant content: two payloads are equal exactly when
+// delivering either produces the same application behaviour.
+type PayloadEq interface {
+	PayloadEqual(other any) bool
+}
+
 // Out is a message emitted by an application before the substrate assigns
 // wire identity (ID, annotations). The substrate tracks immediate causality
 // (paper §3, "Providing interfaces to mark causal relationships"): outputs

@@ -61,14 +61,23 @@ type Key struct {
 
 // KeyOf builds the ordering key for an application message.
 func KeyOf(m *msg.Message) Key {
+	return KeyOfSend(m.From, m.Ann, m.LinkSeq)
+}
+
+// KeyOfSend builds the ordering key a message will have before the message
+// struct exists — the rollback engine's lazy-cancellation matching decides
+// from (sender, annotation, link sequence) alone whether a replayed output
+// re-adopts its original transmission, and only materializes a new message
+// when it does not.
+func KeyOfSend(from msg.NodeID, ann msg.Annotation, linkSeq uint64) Key {
 	return Key{
-		Group:   m.Ann.Group,
+		Group:   ann.Group,
 		Class:   ClassMessage,
-		Delay:   m.Ann.Delay,
-		Origin:  m.Ann.Origin,
-		Seq:     m.Ann.Seq,
-		From:    m.From,
-		LinkSeq: m.LinkSeq,
+		Delay:   ann.Delay,
+		Origin:  ann.Origin,
+		Seq:     ann.Seq,
+		From:    from,
+		LinkSeq: linkSeq,
 	}
 }
 

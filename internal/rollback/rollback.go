@@ -47,8 +47,12 @@ type Config struct {
 	// ordering.Optimized() (OO).
 	Ordering ordering.Func
 	// Strategy selects checkpoint timing and rollback copy mode;
-	// defaults to checkpoint.Default (TM/MI).
+	// defaults to checkpoint.Default (TM/MI). To run the zero-valued
+	// TF/FK strategy explicitly, also set StrategySet.
 	Strategy checkpoint.Strategy
+	// StrategySet marks the zero-valued Strategy (TF/FK) as an explicit
+	// choice rather than "use the default".
+	StrategySet bool
 	// Baseline disables the shim entirely — the unmodified-"XORP"
 	// series of the evaluation: no ordering, no checkpoints, no
 	// rollbacks, no determinism.
@@ -83,6 +87,9 @@ type Config struct {
 func (c *Config) fillDefaults() {
 	if c.Ordering == nil {
 		c.Ordering = ordering.Optimized()
+	}
+	if c.Strategy == (checkpoint.Strategy{}) && !c.StrategySet {
+		c.Strategy = checkpoint.Default
 	}
 	if c.BeaconInterval <= 0 {
 		c.BeaconInterval = vtime.BeaconInterval
@@ -185,6 +192,17 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 			neighbors = append(neighbors, api.Neighbor{ID: msg.NodeID(nb), Cost: api.LinkCost(l.Delay)})
 		}
 		apps[i].Init(n, neighbors)
+		// MI strategy + a journal-capable application = real undo-journal
+		// checkpointing: marks instead of clones. Enabled only after Init
+		// so boot-time mutations (which precede every checkpoint) are
+		// never recorded. Apps without the capability fall back to clones.
+		if !cfg.Baseline && e.cfg.Strategy.Mode == checkpoint.MI {
+			if j, ok := apps[i].(api.Journaled); ok {
+				j.JournalEnable()
+				sh.sender.JournalEnable()
+				sh.japp = j
+			}
+		}
 		e.sim.Attach(n, sh.onWire)
 	}
 	e.sim.OnDrop(e.onInFlightDrop)

@@ -397,7 +397,7 @@ func TestCheckpointStrategiesAllDeterministic(t *testing.T) {
 		{Timing: checkpoint.PF, Mode: checkpoint.MI},
 		{Timing: checkpoint.TM, Mode: checkpoint.MI},
 	} {
-		logs, _, _ := runScenario(t, g, Config{Seed: 3, JitterScale: 3, Strategy: strat}, 3)
+		logs, _, _ := runScenario(t, g, Config{Seed: 3, JitterScale: 3, Strategy: strat, StrategySet: true}, 3)
 		if ref == nil {
 			ref = logs
 			continue

@@ -2,6 +2,7 @@ package rollback
 
 import (
 	"reflect"
+	"slices"
 
 	"defined/internal/annotate"
 	"defined/internal/checkpoint"
@@ -21,15 +22,31 @@ type shim struct {
 	id  msg.NodeID
 	app api.Application
 
+	// japp is non-nil when the application supports MI undo-journal
+	// checkpointing and the engine's strategy selects it: checkpoints are
+	// then O(1) journal marks instead of full clones, and restore rewinds
+	// the journal in place. Apps without the capability (or FK mode) use
+	// the clone fallback.
+	japp api.Journaled
+
 	win   *history.Window
 	ckpts checkpoint.Keeper // ckpts[i] = state before delivering win entry i
 
 	sent   []*sentRec // live (unsettled, un-annulled) sent messages
 	serial uint64     // next delivery serial
 
+	// recFree is the sentRec free list: records cycle back once their
+	// send event has fired or been cancelled, so steady-state tracking
+	// stops allocating (each rec carries its send callback, created once).
+	recFree []*sentRec
+
 	// replayPool holds the undone deliveries' sent records during a
 	// rollback replay for lazy cancellation (see rollbackAndReplay).
 	replayPool []*sentRec
+
+	// undoneScratch is the reusable buffer of rolled-back delivery
+	// serials, ascending (window serials increase by position).
+	undoneScratch []uint64
 
 	// sender assigns annotations and wire ids; its OriginSeq/LinkSeq
 	// counters are part of the checkpointed state so replayed messages
@@ -45,31 +62,89 @@ type shim struct {
 	hasSettled     bool
 }
 
-// sentRec tracks one transmitted message for potential unsending.
+// sentRec tracks one transmitted message for potential unsending. Records
+// are pooled per shim; fire is the send callback bound once at allocation
+// so rescheduling a recycled record allocates nothing.
 type sentRec struct {
+	sh          *shim
 	causeSerial uint64
 	m           *msg.Message
 	ev          eventq.Handle // pending send; zero once on the wire
 	wired       bool          // sim.Send succeeded
 	dropped     bool          // lost in flight (engine drop log has it)
 	sentAt      vtime.Time
+	fire        func() // == rec.onFire, created once per struct
 }
 
-// shimState is everything a checkpoint must capture beyond the simulator:
-// the application state plus the annotation counters.
+// onFire performs the physical transmission when the send delay elapses.
+func (rec *sentRec) onFire() {
+	sh := rec.sh
+	sim := sh.e.sim
+	ok := sim.Send(rec.m)
+	rec.ev = eventq.Handle{}
+	rec.wired = ok
+	rec.sentAt = sim.Now()
+	if !ok {
+		rec.dropped = true
+		sh.e.dropLog[rec.m.ID] = record.LossEvent{Key: ordering.KeyOf(rec.m), To: rec.m.To}
+	}
+}
+
+// newRec takes a record off the free list (or allocates the first time).
+func (sh *shim) newRec() *sentRec {
+	if n := len(sh.recFree); n > 0 {
+		rec := sh.recFree[n-1]
+		sh.recFree = sh.recFree[:n-1]
+		return rec
+	}
+	rec := &sentRec{sh: sh}
+	rec.fire = rec.onFire
+	return rec
+}
+
+// freeRec recycles a record whose send event has fired or been cancelled.
+func (sh *shim) freeRec(rec *sentRec) {
+	rec.causeSerial = 0
+	rec.m = nil
+	rec.ev = eventq.Handle{}
+	rec.wired = false
+	rec.dropped = false
+	rec.sentAt = 0
+	sh.recFree = append(sh.recFree, rec)
+}
+
+// shimState is everything a full-snapshot checkpoint must capture beyond
+// the simulator: the application state plus the annotation counters. MI
+// checkpoints replace it with a journal-mark pair.
 type shimState struct {
 	app      api.State
 	counters annotate.Counters
 }
 
-func (sh *shim) captureState() *shimState {
-	return &shimState{
+// capture takes one checkpoint: an O(1) mark pair when the app journals
+// its mutations (MI), a full clone otherwise (FK or fallback).
+func (sh *shim) capture() checkpoint.Checkpoint {
+	if sh.japp != nil {
+		return checkpoint.Checkpoint{
+			App:      sh.japp.JournalMark(),
+			Counters: sh.sender.JournalMark(),
+		}
+	}
+	return checkpoint.Checkpoint{State: &shimState{
 		app:      sh.app.State().Clone(),
 		counters: sh.sender.SnapshotCounters(),
-	}
+	}}
 }
 
-func (sh *shim) restoreState(st *shimState) {
+// restore reinstalls checkpoint c: journal rewind for marks, clone
+// reinstatement for full snapshots.
+func (sh *shim) restore(c checkpoint.Checkpoint) {
+	if c.IsMark() {
+		sh.japp.JournalRewind(c.App)
+		sh.sender.JournalRewind(c.Counters)
+		return
+	}
+	st := c.State.(*shimState)
 	// The checkpoint stack keeps ownership of st: hand the app a clone
 	// it can adopt and mutate freely.
 	sh.app.Restore(st.app.Clone())
@@ -146,7 +221,8 @@ func (sh *shim) onEntry(entry history.Entry) {
 	if debugRollbacks != nil {
 		debugRollbacks(sh, entry, pos)
 	}
-	sh.rollbackAndReplay(pos, pos)
+	sh.undoTo(pos)
+	sh.replayFrom(pos)
 	sh.maybeSettle()
 }
 
@@ -160,11 +236,39 @@ func (sh *shim) onTimerBatch(group uint64) {
 	})
 }
 
-// rollbackAndReplay restores the checkpoint preceding window position
-// restorePos, replays entries from replayFrom onward, and cancels what the
-// undone deliveries had sent. Callers arrange the window before calling:
-// for a divergent insert, restorePos == insert position; for an
-// anti-message, the target entry is already removed.
+// undoTo rolls the node back to the checkpoint preceding window position
+// pos: it restores that checkpoint, rewinds the checkpoint stack, and
+// pools the undone deliveries' sent records for lazy cancellation. The
+// caller then arranges the window (an anti-message removes its target
+// entry) and calls replayFrom.
+func (sh *shim) undoTo(pos int) {
+	e := sh.e
+	e.stats.Rollbacks++
+
+	// Serials of deliveries being undone: every entry at >= pos that has
+	// been delivered (a freshly inserted entry has serial 0 and was never
+	// delivered; delivered entries have serial >= 1). Serials increase
+	// with window position — replays stamp the suffix in window order —
+	// so the scratch slice comes out ascending, ready for binary search.
+	sh.undoneScratch = sh.undoneScratch[:0]
+	for i := pos; i < sh.win.Len(); i++ {
+		if s := sh.win.At(i).Serial; s != 0 {
+			sh.undoneScratch = append(sh.undoneScratch, s)
+			e.stats.RolledBack++
+		}
+	}
+
+	// Restore the checkpoint taken before the first undone delivery.
+	sh.restore(sh.ckpts.At(pos))
+	sh.ckpts.TruncateFrom(pos)
+
+	// Pool the undone deliveries' sends for lazy cancellation.
+	sh.replayPool = sh.extractCaused(sh.undoneScratch)
+}
+
+// replayFrom replays window entries from pos onward in the computed order,
+// charging rollback costs, then retracts whatever the replay did not
+// regenerate.
 //
 // Cancellation is lazy (Time Warp's lazy-cancellation optimization, fair
 // game under the paper's Jefferson-based design): the undone deliveries'
@@ -174,51 +278,29 @@ func (sh *shim) onTimerBatch(group uint64) {
 // changed (or disappeared) after reordering are unsent. Without this,
 // repair delays shift downstream arrival times away from their d_i
 // estimates and rollbacks avalanche through heavy flood waves.
-func (sh *shim) rollbackAndReplay(restorePos, replayFrom int) {
+func (sh *shim) replayFrom(pos int) {
 	e := sh.e
-	e.stats.Rollbacks++
-
-	// Serials of deliveries being undone: every entry at >= restorePos
-	// that has been delivered (the freshly inserted entry at restorePos
-	// has serial 0 and was never delivered; delivered entries have
-	// serial >= 1).
-	undone := map[uint64]bool{}
-	for i := restorePos; i < sh.win.Len(); i++ {
-		if s := sh.win.At(i).Serial; s != 0 {
-			undone[s] = true
-			e.stats.RolledBack++
-		}
-	}
-
-	// Restore the checkpoint taken before the first undone delivery.
-	sh.restoreState(sh.ckpts.At(restorePos).(*shimState))
-	sh.ckpts.TruncateFrom(restorePos)
-
-	// Pool the undone deliveries' sends for lazy cancellation.
-	sh.replayPool = sh.extractCaused(undone)
-
-	// Replay the suffix in the computed order, charging rollback costs.
-	delay := sh.e.cfg.BaseProcessing + e.cost.RollbackFixed
-	for i := replayFrom; i < sh.win.Len(); i++ {
+	delay := e.cfg.BaseProcessing + e.cost.RollbackFixed
+	for i := pos; i < sh.win.Len(); i++ {
 		delay += e.cost.RollbackPerReplay + e.cost.PerMessage
 		sh.deliverAt(i, delay)
 	}
 
 	// Whatever the replay did not regenerate is now genuinely unsent.
 	sh.cancelRecs(sh.replayPool)
-	sh.replayPool = nil
+	sh.replayPool = sh.replayPool[:0]
 }
 
 // extractCaused removes and returns the live sent records caused by the
-// given delivery serials.
-func (sh *shim) extractCaused(undone map[uint64]bool) []*sentRec {
+// given delivery serials (ascending).
+func (sh *shim) extractCaused(undone []uint64) []*sentRec {
 	if len(undone) == 0 {
 		return nil
 	}
-	var pool []*sentRec
+	pool := sh.replayPool[:0]
 	kept := sh.sent[:0]
 	for _, rec := range sh.sent {
-		if undone[rec.causeSerial] {
+		if serialsContain(undone, rec.causeSerial) {
 			pool = append(pool, rec)
 		} else {
 			kept = append(kept, rec)
@@ -226,6 +308,12 @@ func (sh *shim) extractCaused(undone map[uint64]bool) []*sentRec {
 	}
 	sh.sent = kept
 	return pool
+}
+
+// serialsContain reports whether sorted (ascending) contains s.
+func serialsContain(sorted []uint64, s uint64) bool {
+	_, ok := slices.BinarySearch(sorted, s)
+	return ok
 }
 
 // deliverAt checkpoints, stamps a fresh serial, and delivers the window
@@ -236,7 +324,7 @@ func (sh *shim) deliverAt(i int, procDelay vtime.Duration) {
 	if sh.ckpts.Len() != i {
 		panic("rollback: checkpoint stack misaligned with window")
 	}
-	sh.ckpts.Push(sh.captureState())
+	sh.ckpts.Push(sh.capture())
 	sh.serial++
 	serial := sh.serial
 	sh.win.SetSerial(i, serial)
@@ -264,7 +352,7 @@ func (sh *shim) deliverAt(i int, procDelay vtime.Duration) {
 func (sh *shim) sendOuts(outs []msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset, procDelay vtime.Duration) {
 	for _, out := range outs {
 		m := sh.sender.Build(out, parent, fresh, group, freshOffset)
-		sh.scheduleSend(m, procDelay, nil)
+		sh.scheduleBaselineSend(m, procDelay)
 	}
 }
 
@@ -273,31 +361,32 @@ func (sh *shim) sendOuts(outs []msg.Out, parent msg.Annotation, fresh bool, grou
 // (lazy cancellation) re-adopts it instead of retransmitting.
 func (sh *shim) sendOutsTracked(outs []msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset, procDelay vtime.Duration, causeSerial uint64) {
 	for _, out := range outs {
-		m := sh.sender.Build(out, parent, fresh, group, freshOffset)
-		if rec := sh.adoptFromPool(m); rec != nil {
+		// Prepare advances the sender counters without allocating; the
+		// message struct is only materialized when no pooled original
+		// stands for the output (replays re-adopt most of theirs).
+		ann, ls := sh.sender.Prepare(out, parent, fresh, group, freshOffset)
+		if rec := sh.adoptFromPool(out.To, ordering.KeyOfSend(sh.id, ann, ls), out.Payload); rec != nil {
 			rec.causeSerial = causeSerial
 			sh.sent = append(sh.sent, rec)
 			continue
 		}
-		rec := &sentRec{causeSerial: causeSerial, m: m}
+		rec := sh.newRec()
+		rec.causeSerial = causeSerial
+		rec.m = sh.sender.Materialize(out, ann, ls)
 		sh.sent = append(sh.sent, rec)
-		sh.scheduleSend(m, procDelay, rec)
+		sh.scheduleSend(rec, procDelay)
 	}
 }
 
-// adoptFromPool matches a regenerated message against the lazy-cancellation
+// adoptFromPool matches a regenerated output against the lazy-cancellation
 // pool: identical destination, ordering key and payload mean the original
 // transmission stands for the replayed output.
-func (sh *shim) adoptFromPool(m *msg.Message) *sentRec {
-	if len(sh.replayPool) == 0 {
-		return nil
-	}
-	key := ordering.KeyOf(m)
+func (sh *shim) adoptFromPool(to msg.NodeID, key ordering.Key, payload any) *sentRec {
 	for i, rec := range sh.replayPool {
-		if rec.m.To != m.To || ordering.KeyOf(rec.m) != key {
+		if rec.m.To != to || ordering.KeyOf(rec.m) != key {
 			continue
 		}
-		if !reflect.DeepEqual(rec.m.Payload, m.Payload) {
+		if !payloadEqual(rec.m.Payload, payload) {
 			continue
 		}
 		sh.replayPool = append(sh.replayPool[:i], sh.replayPool[i+1:]...)
@@ -307,9 +396,20 @@ func (sh *shim) adoptFromPool(m *msg.Message) *sentRec {
 	return nil
 }
 
+// payloadEqual compares two payloads on the rollback-replay critical path:
+// typed comparison when the payload implements msg.PayloadEq (all shipped
+// daemons do), reflection only as the third-party fallback.
+func payloadEqual(a, b any) bool {
+	if pe, ok := a.(msg.PayloadEq); ok {
+		return pe.PayloadEqual(b)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
 // cancelRecs retracts sent records whose outputs the replay did not
 // regenerate: pending sends are cancelled; wired sends get an
-// anti-message; known-dropped sends just retract their loss record.
+// anti-message; known-dropped sends just retract their loss record. The
+// retracted records return to the free list.
 func (sh *shim) cancelRecs(recs []*sentRec) {
 	for _, rec := range recs {
 		switch {
@@ -326,34 +426,29 @@ func (sh *shim) cancelRecs(recs []*sentRec) {
 		default:
 			sh.sendAnti(rec.m)
 		}
+		sh.freeRec(rec)
 	}
 }
 
-// scheduleSend queues the physical transmission after procDelay. rec (when
-// non-nil) is updated so unsend can cancel or chase the message.
+// scheduleSend queues rec's physical transmission after procDelay; the
+// record's pre-bound callback performs the send, so tracked transmission
+// costs no per-send closure.
 //
 // A send-time drop (link or peer down when the packet would leave) is a
 // nondeterministic loss exactly like an in-flight drop — whether the packet
 // escapes before a failure depends on physical timing — so it is recorded
 // as a loss event for replay (paper footnote 4).
-func (sh *shim) scheduleSend(m *msg.Message, procDelay vtime.Duration, rec *sentRec) {
+func (sh *shim) scheduleSend(rec *sentRec, procDelay vtime.Duration) {
 	sim := sh.e.sim
-	ev := sim.After(procDelay, func() {
-		ok := sim.Send(m)
-		if rec != nil {
-			rec.ev = eventq.Handle{}
-			rec.wired = ok
-			rec.sentAt = sim.Now()
-			if !ok {
-				rec.dropped = true
-				sh.e.dropLog[m.ID] = record.LossEvent{Key: ordering.KeyOf(m), To: m.To}
-			}
-		}
-	})
-	if rec != nil {
-		rec.ev = ev
-		rec.sentAt = sim.Now()
-	}
+	rec.ev = sim.After(procDelay, rec.fire)
+	rec.sentAt = sim.Now()
+}
+
+// scheduleBaselineSend queues an untracked transmission (baseline mode:
+// nothing is ever unsent).
+func (sh *shim) scheduleBaselineSend(m *msg.Message, procDelay vtime.Duration) {
+	sim := sh.e.sim
+	sim.After(procDelay, func() { sim.Send(m) })
 }
 
 // antiPayload identifies the message to roll back.
@@ -389,26 +484,9 @@ func (sh *shim) onAnti(m *msg.Message) {
 		sh.e.stats.LateAnti++
 		return
 	}
-	e := sh.e
-	e.stats.Rollbacks++
-	undone := map[uint64]bool{}
-	for i := pos; i < sh.win.Len(); i++ {
-		if s := sh.win.At(i).Serial; s != 0 {
-			undone[s] = true
-			e.stats.RolledBack++
-		}
-	}
-	sh.restoreState(sh.ckpts.At(pos).(*shimState))
-	sh.ckpts.TruncateFrom(pos)
-	sh.replayPool = sh.extractCaused(undone)
+	sh.undoTo(pos)
 	sh.win.RemoveAt(pos)
-	delay := sh.e.cfg.BaseProcessing + e.cost.RollbackFixed
-	for i := pos; i < sh.win.Len(); i++ {
-		delay += e.cost.RollbackPerReplay + e.cost.PerMessage
-		sh.deliverAt(i, delay)
-	}
-	sh.cancelRecs(sh.replayPool)
-	sh.replayPool = nil
+	sh.replayFrom(pos)
 	sh.maybeSettle()
 }
 
@@ -452,6 +530,7 @@ func (sh *shim) maybeSettle() {
 	n := sh.win.Settle(cutoff)
 	if n > 0 {
 		sh.ckpts.DropFirst(n)
+		sh.compactJournals()
 		sh.lastSettledKey = retiredLast
 		sh.hasSettled = true
 	}
@@ -461,6 +540,7 @@ func (sh *shim) maybeSettle() {
 	kept := sh.sent[:0]
 	for _, rec := range sh.sent {
 		if rec.ev.IsZero() && rec.sentAt.Before(cutoff) {
+			sh.freeRec(rec)
 			continue
 		}
 		kept = append(kept, rec)
@@ -472,5 +552,24 @@ func (sh *shim) maybeSettle() {
 		if g+2 < staleGroup {
 			delete(sh.extSeq, g)
 		}
+	}
+}
+
+// compactJournals discards undo-journal prefixes no surviving checkpoint
+// can reach: settlement just dropped the oldest checkpoints, so the new
+// oldest mark bounds every future rewind. With the stack empty, everything
+// recorded so far is unreachable and the journals compact to their heads.
+func (sh *shim) compactJournals() {
+	if sh.japp == nil {
+		return
+	}
+	if app, ctr, ok := sh.ckpts.OldestMarks(); ok {
+		sh.japp.JournalCompact(app)
+		sh.sender.JournalCompact(ctr)
+		return
+	}
+	if sh.ckpts.Len() == 0 {
+		sh.japp.JournalCompact(sh.japp.JournalMark())
+		sh.sender.JournalCompact(sh.sender.JournalMark())
 	}
 }

@@ -12,6 +12,7 @@
 package api
 
 import (
+	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/vtime"
 )
@@ -41,6 +42,11 @@ type Application interface {
 	// messages to send in response. The substrate assigns causal
 	// annotations: outputs are children of m unless Out.CausedBy says
 	// otherwise.
+	//
+	// The returned slice (from any handler) is only valid until the next
+	// handler invocation on the same application: implementations may
+	// reuse one output buffer across calls, and the substrate consumes
+	// outputs synchronously before delivering anything else.
 	HandleMessage(m *msg.Message) []msg.Out
 
 	// HandleTimer advances the application's virtual clock to now and
@@ -61,6 +67,38 @@ type Application interface {
 	// ownership of st; implementations must clone anything they intend
 	// to mutate.
 	Restore(st State)
+}
+
+// Journaled is an optional Application capability enabling real MI
+// ("memory-intercepted") checkpointing: the application records a compact
+// undo entry for every state mutation, so the substrate can checkpoint by
+// taking an O(1) journal mark instead of calling State().Clone(), and roll
+// back by rewinding the journal to the mark — cost proportional to the
+// bytes dirtied since the checkpoint, not to the state size.
+//
+// The substrate probes for this interface with a type assertion;
+// applications that do not implement it keep working through the
+// Clone/Restore fallback, in every checkpoint mode.
+//
+// Contract: once JournalEnable has been called, *every* mutation of the
+// state observable through HandleMessage/HandleTimer/HandleExternal must
+// be journaled, and JournalRewind(m) must restore a state semantically
+// identical to the one State().Clone() would have captured at the moment
+// JournalMark returned m. JournalCompact(m) tells the application that no
+// rewind will ever target a mark older than m (its checkpoint settled), so
+// the journal prefix can be discarded.
+type Journaled interface {
+	// JournalEnable turns on undo recording. Called at most once, after
+	// Init and before any handler runs. Engines that never roll back
+	// (baseline, lockstep) simply never call it, so the journal stays
+	// empty.
+	JournalEnable()
+	// JournalMark returns the current undo-journal position.
+	JournalMark() journal.Mark
+	// JournalRewind undoes every mutation recorded since m.
+	JournalRewind(m journal.Mark)
+	// JournalCompact discards undo entries older than m.
+	JournalCompact(m journal.Mark)
 }
 
 // ExternalEvent is an event arriving from outside the instrumented network

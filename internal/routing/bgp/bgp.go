@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/routing/api"
 	"defined/internal/vtime"
@@ -48,6 +49,14 @@ func (Announce) ExternalKind() string { return "bgp-announce" }
 // update is the iBGP wire payload propagating a path.
 type update struct {
 	Path Path
+}
+
+// PayloadEqual implements msg.PayloadEq (the rollback engine's
+// lazy-cancellation matching, reflection-free). Path is comparable, so
+// this is one struct compare.
+func (u update) PayloadEqual(other any) bool {
+	o, ok := other.(update)
+	return ok && u == o
 }
 
 // Mode selects the decision engine.
@@ -180,6 +189,49 @@ func (s *state) Clone() api.State {
 	return ns
 }
 
+// ---- undo journal (MI checkpointing) ----------------------------------------
+
+// undoKind tags one journaled mutation of the daemon state.
+type undoKind uint8
+
+const (
+	undoRibIn     undoKind = iota // ribIn[prefix] = paths / delete
+	undoBest                      // best[prefix] = path / delete
+	undoDecisions                 // decisions = u64
+)
+
+// undoRec is one compact undo entry. Restored ribIn slice headers are safe
+// to reinstate as-is: journal rewind is strictly LIFO, so any younger
+// entry referencing a longer view of the same array is undone first.
+type undoRec struct {
+	kind   undoKind
+	had    bool
+	u64    uint64
+	prefix string
+	path   Path
+	paths  []Path
+}
+
+// applyUndo reverses one recorded mutation.
+func (s *state) applyUndo(u undoRec) {
+	switch u.kind {
+	case undoRibIn:
+		if u.had {
+			s.ribIn[u.prefix] = u.paths
+		} else {
+			delete(s.ribIn, u.prefix)
+		}
+	case undoBest:
+		if u.had {
+			s.best[u.prefix] = u.path
+		} else {
+			delete(s.best, u.prefix)
+		}
+	case undoDecisions:
+		s.decisions = u.u64
+	}
+}
+
 // Daemon is one iBGP speaker. Paths arrive either as external events
 // (eBGP announcements at border routers) or as iBGP updates from peers;
 // each new path triggers (re)selection, and best-path changes propagate to
@@ -189,12 +241,55 @@ type Daemon struct {
 	self      msg.NodeID
 	neighbors []api.Neighbor
 	st        *state
+
+	// j is the undo journal backing MI checkpoints; disabled (and empty)
+	// unless the substrate calls JournalEnable.
+	j *journal.Log[undoRec]
 }
 
 // New creates a daemon running the given decision engine.
-func New(mode Mode) *Daemon { return &Daemon{mode: mode} }
+func New(mode Mode) *Daemon {
+	d := &Daemon{mode: mode}
+	d.j = journal.New(func(u undoRec) { d.st.applyUndo(u) })
+	return d
+}
 
-var _ api.Application = (*Daemon)(nil)
+var (
+	_ api.Application = (*Daemon)(nil)
+	_ api.Journaled   = (*Daemon)(nil)
+)
+
+// JournalEnable implements api.Journaled.
+func (d *Daemon) JournalEnable() { d.j.Enable() }
+
+// JournalMark implements api.Journaled.
+func (d *Daemon) JournalMark() journal.Mark { return d.j.Mark() }
+
+// JournalRewind implements api.Journaled.
+func (d *Daemon) JournalRewind(m journal.Mark) { d.j.Rewind(m) }
+
+// JournalCompact implements api.Journaled.
+func (d *Daemon) JournalCompact(m journal.Mark) { d.j.Compact(m) }
+
+// The journaling setters below are the only paths that mutate daemon state
+// after Init; each records the old value before writing.
+
+func (d *Daemon) appendRibIn(prefix string, p Path) {
+	old, had := d.st.ribIn[prefix]
+	d.j.Record(undoRec{kind: undoRibIn, prefix: prefix, paths: old, had: had})
+	d.st.ribIn[prefix] = append(old, p)
+}
+
+func (d *Daemon) setBest(prefix string, p Path) {
+	old, had := d.st.best[prefix]
+	d.j.Record(undoRec{kind: undoBest, prefix: prefix, path: old, had: had})
+	d.st.best[prefix] = p
+}
+
+func (d *Daemon) bumpDecisions() {
+	d.j.Record(undoRec{kind: undoDecisions, u64: d.st.decisions})
+	d.st.decisions++
+}
 
 // Init implements api.Application.
 func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
@@ -213,8 +308,8 @@ func (d *Daemon) learn(p Path, from msg.NodeID) []msg.Out {
 			return nil
 		}
 	}
-	d.st.ribIn[p.Prefix] = append(d.st.ribIn[p.Prefix], p)
-	d.st.decisions++
+	d.appendRibIn(p.Prefix, p)
+	d.bumpDecisions()
 
 	var newBest Path
 	var ok bool
@@ -239,7 +334,7 @@ func (d *Daemon) learn(p Path, from msg.NodeID) []msg.Out {
 	if cur, have := d.st.best[p.Prefix]; have && cur == newBest {
 		return nil // selection unchanged: nothing to advertise
 	}
-	d.st.best[p.Prefix] = newBest
+	d.setBest(p.Prefix, newBest)
 	var outs []msg.Out
 	for _, nb := range d.neighbors {
 		if nb.ID == from {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/routing/api"
 	"defined/internal/vtime"
@@ -59,9 +60,38 @@ type Adj struct {
 	Cost uint32
 }
 
+// PayloadEqual implements msg.PayloadEq on the rollback engine's
+// lazy-cancellation path. Replays routinely regenerate floods of the very
+// same (immutable, shared) *LSA, so the pointer shortcut usually decides
+// without touching the links at all.
+func (l *LSA) PayloadEqual(other any) bool {
+	o, ok := other.(*LSA)
+	if !ok {
+		return false
+	}
+	if l == o {
+		return true
+	}
+	if l.Origin != o.Origin || l.Seq != o.Seq || len(l.Links) != len(o.Links) {
+		return false
+	}
+	for i := range l.Links {
+		if l.Links[i] != o.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // hello is the keepalive payload.
 type hello struct {
 	From msg.NodeID
+}
+
+// PayloadEqual implements msg.PayloadEq.
+func (h hello) PayloadEqual(other any) bool {
+	o, ok := other.(hello)
+	return ok && h == o
 }
 
 // Route is one computed routing-table entry.
@@ -97,6 +127,151 @@ type heldLSA struct {
 	lsa       *LSA
 	exclude   msg.NodeID // neighbor not to flood back to
 	releaseAt vtime.Time
+}
+
+// ---- undo journal (MI checkpointing) ----------------------------------------
+
+// undoKind tags one journaled mutation of the daemon state.
+type undoKind uint8
+
+const (
+	undoLSDB      undoKind = iota // lsdb[idx] = lsa
+	undoLSDBLen                   // lsdb shrinks back to length u64
+	undoAdjUp                     // adjUp[idx] = b
+	undoLastHello                 // lastHello[idx] = t
+	undoSeq                       // seq = u64
+	undoTable                     // table = table (old header; tables are immutable)
+	undoNow                       // now = t
+	undoBooted                    // booted = b
+	undoHoldLen                   // holdQueue truncates back to length u64
+	undoHoldSlice                 // holdQueue = held (old header, pre-filter)
+	undoSPFRuns                   // spfRuns = u64
+)
+
+// undoRec is one compact undo entry: for slice-element writes it is a
+// (slot, old-value) pair, so checkpoint cost scales with the bytes dirtied
+// per delivery rather than with topology size. Entries live by value in
+// the journal's reusable slice — no per-entry allocation.
+type undoRec struct {
+	kind  undoKind
+	idx   int32
+	b     bool
+	u64   uint64
+	t     vtime.Time
+	lsa   *LSA
+	table []Route
+	held  []heldLSA
+}
+
+// applyUndo reverses one recorded mutation. Restored slice headers (table,
+// holdQueue) are safe to reinstate as-is: journal rewind is strictly LIFO,
+// so any younger entry referencing a longer view of the same array has
+// already been undone.
+func (s *state) applyUndo(u undoRec) {
+	switch u.kind {
+	case undoLSDB:
+		s.lsdb[u.idx] = u.lsa
+	case undoLSDBLen:
+		s.lsdb = s.lsdb[:u.u64]
+	case undoAdjUp:
+		s.adjUp[u.idx] = u.b
+	case undoLastHello:
+		s.lastHello[u.idx] = u.t
+	case undoSeq:
+		s.seq = u.u64
+	case undoTable:
+		s.table = u.table
+	case undoNow:
+		s.now = u.t
+	case undoBooted:
+		s.booted = u.b
+	case undoHoldLen:
+		s.holdQueue = s.holdQueue[:u.u64]
+	case undoHoldSlice:
+		s.holdQueue = u.held
+	case undoSPFRuns:
+		s.spfRuns = u.u64
+	}
+}
+
+// JournalEnable implements api.Journaled: from here on every state
+// mutation records an undo entry so MI checkpoints are O(1) marks.
+func (d *Daemon) JournalEnable() { d.j.Enable() }
+
+// JournalMark implements api.Journaled.
+func (d *Daemon) JournalMark() journal.Mark { return d.j.Mark() }
+
+// JournalRewind implements api.Journaled.
+func (d *Daemon) JournalRewind(m journal.Mark) { d.j.Rewind(m) }
+
+// JournalCompact implements api.Journaled.
+func (d *Daemon) JournalCompact(m journal.Mark) { d.j.Compact(m) }
+
+// The journaling setters below are the only paths that mutate daemon state
+// after Init; each records the old value before writing (no-op writes are
+// skipped: undoing them is equally a no-op, and the entry is pure cost).
+
+func (d *Daemon) setLSDB(i msg.NodeID, lsa *LSA) {
+	if n := int(i); n >= len(d.st.lsdb) {
+		d.j.Record(undoRec{kind: undoLSDBLen, u64: uint64(len(d.st.lsdb))})
+		d.st.lsdb = grown(d.st.lsdb, n)
+	}
+	d.j.Record(undoRec{kind: undoLSDB, idx: int32(i), lsa: d.st.lsdb[i]})
+	d.st.lsdb[i] = lsa
+}
+
+func (d *Daemon) setAdjUp(i msg.NodeID, v bool) {
+	if d.st.adjUp[i] == v {
+		return
+	}
+	d.j.Record(undoRec{kind: undoAdjUp, idx: int32(i), b: d.st.adjUp[i]})
+	d.st.adjUp[i] = v
+}
+
+func (d *Daemon) setLastHello(i msg.NodeID, t vtime.Time) {
+	if d.st.lastHello[i] == t {
+		return
+	}
+	d.j.Record(undoRec{kind: undoLastHello, idx: int32(i), t: d.st.lastHello[i]})
+	d.st.lastHello[i] = t
+}
+
+func (d *Daemon) setSeq(v uint64) {
+	d.j.Record(undoRec{kind: undoSeq, u64: d.st.seq})
+	d.st.seq = v
+}
+
+func (d *Daemon) setTable(t []Route) {
+	d.j.Record(undoRec{kind: undoTable, table: d.st.table})
+	d.st.table = t
+}
+
+func (d *Daemon) setNow(t vtime.Time) {
+	if d.st.now == t {
+		return
+	}
+	d.j.Record(undoRec{kind: undoNow, t: d.st.now})
+	d.st.now = t
+}
+
+func (d *Daemon) setBooted(v bool) {
+	d.j.Record(undoRec{kind: undoBooted, b: d.st.booted})
+	d.st.booted = v
+}
+
+func (d *Daemon) pushHold(h heldLSA) {
+	d.j.Record(undoRec{kind: undoHoldLen, u64: uint64(len(d.st.holdQueue))})
+	d.st.holdQueue = append(d.st.holdQueue, h)
+}
+
+func (d *Daemon) setHoldQueue(q []heldLSA) {
+	d.j.Record(undoRec{kind: undoHoldSlice, held: d.st.holdQueue})
+	d.st.holdQueue = q
+}
+
+func (d *Daemon) bumpSPFRuns() {
+	d.j.Record(undoRec{kind: undoSPFRuns, u64: d.st.spfRuns})
+	d.st.spfRuns++
 }
 
 // grown returns s extended with zero values so index n is addressable.
@@ -135,15 +310,29 @@ type Daemon struct {
 	spfDist    []uint32
 	spfVia     []msg.NodeID
 	spfVisited []bool
+
+	// j is the undo journal backing MI checkpoints; disabled (and empty)
+	// unless the substrate calls JournalEnable.
+	j *journal.Log[undoRec]
+
+	// outBuf is the reusable output buffer: handlers build their result
+	// in it, so steady-state flooding allocates no fresh slices. Returned
+	// slices are valid until the next handler call (api.Application).
+	outBuf []msg.Out
 }
 
 // New creates a daemon with the given configuration.
 func New(cfg Config) *Daemon {
 	cfg.fillDefaults()
-	return &Daemon{cfg: cfg}
+	d := &Daemon{cfg: cfg}
+	d.j = journal.New(func(u undoRec) { d.st.applyUndo(u) })
+	return d
 }
 
-var _ api.Application = (*Daemon)(nil)
+var (
+	_ api.Application = (*Daemon)(nil)
+	_ api.Journaled   = (*Daemon)(nil)
+)
 
 // Init implements api.Application.
 func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
@@ -165,7 +354,7 @@ func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
 
 // originate installs a fresh own-LSA reflecting current adjacencies.
 func (d *Daemon) originate() *LSA {
-	d.st.seq++
+	d.setSeq(d.st.seq + 1)
 	var links []Adj
 	for _, nb := range d.neighbors {
 		if d.st.adjUp[nb.ID] {
@@ -173,15 +362,13 @@ func (d *Daemon) originate() *LSA {
 		}
 	}
 	lsa := &LSA{Origin: d.self, Seq: d.st.seq, Links: links}
-	d.st.lsdb = grown(d.st.lsdb, int(d.self))
-	d.st.lsdb[d.self] = lsa
+	d.setLSDB(d.self, lsa)
 	return lsa
 }
 
-// floodOuts builds the messages that flood lsa to all up adjacencies
+// appendFlood appends the messages that flood lsa to all up adjacencies
 // except exclude.
-func (d *Daemon) floodOuts(lsa *LSA, exclude msg.NodeID) []msg.Out {
-	outs := make([]msg.Out, 0, len(d.neighbors))
+func (d *Daemon) appendFlood(outs []msg.Out, lsa *LSA, exclude msg.NodeID) []msg.Out {
 	for _, nb := range d.neighbors {
 		if nb.ID == exclude || !d.st.adjUp[nb.ID] {
 			continue
@@ -197,14 +384,15 @@ func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
 	case *LSA:
 		return d.onLSA(p, m.From)
 	case hello:
-		d.st.lastHello[p.From] = d.st.now
+		d.setLastHello(p.From, d.st.now)
 		if !d.st.adjUp[p.From] {
 			// Adjacency resurrects on hello (simplified exchange: send
 			// our full LSDB so the peer resynchronizes).
-			d.st.adjUp[p.From] = true
+			d.setAdjUp(p.From, true)
 			lsa := d.originate()
-			outs := d.floodOuts(lsa, msg.None)
-			outs = append(outs, d.databaseOuts(p.From)...)
+			outs := d.appendFlood(d.outBuf[:0], lsa, msg.None)
+			outs = d.appendDatabase(outs, p.From)
+			d.outBuf = outs[:0]
 			d.runSPF()
 			return outs
 		}
@@ -214,11 +402,10 @@ func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
 	}
 }
 
-// databaseOuts sends every stored LSA to one neighbor (simplified database
-// exchange on adjacency formation). The LSDB slice is ordered by origin
-// id, so iteration is already deterministic.
-func (d *Daemon) databaseOuts(to msg.NodeID) []msg.Out {
-	var outs []msg.Out
+// appendDatabase appends every stored LSA addressed to one neighbor
+// (simplified database exchange on adjacency formation). The LSDB slice is
+// ordered by origin id, so iteration is already deterministic.
+func (d *Daemon) appendDatabase(outs []msg.Out, to msg.NodeID) []msg.Out {
 	for _, lsa := range d.st.lsdb {
 		if lsa != nil {
 			outs = append(outs, msg.Out{To: to, Payload: lsa})
@@ -229,49 +416,53 @@ func (d *Daemon) databaseOuts(to msg.NodeID) []msg.Out {
 
 // onLSA applies a received LSA: newer sequence wins; newer LSAs flood on.
 func (d *Daemon) onLSA(lsa *LSA, from msg.NodeID) []msg.Out {
-	d.st.lsdb = grown(d.st.lsdb, int(lsa.Origin))
-	if cur := d.st.lsdb[lsa.Origin]; cur != nil && cur.Seq >= lsa.Seq {
-		return nil // stale or duplicate
+	if int(lsa.Origin) < len(d.st.lsdb) {
+		if cur := d.st.lsdb[lsa.Origin]; cur != nil && cur.Seq >= lsa.Seq {
+			return nil // stale or duplicate
+		}
 	}
-	d.st.lsdb[lsa.Origin] = lsa
+	d.setLSDB(lsa.Origin, lsa)
 	d.runSPF()
 	if d.cfg.FloodHolddown > 0 {
-		d.st.holdQueue = append(d.st.holdQueue, heldLSA{
+		d.pushHold(heldLSA{
 			lsa: lsa, exclude: from, releaseAt: d.st.now.Add(d.cfg.FloodHolddown),
 		})
 		return nil
 	}
-	return d.floodOuts(lsa, from)
+	outs := d.appendFlood(d.outBuf[:0], lsa, from)
+	d.outBuf = outs[:0]
+	return outs
 }
 
 // HandleTimer implements api.Application: initial database flood, hello
 // emission, dead-interval expiry, and holddown release.
 func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
-	d.st.now = now
-	var outs []msg.Out
+	d.setNow(now)
+	outs := d.outBuf[:0]
 
 	// Boot: flood the own LSA on the first timer batch so the network
 	// synchronizes LSDBs (stands in for OSPF's initial database
 	// exchange on adjacency formation).
 	if !d.st.booted {
-		d.st.booted = true
+		d.setBooted(true)
 		for _, nb := range d.neighbors {
-			d.st.lastHello[nb.ID] = now
+			d.setLastHello(nb.ID, now)
 		}
-		outs = append(outs, d.floodOuts(d.st.lsdb[d.self], msg.None)...)
+		outs = d.appendFlood(outs, d.st.lsdb[d.self], msg.None)
 	}
 
-	// Release held LSAs that matured.
-	if len(d.st.holdQueue) > 0 {
+	// Release held LSAs that matured. The queue is only replaced (and
+	// journaled) when something actually matured.
+	if matured := d.holdMatured(now); matured {
 		var still []heldLSA
 		for _, h := range d.st.holdQueue {
 			if h.releaseAt.After(now) {
 				still = append(still, h)
 				continue
 			}
-			outs = append(outs, d.floodOuts(h.lsa, h.exclude)...)
+			outs = d.appendFlood(outs, h.lsa, h.exclude)
 		}
-		d.st.holdQueue = still
+		d.setHoldQueue(still)
 	}
 
 	// Hellos on the hello interval grid.
@@ -285,16 +476,27 @@ func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
 	changed := false
 	for _, nb := range d.neighbors {
 		if d.st.adjUp[nb.ID] && now.Sub(d.st.lastHello[nb.ID]) > d.cfg.DeadInterval {
-			d.st.adjUp[nb.ID] = false
+			d.setAdjUp(nb.ID, false)
 			changed = true
 		}
 	}
 	if changed {
 		lsa := d.originate()
-		outs = append(outs, d.floodOuts(lsa, msg.None)...)
+		outs = d.appendFlood(outs, lsa, msg.None)
 		d.runSPF()
 	}
+	d.outBuf = outs[:0]
 	return outs
+}
+
+// holdMatured reports whether any held LSA is due for release at now.
+func (d *Daemon) holdMatured(now vtime.Time) bool {
+	for _, h := range d.st.holdQueue {
+		if !h.releaseAt.After(now) {
+			return true
+		}
+	}
+	return false
 }
 
 // HandleExternal implements api.Application: interface state changes from
@@ -310,15 +512,16 @@ func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
 	if d.st.adjUp[lc.Peer] == lc.Up {
 		return nil
 	}
-	d.st.adjUp[lc.Peer] = lc.Up
+	d.setAdjUp(lc.Peer, lc.Up)
 	if lc.Up {
-		d.st.lastHello[lc.Peer] = d.st.now
+		d.setLastHello(lc.Peer, d.st.now)
 	}
 	lsa := d.originate()
-	outs := d.floodOuts(lsa, msg.None)
+	outs := d.appendFlood(d.outBuf[:0], lsa, msg.None)
 	if lc.Up {
-		outs = append(outs, d.databaseOuts(lc.Peer)...)
+		outs = d.appendDatabase(outs, lc.Peer)
 	}
+	d.outBuf = outs[:0]
 	d.runSPF()
 	return outs
 }
@@ -338,7 +541,7 @@ func (d *Daemon) Restore(st api.State) { d.st = st.(*state) }
 // run is the freshly built (immutable) routing table.
 func (d *Daemon) runSPF() {
 	s := d.st
-	s.spfRuns++
+	d.bumpSPFRuns()
 	const inf = ^uint32(0)
 	// The node-id universe: own id, every LSA origin, every advertised
 	// adjacency target.
@@ -406,7 +609,7 @@ func (d *Daemon) runSPF() {
 		}
 		table[i] = Route{Dest: msg.NodeID(i), NextHop: via[i], Cost: dist[i]}
 	}
-	s.table = table
+	d.setTable(table)
 }
 
 // linkBidirectional reports whether both a and b advertise each other.

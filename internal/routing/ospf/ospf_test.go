@@ -68,12 +68,12 @@ func converge(t *testing.T, w *wire) {
 			}
 			_ = other
 		}
-		w.push(id, d.databaseOuts(anyNeighbor(d)))
+		w.push(id, d.appendDatabase(nil, anyNeighbor(d)))
 	}
 	// Simpler: have every daemon flood its own LSA to neighbors.
 	for id, d := range w.daemons {
 		lsa := d.st.lsdb[d.self]
-		w.push(id, d.floodOuts(lsa, msg.None))
+		w.push(id, d.appendFlood(nil, lsa, msg.None))
 	}
 	w.drain(t)
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/routing/api"
 	"defined/internal/vtime"
@@ -103,6 +104,21 @@ type advert struct {
 	Metric int
 }
 
+// PayloadEqual implements msg.PayloadEq (the rollback engine's
+// lazy-cancellation matching, reflection-free).
+func (a announcement) PayloadEqual(other any) bool {
+	o, ok := other.(announcement)
+	if !ok || a.From != o.From || len(a.Routes) != len(o.Routes) {
+		return false
+	}
+	for i := range a.Routes {
+		if a.Routes[i] != o.Routes[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // routeEntry is one installed route.
 type routeEntry struct {
 	Prefix   string
@@ -139,21 +155,144 @@ func (s *state) Clone() api.State {
 	return ns
 }
 
+// ---- undo journal (MI checkpointing) ----------------------------------------
+
+// undoKind tags one journaled mutation of the daemon state.
+type undoKind uint8
+
+const (
+	undoRoute      undoKind = iota // table[prefix] = route / delete
+	undoOriginated                 // originated[prefix] = metric / delete
+	undoCrashed                    // crashed = b
+	undoNow                        // now = t
+	undoExpiries                   // expiries = u64
+	undoRefreshes                  // refreshes = u64
+)
+
+// undoRec is one compact undo entry: for map writes it is a (key,
+// old-value, existed) triple.
+type undoRec struct {
+	kind   undoKind
+	had    bool
+	b      bool
+	u64    uint64
+	t      vtime.Time
+	prefix string
+	route  routeEntry
+}
+
+// applyUndo reverses one recorded mutation.
+func (s *state) applyUndo(u undoRec) {
+	switch u.kind {
+	case undoRoute:
+		if u.had {
+			s.table[u.prefix] = u.route
+		} else {
+			delete(s.table, u.prefix)
+		}
+	case undoOriginated:
+		if u.had {
+			s.originated[u.prefix] = int(u.u64)
+		} else {
+			delete(s.originated, u.prefix)
+		}
+	case undoCrashed:
+		s.crashed = u.b
+	case undoNow:
+		s.now = u.t
+	case undoExpiries:
+		s.expiries = u.u64
+	case undoRefreshes:
+		s.refreshes = u.u64
+	}
+}
+
 // Daemon is one RIP instance.
 type Daemon struct {
 	cfg       Config
 	self      msg.NodeID
 	neighbors []api.Neighbor
 	st        *state
+
+	// j is the undo journal backing MI checkpoints; disabled (and empty)
+	// unless the substrate calls JournalEnable.
+	j *journal.Log[undoRec]
 }
 
 // New creates a daemon.
 func New(cfg Config) *Daemon {
 	cfg.fillDefaults()
-	return &Daemon{cfg: cfg}
+	d := &Daemon{cfg: cfg}
+	d.j = journal.New(func(u undoRec) { d.st.applyUndo(u) })
+	return d
 }
 
-var _ api.Application = (*Daemon)(nil)
+var (
+	_ api.Application = (*Daemon)(nil)
+	_ api.Journaled   = (*Daemon)(nil)
+)
+
+// JournalEnable implements api.Journaled.
+func (d *Daemon) JournalEnable() { d.j.Enable() }
+
+// JournalMark implements api.Journaled.
+func (d *Daemon) JournalMark() journal.Mark { return d.j.Mark() }
+
+// JournalRewind implements api.Journaled.
+func (d *Daemon) JournalRewind(m journal.Mark) { d.j.Rewind(m) }
+
+// JournalCompact implements api.Journaled.
+func (d *Daemon) JournalCompact(m journal.Mark) { d.j.Compact(m) }
+
+// The journaling setters below are the only paths that mutate daemon state
+// after Init; each records the old value before writing.
+
+func (d *Daemon) setRoute(prefix string, e routeEntry) {
+	old, had := d.st.table[prefix]
+	d.j.Record(undoRec{kind: undoRoute, prefix: prefix, route: old, had: had})
+	d.st.table[prefix] = e
+}
+
+func (d *Daemon) delRoute(prefix string) {
+	old, had := d.st.table[prefix]
+	if !had {
+		return
+	}
+	d.j.Record(undoRec{kind: undoRoute, prefix: prefix, route: old, had: true})
+	delete(d.st.table, prefix)
+}
+
+func (d *Daemon) setOriginated(prefix string, metric int) {
+	old, had := d.st.originated[prefix]
+	d.j.Record(undoRec{kind: undoOriginated, prefix: prefix, u64: uint64(old), had: had})
+	d.st.originated[prefix] = metric
+}
+
+func (d *Daemon) setCrashed(v bool) {
+	if d.st.crashed == v {
+		return
+	}
+	d.j.Record(undoRec{kind: undoCrashed, b: d.st.crashed})
+	d.st.crashed = v
+}
+
+func (d *Daemon) setNow(t vtime.Time) {
+	if d.st.now == t {
+		return
+	}
+	d.j.Record(undoRec{kind: undoNow, t: d.st.now})
+	d.st.now = t
+}
+
+func (d *Daemon) bumpExpiries() {
+	d.j.Record(undoRec{kind: undoExpiries, u64: d.st.expiries})
+	d.st.expiries++
+}
+
+func (d *Daemon) bumpRefreshes() {
+	d.j.Record(undoRec{kind: undoRefreshes, u64: d.st.refreshes})
+	d.st.refreshes++
+}
 
 // Init implements api.Application.
 func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
@@ -191,7 +330,7 @@ func (d *Daemon) announceOuts() []msg.Out {
 // HandleTimer implements api.Application: periodic announcements and route
 // expiry.
 func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
-	d.st.now = now
+	d.setNow(now)
 	if d.st.crashed {
 		return nil
 	}
@@ -199,8 +338,8 @@ func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
 	// batch must not let the stale route ride out).
 	for p, e := range d.st.table {
 		if e.Deadline != vtime.Never && now.After(e.Deadline) {
-			delete(d.st.table, p)
-			d.st.expiries++
+			d.delRoute(p)
+			d.bumpExpiries()
 		}
 	}
 	if int64(now)%int64(d.cfg.UpdateInterval) == 0 {
@@ -239,25 +378,25 @@ func (d *Daemon) learn(adv advert, via msg.NodeID) {
 	switch {
 	case !have:
 		if metric < Infinity {
-			d.st.table[adv.Prefix] = routeEntry{
+			d.setRoute(adv.Prefix, routeEntry{
 				Prefix: adv.Prefix, NextHop: via, Metric: metric, Deadline: deadline,
-			}
+			})
 		}
 	case via == cur.NextHop:
 		// Same next hop: always accept (metric may worsen) and refresh.
 		if metric >= Infinity {
-			delete(d.st.table, adv.Prefix)
+			d.delRoute(adv.Prefix)
 			return
 		}
 		cur.Metric = metric
 		cur.Deadline = deadline
-		d.st.table[adv.Prefix] = cur
-		d.st.refreshes++
+		d.setRoute(adv.Prefix, cur)
+		d.bumpRefreshes()
 	case metric < cur.Metric:
 		// Strictly better via another neighbor: switch.
-		d.st.table[adv.Prefix] = routeEntry{
+		d.setRoute(adv.Prefix, routeEntry{
 			Prefix: adv.Prefix, NextHop: via, Metric: metric, Deadline: deadline,
-		}
+		})
 	default:
 		// Equal-or-worse route from a different next hop. THE BUG:
 		// Quagga 0.96.5 compares only the destination when deciding
@@ -266,8 +405,8 @@ func (d *Daemon) learn(adv advert, via msg.NodeID) {
 		// route alive (paper Figure 5).
 		if d.cfg.Mode == Quagga0965 {
 			cur.Deadline = deadline
-			d.st.table[adv.Prefix] = cur
-			d.st.refreshes++
+			d.setRoute(adv.Prefix, cur)
+			d.bumpRefreshes()
 		}
 		// FixedMode: ignore — the timer belongs to cur.NextHop.
 	}
@@ -277,13 +416,13 @@ func (d *Daemon) learn(adv advert, via msg.NodeID) {
 func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
 	switch e := ev.(type) {
 	case Originate:
-		d.st.originated[e.Prefix] = e.Metric
-		d.st.table[e.Prefix] = routeEntry{
+		d.setOriginated(e.Prefix, e.Metric)
+		d.setRoute(e.Prefix, routeEntry{
 			Prefix: e.Prefix, NextHop: msg.None, Metric: e.Metric, Deadline: vtime.Never,
-		}
+		})
 		return d.announceOuts()
 	case Crash:
-		d.st.crashed = true
+		d.setCrashed(true)
 		return nil
 	case api.LinkChange:
 		// RIP learns topology only through announcements and timeouts;

@@ -51,9 +51,11 @@ func WithDeliveryLog() Option {
 	return func(c *rollback.Config) { c.LogDeliveries = true }
 }
 
-// WithStrategy selects checkpoint timing and rollback copy mode.
+// WithStrategy selects checkpoint timing and rollback copy mode
+// (including the zero-valued TF/FK strategy, which a bare Config would
+// replace with the TM/MI default).
 func WithStrategy(s checkpoint.Strategy) Option {
-	return func(c *rollback.Config) { c.Strategy = s }
+	return func(c *rollback.Config) { c.Strategy, c.StrategySet = s, true }
 }
 
 // WithChainBound caps causal chain length per timestep.
