@@ -20,22 +20,69 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportAllocs()
 	events := 0
 	for i := 0; i < b.N; i++ {
-		g := topology.Sprintlink()
-		apps := make([]defined.Application, g.N)
-		for j := range apps {
-			apps[j] = ospf.New(ospf.Config{})
-		}
-		eng := rollback.New(g, apps, rollback.Config{Seed: 7})
-		l := g.Links[0]
-		eng.Sim().ScheduleFn(vtime.Time(300*vtime.Millisecond), func() {
-			_ = eng.InjectLinkChange(l.A, l.B, false)
-		})
-		eng.Sim().ScheduleFn(vtime.Time(900*vtime.Millisecond), func() {
-			_ = eng.InjectLinkChange(l.A, l.B, true)
-		})
-		eng.Run(vtime.Time(2 * vtime.Second))
+		eng := flapScenario()
 		n, _ := eng.Sim().RunQuiescent(10_000_000)
 		events += n
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// flapScenario builds the shared Sprintlink link-flap workload and runs it
+// to the drain point (engine defaults: TM/MI, deferral on).
+func flapScenario(opts ...func(*rollback.Config)) *rollback.Engine {
+	g := topology.Sprintlink()
+	apps := make([]defined.Application, g.N)
+	for j := range apps {
+		apps[j] = ospf.New(ospf.Config{})
+	}
+	cfg := rollback.Config{Seed: 7}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng := rollback.New(g, apps, cfg)
+	l := g.Links[0]
+	eng.Sim().ScheduleFn(vtime.Time(300*vtime.Millisecond), func() {
+		_ = eng.InjectLinkChange(l.A, l.B, false)
+	})
+	eng.Sim().ScheduleFn(vtime.Time(900*vtime.Millisecond), func() {
+		_ = eng.InjectLinkChange(l.A, l.B, true)
+	})
+	eng.Run(vtime.Time(2 * vtime.Second))
+	return eng
+}
+
+// BenchmarkRollbackRate reports the speculation-quality metrics of the
+// rollback-avoidance fast path on the same workload as EngineThroughput:
+// rollbacks per committed delivery (the headline), deferral volume and
+// hit-rate, the spurious fraction, and mean rollback depth. Sub-benchmarks
+// compare the deferral default against the eager pre-PR3 dynamics;
+// committed deliveries are identical in both (Theorem 1), only the
+// speculation around them moves.
+func BenchmarkRollbackRate(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		slack vtime.Duration
+	}{
+		{"defer", 0}, // engine default
+		{"eager", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := flapScenario(func(c *rollback.Config) { c.DeferSlack = mode.slack })
+				eng.RunQuiescent(10_000_000)
+				st := eng.Stats()
+				committed := float64(st.CommittedDeliveries())
+				b.ReportMetric(float64(st.Rollbacks)/committed, "rollbacks/delivery")
+				b.ReportMetric(float64(st.Deliveries)/committed, "speculated/committed")
+				if st.Deferred > 0 {
+					b.ReportMetric(float64(st.DeferHits)/float64(st.Deferred), "defer-hit-rate")
+				}
+				if st.Rollbacks > 0 {
+					b.ReportMetric(float64(st.SpuriousRollbacks)/float64(st.Rollbacks), "spurious-frac")
+					b.ReportMetric(float64(st.RollbackDepthSum)/float64(st.Rollbacks), "mean-depth")
+				}
+			}
+		})
+	}
 }

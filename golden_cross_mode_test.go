@@ -11,10 +11,14 @@ package defined_test
 
 import (
 	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"defined"
 	"defined/internal/checkpoint"
+	"defined/internal/experiments"
+	"defined/internal/metrics"
 	"defined/internal/routing/api"
 	"defined/internal/routing/ospf"
 	"defined/internal/vtime"
@@ -27,7 +31,7 @@ type cloneOnlyApp struct{ api.Application }
 // goldenRun drives one link-flap scenario on g and returns every node's
 // committed delivery order, the engine stats, and every node's final
 // routing table.
-func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hideJournal bool) (orders [][]string, stats string, tables []string) {
+func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hideJournal bool, extra ...defined.Option) (orders [][]string, stats string, tables []string) {
 	apps := make([]defined.Application, g.N)
 	daemons := make([]*ospf.Daemon, g.N)
 	for i := range apps {
@@ -38,8 +42,10 @@ func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hide
 			apps[i] = daemons[i]
 		}
 	}
-	net := defined.NewNetwork(g, apps,
-		defined.WithSeed(seed), defined.WithStrategy(strat), defined.WithDeliveryLog())
+	opts := append([]defined.Option{
+		defined.WithSeed(seed), defined.WithStrategy(strat), defined.WithDeliveryLog()},
+		extra...)
+	net := defined.NewNetwork(g, apps, opts...)
 	l := g.Links[0]
 	net.At(vtime.Time(300*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
 	net.At(vtime.Time(700*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, true) })
@@ -84,7 +90,12 @@ func diffTables(t *testing.T, what string, a, b []string) {
 //     final routing tables;
 //  2. cross-mode determinism — FK and MI commit identical delivery orders
 //     and converge to identical routing tables, even though their
-//     rollback cost models differ.
+//     rollback cost models differ;
+//  3. deferral invisibility — the engine-default arrival deferral and an
+//     explicitly disabled deferral commit identical orders and converge
+//     to identical tables, even though the deferred run rolls back far
+//     less (the rollback-avoidance knobs may only move speculation
+//     dynamics, never the committed execution).
 func TestCrossModeGolden(t *testing.T) {
 	fk := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.FK}
 	mi := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.MI}
@@ -99,6 +110,9 @@ func TestCrossModeGolden(t *testing.T) {
 		for _, seed := range []uint64{1, 2, 3} {
 			t.Run(fmt.Sprintf("%s/seed%d", tp.name, seed), func(t *testing.T) {
 				miOrders, miStats, miTables := goldenRun(tp.mk(seed), seed, mi, false)
+				if !strings.Contains(miStats, "SettleViolations:0") {
+					t.Fatalf("adaptive settle bound violated: %s", miStats)
+				}
 
 				fbOrders, fbStats, fbTables := goldenRun(tp.mk(seed), seed, mi, true)
 				diffOrders(t, "journal vs fallback", miOrders, fbOrders)
@@ -110,7 +124,51 @@ func TestCrossModeGolden(t *testing.T) {
 				fkOrders, _, fkTables := goldenRun(tp.mk(seed), seed, fk, false)
 				diffOrders(t, "FK vs MI", fkOrders, miOrders)
 				diffTables(t, "FK vs MI", fkTables, miTables)
+
+				ndOrders, _, ndTables := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithoutDeferral())
+				diffOrders(t, "defer-on vs defer-off", miOrders, ndOrders)
+				diffTables(t, "defer-on vs defer-off", miTables, ndTables)
 			})
 		}
 	}
+}
+
+// TestFigureMetricsGolden pins the headline metrics of the two figure
+// reproductions the CI bench smoke tracks. The figure pipeline pins the
+// seed tree's speculation dynamics (TF/FK cost point, deferral off,
+// per-run static behaviour), so these values must stay bit-identical
+// across engine-default changes — the constants were captured from the
+// PR 2 tree and guard the PR 3 rollback-avoidance defaults. An
+// intentional figure-workload change must update them.
+func TestFigureMetricsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates two figures (~10 s)")
+	}
+	opt := experiments.Options{Quick: true, Seed: 42}
+
+	f6 := experiments.Fig6a(opt)
+	if got := goldenMedianX(f6.SeriesByName("DEFINED-RB").Points); got != 10.358974358974359 {
+		t.Errorf("Fig6a DEFINED-RB median pkts = %.17g, want 10.358974358974359", got)
+	}
+	if got := goldenMedianX(f6.SeriesByName("XORP").Points); got != 8.3076923076923066 {
+		t.Errorf("Fig6a XORP median pkts = %.17g, want 8.3076923076923066", got)
+	}
+
+	f8 := experiments.Fig8d(opt)
+	pts := f8.SeriesByName("DEFINED-RB").Points
+	if got := pts[len(pts)-1].Y; got != 0.46000000000000002 {
+		t.Errorf("Fig8d convergence at highest rate = %.17g s, want 0.46000000000000002", got)
+	}
+}
+
+// goldenMedianX mirrors the bench harness's headline extraction: the CDF
+// x at the first y >= 0.5.
+func goldenMedianX(pts []metrics.Point) float64 {
+	for _, p := range pts {
+		if p.Y >= 0.5 {
+			return p.X
+		}
+	}
+	return math.NaN()
 }

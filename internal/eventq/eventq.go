@@ -152,6 +152,33 @@ func (q *Queue) Remove(h Handle) bool {
 	return true
 }
 
+// Reschedule moves a live event to a new timestamp without freeing its
+// slot: the handle stays valid and the event keeps its insertion sequence
+// (so re-arming is deterministic and allocation-free). It reports whether
+// the event was live; stale handles — fired, removed, or reused slots —
+// are a safe no-op, mirroring Remove.
+//
+// This is the re-arm hook the rollback engine's arrival-deferral timer
+// uses: one flush event per node, slid earlier or later as the pending
+// buffer changes, instead of a fresh event per deferred arrival.
+func (q *Queue) Reschedule(h Handle, at vtime.Time) bool {
+	if !q.Live(h) {
+		return false
+	}
+	s := &q.slots[h.slot]
+	if s.at == at {
+		return true
+	}
+	earlier := at < s.at
+	s.at = at
+	if earlier {
+		q.siftUp(int(s.heapIdx))
+	} else {
+		q.siftDown(int(s.heapIdx))
+	}
+	return true
+}
+
 // deleteAt removes the heap entry at position i and frees its slot.
 func (q *Queue) deleteAt(i int) {
 	idx := q.heap[i]

@@ -259,3 +259,77 @@ func BenchmarkPushPop(b *testing.B) {
 		q.PushDeliver(ev.At+32, m)
 	}
 }
+
+// Reschedule slides a live event to a new time while keeping its handle
+// and insertion sequence; stale handles are a safe no-op.
+func TestReschedule(t *testing.T) {
+	var q Queue
+	a := q.PushFn(10, func() {})
+	q.PushFn(20, func() {})
+	c := q.PushFn(30, func() {})
+
+	// Later: c ahead of nothing; earlier: c in front of everything.
+	if !q.Reschedule(c, 5) {
+		t.Fatal("live handle must reschedule")
+	}
+	if at := q.NextAt(); at != 5 {
+		t.Fatalf("NextAt = %v, want 5", at)
+	}
+	if !q.Reschedule(c, 25) {
+		t.Fatal("second reschedule must work (handle stays valid)")
+	}
+	ev, _ := q.Pop()
+	if ev.At != 10 {
+		t.Fatalf("first pop at %v, want 10", ev.At)
+	}
+	// a has fired: its handle is stale and rescheduling it is a no-op.
+	if q.Reschedule(a, 1) {
+		t.Fatal("stale handle must not reschedule")
+	}
+	ev, _ = q.Pop()
+	if ev.At != 20 {
+		t.Fatalf("second pop at %v, want 20", ev.At)
+	}
+	if !q.Reschedule(c, 20) {
+		t.Fatal("reschedule onto an occupied timestamp must work")
+	}
+	ev, _ = q.Pop()
+	if ev.At != 20 {
+		t.Fatalf("third pop at %v, want 20 (c, moved)", ev.At)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty, len %d", q.Len())
+	}
+}
+
+// Rescheduling onto the same timestamp of another event keeps insertion
+// order as the tie-break: the rescheduled event keeps its original seq.
+func TestRescheduleTieBreakKeepsSeq(t *testing.T) {
+	var q Queue
+	first := q.PushFn(10, func() {})
+	q.PushFn(50, func() {})
+	if !q.Reschedule(first, 50) {
+		t.Fatal("reschedule failed")
+	}
+	ev, _ := q.Pop()
+	if ev.Seq != 0 {
+		t.Fatalf("first-pushed event must still win the tie: seq %d", ev.Seq)
+	}
+}
+
+// Reschedule must not allocate: it only re-sifts the heap.
+func TestRescheduleAllocFree(t *testing.T) {
+	var q Queue
+	h := q.PushFn(10, func() {})
+	for i := 0; i < 64; i++ {
+		q.PushFn(vtime.Time(20+i), func() {})
+	}
+	at := vtime.Time(100)
+	avg := testing.AllocsPerRun(1000, func() {
+		at++
+		q.Reschedule(h, at)
+	})
+	if avg != 0 {
+		t.Fatalf("Reschedule allocates %.1f allocs/op, want 0", avg)
+	}
+}

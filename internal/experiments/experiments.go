@@ -71,8 +71,17 @@ type network struct {
 // comparable across engine-default changes (the engine default is now the
 // paper-recommended TM/MI with real undo-journal checkpointing, whose
 // cheaper rollback repair shifts speculation dynamics).
+//
+// Arrival deferral (the engine's rollback-avoidance default since PR 3)
+// is pinned off the same way: deferral trades a small virtual-time hold
+// for fewer rollbacks, which would shift the convergence-time series the
+// figures report. Committed orders are identical either way; only the
+// timing dynamics the figures measure would move.
 func newNetwork(g *topology.Graph, cfg rollback.Config) *network {
 	cfg.StrategySet = true
+	if cfg.DeferSlack == 0 {
+		cfg.DeferSlack = -1 // pre-deferral dynamics
+	}
 	apps := ospfApps(g.N, ospf.Config{})
 	e := rollback.New(g, apps, cfg)
 	n := &network{e: e, apps: apps, g: g, down: map[int]bool{}}

@@ -5,6 +5,11 @@ import (
 	"testing"
 
 	"defined/internal/metrics"
+	"defined/internal/ordering"
+	"defined/internal/rollback"
+	"defined/internal/topology"
+	"defined/internal/trace"
+	"defined/internal/vtime"
 )
 
 var quick = Options{Quick: true, Seed: 42}
@@ -165,6 +170,54 @@ func TestFig8dShape(t *testing.T) {
 		if p.Y < 0 || p.Y > 10 {
 			t.Fatalf("implausible convergence at rate %v: %v", p.X, p.Y)
 		}
+	}
+}
+
+// TestNoSettleViolationsAcrossWorkloads pins the adaptive settle bound's
+// correctness criterion on the experiment workloads: replaying trace
+// events on both evaluation topology families, under both orderings, with
+// deferral pinned off (the figure configuration) and at the engine
+// default, must never retire a history slot a straggler still needed.
+func TestNoSettleViolationsAcrossWorkloads(t *testing.T) {
+	const deferDefault = 8 * vtime.Millisecond // the engine default, explicit to bypass the figure pin
+	for _, tc := range []struct {
+		name  string
+		g     *topology.Graph
+		cfg   rollback.Config
+		slack vtime.Duration
+	}{
+		{"sprintlink/oo-pinned", topology.Sprintlink(), rollback.Config{Seed: 42}, 0},
+		{"sprintlink/oo-defer", topology.Sprintlink(), rollback.Config{Seed: 42}, deferDefault},
+		{"brite/oo-defer", topology.Brite(20, 2, 42), rollback.Config{Seed: 42}, deferDefault},
+		{"brite/ro-pinned", topology.Brite(20, 2, 42),
+			rollback.Config{Seed: 42, Ordering: ordering.Random(43)}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.DeferSlack = tc.slack
+			n := newNetwork(tc.g, cfg)
+			evs := trace.Poisson(tc.g, 0.5, 16*vtime.Second, 300*vtime.Millisecond, 42)
+			applied := 0
+			for i, ev := range evs {
+				if i >= 8 {
+					break
+				}
+				if _, _, err := n.perEvent(ev, 2*vtime.Second); err == nil {
+					applied++
+				}
+			}
+			if applied == 0 {
+				t.Fatal("no trace event applied; the network never churned")
+			}
+			n.e.RunQuiescent(10_000_000)
+			st := n.e.Stats()
+			if st.SettleViolations != 0 {
+				t.Fatalf("settle violations under adaptive bound: %+v", st)
+			}
+			if tc.slack == 0 && st.Deferred != 0 {
+				t.Fatalf("figure pinning failed to disable deferral: %+v", st)
+			}
+		})
 	}
 }
 

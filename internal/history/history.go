@@ -71,13 +71,6 @@ func (w *Window) Len() int { return len(w.entries) }
 // At returns the entry at position i in delivered order.
 func (w *Window) At(i int) Entry { return w.entries[i] }
 
-// Suffix returns a copy of the entries from position i to the end.
-func (w *Window) Suffix(i int) []Entry {
-	out := make([]Entry, len(w.entries)-i)
-	copy(out, w.entries[i:])
-	return out
-}
-
 // Insert places e into the window at its ordering position. It returns the
 // position and whether the entry was a duplicate (already present with an
 // identical key), in which case the window is unchanged and pos is the
@@ -133,23 +126,19 @@ func (w *Window) FindKey(key ordering.Key) int {
 	return -1
 }
 
-// Settle retires entries from the front whose arrival time is strictly
-// before cutoff, returning how many were removed. Retired entries can no
-// longer be rolled back; the caller must only settle entries older than
-// twice the maximum propagation delay (plus safety margin).
-//
-// Settlement stops at the first entry newer than the cutoff even if later
-// entries are older: delivered order is what matters for rollback, and a
-// suffix must stay intact.
-func (w *Window) Settle(cutoff vtime.Time) int {
-	n := 0
-	for n < len(w.entries) && w.entries[n].ArrivedAt.Before(cutoff) {
-		n++
+// Retire removes the n oldest entries from the front of the window
+// (settlement). Retired entries can no longer be rolled back; the caller
+// scans the prefix itself — typically for entries whose arrival predates
+// the settle cutoff — and must stop at the first entry newer than the
+// cutoff even if later entries are older: delivered order is what matters
+// for rollback, and a suffix must stay intact. The rollback engine folds
+// that scan into its settled-log bookkeeping so the prefix is walked
+// exactly once.
+func (w *Window) Retire(n int) {
+	if n <= 0 {
+		return
 	}
-	if n > 0 {
-		w.entries = append(w.entries[:0], w.entries[n:]...)
-	}
-	return n
+	w.entries = append(w.entries[:0], w.entries[n:]...)
 }
 
 // Keys returns the keys of all live entries in delivered order (testing

@@ -64,9 +64,8 @@ func TestInsertOutOfOrderDetectsDivergence(t *testing.T) {
 		t.Fatalf("ma should insert at 1 (rollback point), got %d", pos)
 	}
 	// The rolled-back suffix is md, mc — exactly the paper's rollback set.
-	suffix := w.Suffix(pos + 1)
-	if len(suffix) != 2 || suffix[0].Msg.ID.Seq != 2 || suffix[1].Msg.ID.Seq != 3 {
-		t.Fatalf("rollback set wrong: %v", suffix)
+	if w.Len()-(pos+1) != 2 || w.At(pos+1).Msg.ID.Seq != 2 || w.At(pos+2).Msg.ID.Seq != 3 {
+		t.Fatalf("rollback set wrong: %v, %v", w.At(pos+1), w.At(pos+2))
 	}
 	if err := w.CheckInvariant(); err != nil {
 		t.Fatal(err)
@@ -137,6 +136,18 @@ func TestTimerEntries(t *testing.T) {
 	}
 }
 
+// settleScan mirrors the rollback engine's single-pass settlement: count
+// the prefix older than the cutoff — stopping at the first newer entry
+// even if later entries are older — then Retire it.
+func settleScan(w *Window, cutoff vtime.Time) int {
+	n := 0
+	for n < w.Len() && w.At(n).ArrivedAt.Before(cutoff) {
+		n++
+	}
+	w.Retire(n)
+	return n
+}
+
 func TestSettle(t *testing.T) {
 	w := New(ordering.Optimized())
 	w.Insert(entry(1, 1, 0, 0, 10))
@@ -144,19 +155,19 @@ func TestSettle(t *testing.T) {
 	w.Insert(entry(1, 3, 0, 2, 5)) // newest in order but oldest arrival
 	// Cutoff 15: only the first entry (arrival 10) retires; the third
 	// (arrival 5) is behind a newer entry and must stay.
-	if n := w.Settle(15); n != 1 {
+	if n := settleScan(w, 15); n != 1 {
 		t.Fatalf("settled %d, want 1", n)
 	}
 	if w.Len() != 2 {
 		t.Fatalf("len = %d", w.Len())
 	}
-	if n := w.Settle(100); n != 2 {
+	if n := settleScan(w, 100); n != 2 {
 		t.Fatalf("settled %d, want 2", n)
 	}
 	if w.Len() != 0 {
 		t.Fatal("window should be empty")
 	}
-	if n := w.Settle(1000); n != 0 {
+	if n := settleScan(w, 1000); n != 0 {
 		t.Fatal("settling empty window should be 0")
 	}
 }
@@ -214,6 +225,27 @@ func TestInsertPermutationProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Retire is the pre-scanned commit half of Settle: it must drop exactly
+// the requested prefix and tolerate n <= 0.
+func TestRetire(t *testing.T) {
+	w := New(ordering.Optimized())
+	w.Insert(entry(1, 1, 0, 0, 10))
+	w.Insert(entry(1, 2, 0, 1, 20))
+	w.Insert(entry(1, 3, 0, 2, 30))
+	w.Retire(0)
+	w.Retire(-1)
+	if w.Len() != 3 {
+		t.Fatalf("no-op retire changed the window: len %d", w.Len())
+	}
+	w.Retire(2)
+	if w.Len() != 1 || w.At(0).Key.Delay != 3 {
+		t.Fatalf("retire(2): len=%d keys=%v", w.Len(), w.Keys())
+	}
+	if err := w.CheckInvariant(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -254,6 +254,17 @@ func (s *Sim) After(d vtime.Duration, fn func()) eventq.Handle {
 // even one whose queue slot has since been reused — is a safe no-op.
 func (s *Sim) Cancel(h eventq.Handle) { s.q.Remove(h) }
 
+// Rearm slides a previously scheduled fn event to a new fire time (clamped
+// to now), keeping its handle valid and allocating nothing. It reports
+// whether the event was still pending; re-arming an already-fired event is
+// a safe no-op, and the caller should schedule afresh.
+func (s *Sim) Rearm(h eventq.Handle, at vtime.Time) bool {
+	if at < s.now {
+		at = s.now
+	}
+	return s.q.Reschedule(h, at)
+}
+
 // Step processes the next event. It returns false when the queue is empty.
 func (s *Sim) Step() bool {
 	ev, ok := s.q.Pop()

@@ -436,3 +436,32 @@ func TestControlMessagePoolRecycling(t *testing.T) {
 		t.Fatal("pool should reuse the recycled struct")
 	}
 }
+
+// Rearm slides a scheduled fn to a new fire time without reallocating its
+// event; past times clamp to now and stale handles report false.
+func TestRearmSlidesScheduledFn(t *testing.T) {
+	g := topology.Line(2, vtime.Millisecond)
+	s := New(g, Config{})
+	var fired []vtime.Time
+	h := s.ScheduleFn(30, func() { fired = append(fired, s.Now()) })
+	s.ScheduleFn(20, func() { fired = append(fired, s.Now()) })
+	if !s.Rearm(h, 10) {
+		t.Fatal("live handle must re-arm")
+	}
+	s.RunQuiescent(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+	if s.Rearm(h, 40) {
+		t.Fatal("fired handle must not re-arm")
+	}
+	// Re-arming into the past clamps to now.
+	h2 := s.ScheduleFn(50, func() { fired = append(fired, s.Now()) })
+	if !s.Rearm(h2, 5) {
+		t.Fatal("re-arm with past time must clamp, not fail")
+	}
+	s.RunQuiescent(100)
+	if len(fired) != 3 || fired[2] != 20 {
+		t.Fatalf("fired = %v, want clamped fire at now (20)", fired)
+	}
+}

@@ -1,0 +1,372 @@
+package rollback
+
+// Rollback avoidance: deterministic arrival deferral and the adaptive
+// settle-bound estimator. Both knobs change only *speculation dynamics* —
+// how often the engine guesses wrong and repairs — never the committed
+// order, which by Theorem 1 depends only on the ordering function and the
+// external events.
+
+import (
+	"defined/internal/eventq"
+	"defined/internal/history"
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/vtime"
+)
+
+// Deferral defaults (Config.DeferSlack / Config.DeferMax select them when
+// zero). Slack is sized to absorb the lateness *differentials* that
+// actually cause rollbacks — accumulated jitter plus differential
+// rollback-repair charges between racing flood paths — which run to a few
+// milliseconds, while staying at or below one typical link delay
+// (5–40 ms on the evaluation topologies) so a hold never costs more
+// convergence latency than one extra hop. On the Sprintlink link-flap
+// workload 8 ms removes ~90 % of rollbacks for ~10 ms of added
+// quiescence latency; beyond it the returns diminish and the latency
+// cost keeps growing. The per-arrival budget (DeferMax) mostly matters
+// for chained holds — an arrival queued behind held predecessors waits
+// for them — and 100 ms is where the rollback reduction saturates on the
+// same workload (a tighter 25 ms budget forfeits half of it by cutting
+// storm-time chains short).
+const (
+	defaultDeferSlack = 8 * vtime.Millisecond
+	defaultDeferMax   = 100 * vtime.Millisecond
+	// maxPending bounds the per-shim pending buffer; overflow flushes the
+	// oldest keys immediately, so the buffer can never grow with load.
+	maxPending = 128
+)
+
+// pendingArrival is one deferred entry in the shim's pending buffer. due
+// is the flush time: the entry's own gap-complement hold, raised to what
+// its key predecessors were holding for when it arrived (queuing behind a
+// held predecessor extends the wait — deliberately sticky, since a long
+// chained hold is exactly quantum buffering through a churn storm), but
+// never past capAt, the entry's own arrival+DeferMax budget. seq is the
+// shim's arrival sequence at deferral time: any smaller-keyed arrival
+// processed with a larger sequence overtook this entry during its hold,
+// meaning the deferral avoided a rollback (Stats.DeferHits). held records
+// whether the entry ever actually waited (a zero-length hold that only
+// queued for key order is not a deferral in the Stats sense).
+type pendingArrival struct {
+	entry history.Entry
+	capAt vtime.Time
+	due   vtime.Time
+	seq   uint64
+	held  bool
+}
+
+// holdFor computes how long an arrival should be held given the key it
+// would be delivered right after. The hold is the complement of the
+// ordering-key gap: d_i predicts arrival times, so an arrival whose Delay
+// exceeds its predecessor's by gap < DeferSlack has predicted
+// predecessors within the gap that may still be in flight — delivering it
+// eagerly risks a rollback the moment one lands, and a straggler running
+// up to slack−gap later than this arrival still sorts before it. A gap of
+// DeferSlack or more is its own protection (a straggler would have to run
+// that much later relative to this arrival to displace it), and timer
+// batches and externals are local events that never wait.
+func (sh *shim) holdFor(k, prev ordering.Key) vtime.Duration {
+	if k.Class != ordering.ClassMessage {
+		return 0
+	}
+	var prevDelay vtime.Duration
+	if prev.Group == k.Group && prev.Class == ordering.ClassMessage {
+		prevDelay = prev.Delay
+	}
+	gap := k.Delay - prevDelay
+	if gap >= sh.e.cfg.DeferSlack {
+		return 0
+	}
+	hold := sh.e.cfg.DeferSlack - gap
+	if hold > sh.e.cfg.DeferMax {
+		hold = sh.e.cfg.DeferMax
+	}
+	return hold
+}
+
+// maybeDefer decides whether an arrival enters the pending buffer instead
+// of the history window. It reports true when the entry was consumed
+// (deferred or dropped as a pending duplicate).
+//
+// Invariant: every live window entry sorts strictly before every pending
+// entry, and pending dues are non-decreasing in key order. Arrivals
+// sorting after a pending entry therefore must queue behind it —
+// delivering them first would guarantee a rollback when the pending
+// entries flush.
+func (sh *shim) maybeDefer(entry history.Entry) bool {
+	cmp := sh.e.cfg.Ordering
+	now := sh.e.sim.Now()
+	// Insertion position in the (small, key-ordered) pending buffer.
+	pos := len(sh.pend)
+	for pos > 0 {
+		c := cmp.Compare(sh.pend[pos-1].entry.Key, entry.Key)
+		if c < 0 {
+			break
+		}
+		if c == 0 {
+			sh.e.stats.Duplicates++
+			return true
+		}
+		pos--
+	}
+	var hold vtime.Duration
+	if pos == 0 {
+		// Fronts the pending buffer: its predecessor is the window tail.
+		n := sh.win.Len()
+		if n == 0 {
+			return false // nothing to misorder against yet
+		}
+		tail := sh.win.At(n - 1).Key
+		if cmp.Compare(entry.Key, tail) <= 0 {
+			return false // diverging (or dup): take the rollback now
+		}
+		hold = sh.holdFor(entry.Key, tail)
+		if hold <= 0 && len(sh.pend) == 0 {
+			return false // in order and safely gapped: deliver now
+		}
+	} else {
+		// Queues behind a pending predecessor for key order, with its own
+		// hold budget.
+		hold = sh.holdFor(entry.Key, sh.pend[pos-1].entry.Key)
+	}
+	sh.pushPending(entry, pos, now.Add(hold))
+	return true
+}
+
+// pushPending inserts an arrival at position pos of the key-ordered
+// pending buffer and restores the due invariants: dues non-decreasing in
+// key order (an entry may never deliver after a larger-keyed successor)
+// and no entry held past its own arrival+DeferMax budget. The new entry's
+// hold is raised to its predecessor's due (capped at its own budget), the
+// raise propagates stickily through its successors (each capped at theirs),
+// and where a cap clips the chain the backward pass lowers predecessors a
+// capped successor can no longer wait out — delivering earlier is always
+// safe. It then flushes (front already due) or re-arms the flush event.
+func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
+	now := sh.e.sim.Now()
+	capAt := now.Add(sh.e.cfg.DeferMax)
+	if pos > 0 && sh.pend[pos-1].due > due {
+		due = sh.pend[pos-1].due
+	}
+	if due > capAt {
+		due = capAt
+	}
+	sh.arrSeq++
+	p := pendingArrival{entry: entry, capAt: capAt, due: due, seq: sh.arrSeq, held: due > now}
+	sh.pend = append(sh.pend, pendingArrival{})
+	copy(sh.pend[pos+1:], sh.pend[pos:])
+	sh.pend[pos] = p
+	run := due
+	for j := pos + 1; j < len(sh.pend); j++ {
+		q := &sh.pend[j]
+		if q.due >= run {
+			break
+		}
+		nd := run
+		if nd > q.capAt {
+			nd = q.capAt
+		}
+		if nd > q.due {
+			q.due = nd
+		}
+		run = q.due
+	}
+	for k := len(sh.pend) - 2; k >= 0; k-- {
+		if sh.pend[k].due > sh.pend[k+1].due {
+			sh.pend[k].due = sh.pend[k+1].due
+		}
+	}
+	if p.held {
+		sh.e.stats.Deferred++
+	}
+	if len(sh.pend) > maxPending {
+		// Bounded buffer: force the front due and drain it.
+		sh.pend[0].due = now
+	}
+	if sh.pend[0].due <= now {
+		sh.flushPending()
+		return
+	}
+	sh.armFlush(sh.pend[0].due)
+}
+
+// armFlush makes sure the shim's single flush event fires no later than
+// at, re-arming the live event in place (eventq.Reschedule) rather than
+// scheduling a new one.
+func (sh *shim) armFlush(at vtime.Time) {
+	if !sh.flushH.IsZero() && sh.e.sim.Rearm(sh.flushH, min(at, sh.flushAt)) {
+		if at < sh.flushAt {
+			sh.flushAt = at
+		}
+		return
+	}
+	sh.flushH = sh.e.sim.ScheduleFn(at, sh.flushFn)
+	sh.flushAt = at
+}
+
+// onFlush is the scheduled flush callback (bound once per shim).
+func (sh *shim) onFlush() {
+	sh.flushH = eventq.Handle{}
+	sh.flushPending()
+}
+
+// flushPending delivers every pending arrival up to (and including) the
+// largest due key, in ordering-key order — batched insertion in key order
+// cannot roll anything back, which is the whole point: the hold converted
+// a deliver-then-undo sequence into a single ordered delivery. Entries
+// with later dues whose key sorts below a due entry flush with it (window
+// insertion must stay in key order).
+func (sh *shim) flushPending() {
+	now := sh.e.sim.Now()
+	// Dues are non-decreasing in key order, so the due set is a prefix.
+	last := -1
+	for last+1 < len(sh.pend) && !sh.pend[last+1].due.After(now) {
+		last++
+	}
+	if last < 0 {
+		if len(sh.pend) > 0 {
+			sh.armFlush(sh.pend[0].due)
+		}
+		return
+	}
+	// A hit means something overtook the hold: either a direct window
+	// insertion after the entry was deferred (sh.directSeq advanced past
+	// its seq) or a batch-mate with a smaller key deferred after it
+	// (maxSeen). Both would have been a rollback without the hold. The
+	// flush itself only counts toward DeferredFlushes when it delivers at
+	// least one entry that actually waited.
+	maxSeen := uint64(0)
+	heldAny := false
+	for i := 0; i <= last; i++ {
+		p := &sh.pend[i]
+		heldAny = heldAny || p.held
+		if sh.directSeq > p.seq || maxSeen > p.seq {
+			sh.e.stats.DeferHits++
+		}
+		if p.seq > maxSeen {
+			maxSeen = p.seq
+		}
+		// The entry enters the window when it flushes; retirement clocks
+		// start here, so a hold can never age an entry toward a
+		// settle violation.
+		p.entry.ArrivedAt = now
+		sh.insertNow(p.entry)
+	}
+	if heldAny {
+		sh.e.stats.DeferredFlushes++
+	}
+	n := copy(sh.pend, sh.pend[last+1:])
+	clearPending(sh.pend[n:])
+	sh.pend = sh.pend[:n]
+	if len(sh.pend) > 0 {
+		sh.armFlush(sh.pend[0].due)
+	}
+}
+
+// clearPending zeroes recycled buffer cells so retired entries (and their
+// messages) do not linger reachable.
+func clearPending(ps []pendingArrival) {
+	for i := range ps {
+		ps[i] = pendingArrival{}
+	}
+}
+
+// annihilatePending removes a pending arrival targeted by an anti-message
+// before it was ever delivered — the cheapest possible unsend (Time
+// Warp's input-queue annihilation): no rollback, no replay. It reports
+// whether the target was found.
+func (sh *shim) annihilatePending(target msg.ID) bool {
+	for i := range sh.pend {
+		m := sh.pend[i].entry.Msg
+		if m == nil || m.ID != target {
+			continue
+		}
+		n := copy(sh.pend[i:], sh.pend[i+1:])
+		clearPending(sh.pend[i+n:])
+		sh.pend = sh.pend[:i+n]
+		sh.e.stats.PendingAnnihilated++
+		return true
+	}
+	return false
+}
+
+// ---- adaptive settle bound --------------------------------------------------
+
+// settleHorizon is how many beacon intervals of arrival-lateness history
+// the estimator remembers (2 s at the default 250 ms interval).
+const settleHorizon = 8
+
+// settleMarginMult scales the observed straggler margin into the bound:
+// a straggler at most M late against its d_i prediction can displace
+// entries up to roughly M old, and cascading repairs compound — 4× gives
+// the same kind of headroom the paper's mean+4σ rule does (footnote 3).
+const settleMarginMult = 4
+
+// settleEstimator adapts the history retirement bound to the observed
+// straggler margin: the maximum arrival lateness versus the d_i
+// prediction over a trailing horizon. Quiet topologies shrink toward the
+// floor — smaller live windows, shorter checkpoint stacks, earlier
+// journal compaction — while churn (whose repair delays are what create
+// very late stragglers) widens the bound before the settle cutoff can
+// overtake them. SettleViolations staying zero is the correctness
+// criterion; the floor alone must already cover one propagation sweep.
+type settleEstimator struct {
+	iv      vtime.Duration
+	floor   vtime.Duration
+	ceil    vtime.Duration
+	buckets [settleHorizon]vtime.Duration
+	epoch   uint64
+	cached  vtime.Duration // max over buckets
+}
+
+func newSettleEstimator(iv, floor, ceil vtime.Duration) *settleEstimator {
+	return &settleEstimator{iv: iv, floor: floor, ceil: ceil}
+}
+
+// observe records one message arrival's lateness against its d_i
+// prediction (early arrivals clamp to zero).
+func (est *settleEstimator) observe(now vtime.Time, margin vtime.Duration) {
+	if margin < 0 {
+		margin = 0
+	}
+	epoch := vtime.GroupOf(now, est.iv)
+	if epoch != est.epoch {
+		est.rotate(epoch)
+	}
+	i := epoch % settleHorizon
+	if margin > est.buckets[i] {
+		est.buckets[i] = margin
+		if margin > est.cached {
+			est.cached = margin
+		}
+	}
+}
+
+// rotate advances the ring to a new epoch, expiring buckets the horizon
+// has slid past, and recomputes the cached max.
+func (est *settleEstimator) rotate(epoch uint64) {
+	steps := epoch - est.epoch
+	if steps > settleHorizon {
+		steps = settleHorizon
+	}
+	for s := uint64(1); s <= steps; s++ {
+		est.buckets[(est.epoch+s)%settleHorizon] = 0
+	}
+	est.epoch = epoch
+	var max vtime.Duration
+	for _, b := range est.buckets {
+		if b > max {
+			max = b
+		}
+	}
+	est.cached = max
+}
+
+// bound returns the current retirement bound.
+func (est *settleEstimator) bound() vtime.Duration {
+	b := est.floor + settleMarginMult*est.cached
+	if b > est.ceil {
+		b = est.ceil
+	}
+	return b
+}

@@ -1,0 +1,392 @@
+package rollback
+
+import (
+	"reflect"
+	"testing"
+
+	"defined/internal/history"
+	"defined/internal/msg"
+	"defined/internal/ordering"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// mkMsg builds a group-0 application message from node 0 with the given
+// d_i and link sequence (distinct linkSeq keeps keys unique).
+func mkMsg(d vtime.Duration, seq uint64, payload int) *msg.Message {
+	return mkMsgFrom(0, d, seq, payload)
+}
+
+// mkMsgFrom builds a group-0 application message to node 1 from a chosen
+// neighbor.
+func mkMsgFrom(from msg.NodeID, d vtime.Duration, seq uint64, payload int) *msg.Message {
+	return &msg.Message{
+		ID:      msg.ID{Sender: from, Seq: seq},
+		From:    from,
+		To:      1,
+		Kind:    msg.KindApp,
+		Ann:     msg.Annotation{Origin: from, Seq: seq, Delay: d, Group: 0},
+		LinkSeq: seq,
+		Payload: payload,
+	}
+}
+
+func entryOf(m *msg.Message, at vtime.Time) history.Entry {
+	return history.Entry{Key: ordering.KeyOf(m), Msg: m, ArrivedAt: at}
+}
+
+// TestDeferralHoldsSmallGapArrival drives the deferral state machine
+// whitebox: an in-order arrival whose key gap to the window tail is below
+// DeferSlack parks in the pending buffer, flushes after the gap's
+// complement, and counts Deferred/DeferredFlushes/DeferHits.
+func TestDeferralHoldsSmallGapArrival(t *testing.T) {
+	g := topology.Line(2, 10*vtime.Millisecond)
+	e := New(g, floodApps(2), Config{Seed: 1})
+	sh := e.shims[1]
+
+	base := mkMsg(10*vtime.Millisecond, 1, 100)
+	sh.onEntry(entryOf(base, e.sim.Now()))
+	if got := sh.win.Len(); got != 1 {
+		t.Fatalf("base entry not delivered: window len %d", got)
+	}
+
+	// Gap 1 ms < DeferSlack (8 ms): must defer, not deliver.
+	near := mkMsg(11*vtime.Millisecond, 2, 101)
+	sh.onEntry(entryOf(near, e.sim.Now()))
+	if got := sh.win.Len(); got != 1 {
+		t.Fatalf("near entry delivered eagerly: window len %d", got)
+	}
+	if len(sh.pend) != 1 {
+		t.Fatalf("pending len = %d, want 1", len(sh.pend))
+	}
+	if st := e.Stats(); st.Deferred != 1 {
+		t.Fatalf("Deferred = %d, want 1", st.Deferred)
+	}
+
+	// A mid-gap straggler arriving during the hold delivers immediately
+	// (its own gap to the tail is 0.5 ms, so it defers as the new front).
+	mid := mkMsg(10*vtime.Millisecond+500*vtime.Microsecond, 3, 102)
+	sh.onEntry(entryOf(mid, e.sim.Now()))
+	if len(sh.pend) != 2 {
+		t.Fatalf("pending len = %d, want 2", len(sh.pend))
+	}
+	if sh.pend[0].entry.Msg.ID != mid.ID {
+		t.Fatal("mid-gap straggler must front the pending buffer")
+	}
+	if sh.pend[0].due > sh.pend[1].due {
+		t.Fatal("pending dues must be non-decreasing in key order")
+	}
+
+	// Run the simulator until the flush event fires: both flush in key
+	// order, no rollback anywhere.
+	e.sim.Run(e.sim.Now().Add(20 * vtime.Millisecond))
+	if len(sh.pend) != 0 {
+		t.Fatalf("pending not flushed: %d", len(sh.pend))
+	}
+	if got := sh.win.Len(); got != 3 {
+		t.Fatalf("window len = %d, want 3", got)
+	}
+	for i, want := range []msg.ID{base.ID, mid.ID, near.ID} {
+		if sh.win.At(i).Msg.ID != want {
+			t.Fatalf("window[%d] = %v, want %v", i, sh.win.At(i).Msg.ID, want)
+		}
+	}
+	st := e.Stats()
+	if st.Rollbacks != 0 {
+		t.Fatalf("deferral failed to avoid the rollback: %d", st.Rollbacks)
+	}
+	if st.Deferred != 2 || st.DeferredFlushes == 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.DeferHits == 0 {
+		t.Fatalf("the overtaken hold must count as a defer hit: %+v", st)
+	}
+}
+
+// TestDeferralLargeGapDeliversEagerly pins the other half of the rule: a
+// gap of DeferSlack or more is its own protection and never waits.
+func TestDeferralLargeGapDeliversEagerly(t *testing.T) {
+	g := topology.Line(2, 10*vtime.Millisecond)
+	e := New(g, floodApps(2), Config{Seed: 1})
+	sh := e.shims[1]
+	sh.onEntry(entryOf(mkMsg(10*vtime.Millisecond, 1, 100), e.sim.Now()))
+	sh.onEntry(entryOf(mkMsg(30*vtime.Millisecond, 2, 101), e.sim.Now()))
+	if got := sh.win.Len(); got != 2 {
+		t.Fatalf("window len = %d, want 2 (no deferral)", got)
+	}
+	if st := e.Stats(); st.Deferred != 0 {
+		t.Fatalf("Deferred = %d, want 0", st.Deferred)
+	}
+}
+
+// TestAntiAnnihilatesPendingArrival covers the cheapest unsend: the anti
+// arrives while its target is still held, so it is annihilated in the
+// buffer with no rollback at all.
+func TestAntiAnnihilatesPendingArrival(t *testing.T) {
+	g := topology.Line(2, 10*vtime.Millisecond)
+	e := New(g, floodApps(2), Config{Seed: 1})
+	sh := e.shims[1]
+	sh.onEntry(entryOf(mkMsg(10*vtime.Millisecond, 1, 100), e.sim.Now()))
+	target := mkMsg(11*vtime.Millisecond, 2, 101)
+	sh.onEntry(entryOf(target, e.sim.Now()))
+	if len(sh.pend) != 1 {
+		t.Fatalf("target not pending: %d", len(sh.pend))
+	}
+
+	anti := &msg.Message{Kind: msg.KindAnti, Payload: antiPayload{Target: target.ID}}
+	sh.onAnti(anti)
+	st := e.Stats()
+	if st.PendingAnnihilated != 1 || len(sh.pend) != 0 {
+		t.Fatalf("annihilation failed: %+v pend=%d", st, len(sh.pend))
+	}
+	if st.Rollbacks != 0 || st.LateAnti != 0 {
+		t.Fatalf("annihilation must be rollback-free: %+v", st)
+	}
+	// The idle flush event must cope with the emptied buffer.
+	e.sim.Run(e.sim.Now().Add(20 * vtime.Millisecond))
+	if sh.win.Len() != 1 {
+		t.Fatalf("window len = %d, want 1", sh.win.Len())
+	}
+}
+
+// TestSpuriousRollbackCounter checks the spurious-rollback classifier on
+// the middle node of a line: the displaced delivery (from node 2) only
+// forwards toward node 0, and the straggler (from node 0) only forwards
+// toward node 2, so the replay regenerates byte-identical annotations,
+// re-adopts the original transmission, and the rollback is classified as
+// pure speculation churn.
+func TestSpuriousRollbackCounter(t *testing.T) {
+	g := topology.Line(3, 10*vtime.Millisecond)
+	e := New(g, floodApps(3), Config{Seed: 1, DeferSlack: -1})
+	sh := e.shims[1]
+	// Deliver out of d_i order: d=20ms (from node 2) first, then the
+	// d=10ms straggler (from node 0).
+	sh.onEntry(entryOf(mkMsgFrom(2, 20*vtime.Millisecond, 1, 100), e.sim.Now()))
+	sh.onEntry(entryOf(mkMsgFrom(0, 10*vtime.Millisecond, 2, 101), e.sim.Now()))
+	st := e.Stats()
+	if st.Rollbacks != 1 {
+		t.Fatalf("Rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if st.LazyReuses != 1 {
+		t.Fatalf("replay should have re-adopted the forwarded flood: %+v", st)
+	}
+	if st.SpuriousRollbacks != 1 {
+		t.Fatalf("SpuriousRollbacks = %d, want 1: %+v", st.SpuriousRollbacks, st)
+	}
+	if st.RollbackDepthSum != 2 {
+		t.Fatalf("RollbackDepthSum = %d, want 2 (straggler + displaced entry)", st.RollbackDepthSum)
+	}
+
+	// Contrast: the same divergence with overlapping forward sets (both
+	// messages from node 0) reassigns per-link sequences, so the replay
+	// genuinely changes the wire traffic and must NOT count as spurious.
+	e2 := New(g, floodApps(3), Config{Seed: 1, DeferSlack: -1})
+	sh2 := e2.shims[1]
+	sh2.onEntry(entryOf(mkMsgFrom(0, 20*vtime.Millisecond, 1, 100), e2.sim.Now()))
+	sh2.onEntry(entryOf(mkMsgFrom(0, 10*vtime.Millisecond, 2, 101), e2.sim.Now()))
+	if st2 := e2.Stats(); st2.Rollbacks != 1 || st2.SpuriousRollbacks != 0 {
+		t.Fatalf("overlapping-destination rollback misclassified: %+v", st2)
+	}
+}
+
+// TestDeferralPreservesDeterminism is the engine-level contract: with
+// deferral on (default), off, and at an aggressive slack, every node's
+// application log and committed key sequence must be identical — only
+// speculation statistics may move.
+func TestDeferralPreservesDeterminism(t *testing.T) {
+	g := topology.Brite(12, 2, 4)
+	var ref [][]string
+	var refKeys [][]ordering.Key
+	deferRollbacks, eagerRollbacks := uint64(0), uint64(0)
+	sawDefer := false
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, slack := range []vtime.Duration{0, -1, 20 * vtime.Millisecond} {
+			logs, keys, e := runScenario(t, g, Config{
+				Seed:          seed,
+				JitterScale:   4,
+				DeferSlack:    slack,
+				LogDeliveries: true,
+			}, 4)
+			st := e.Stats()
+			if st.SettleViolations != 0 {
+				t.Fatalf("seed %d slack %v: settle violations: %d", seed, slack, st.SettleViolations)
+			}
+			switch slack {
+			case -1:
+				eagerRollbacks += st.Rollbacks
+				if st.Deferred != 0 {
+					t.Fatalf("disabled deferral must not defer: %+v", st)
+				}
+			case 0:
+				deferRollbacks += st.Rollbacks
+				if st.Deferred > 0 {
+					sawDefer = true
+				}
+			}
+			if ref == nil {
+				ref, refKeys = logs, keys
+				continue
+			}
+			if !reflect.DeepEqual(ref, logs) {
+				t.Fatalf("seed %d slack %v: application logs diverged\nref: %v\ngot: %v",
+					seed, slack, ref, logs)
+			}
+			if !reflect.DeepEqual(refKeys, keys) {
+				t.Fatalf("seed %d slack %v: committed key sequences diverged", seed, slack)
+			}
+		}
+	}
+	if !sawDefer {
+		t.Fatal("no seed exercised the deferral path")
+	}
+	if deferRollbacks >= eagerRollbacks {
+		t.Fatalf("deferral did not reduce rollbacks: %d (on) vs %d (off)",
+			deferRollbacks, eagerRollbacks)
+	}
+}
+
+// TestDeferralDisabledForChainOrderings pins the d_i-monotonicity gate:
+// under the RO ablation the ordering-key Delay gap between key-adjacent
+// entries is meaningless (keys are chain-hash ordered), so deferral must
+// disable itself rather than hand out latency-only holds.
+func TestDeferralDisabledForChainOrderings(t *testing.T) {
+	g := topology.Brite(12, 2, 4)
+	_, _, e := runScenario(t, g, Config{Seed: 1, Ordering: ordering.Random(9), JitterScale: 4}, 4)
+	if e.deferOn {
+		t.Fatal("deferral must be off under a chain-hash ordering")
+	}
+	if st := e.Stats(); st.Deferred != 0 {
+		t.Fatalf("RO run deferred arrivals: %+v", st)
+	}
+}
+
+// TestAdaptiveSettleBoundsScaleWithBeacon guards the floor/ceiling
+// relationship under a non-default beacon interval: the ceiling must
+// track the configured interval, or a long interval would invert them
+// and push the live bound below one propagation sweep.
+func TestAdaptiveSettleBoundsScaleWithBeacon(t *testing.T) {
+	g := topology.Sprintlink()
+	e := New(g, floodApps(g.N), Config{Seed: 1, BeaconInterval: vtime.Second})
+	if e.est == nil {
+		t.Fatal("adaptive estimator not selected")
+	}
+	if e.est.ceil < e.est.floor {
+		t.Fatalf("ceiling %v below floor %v", e.est.ceil, e.est.floor)
+	}
+	if got := e.settleBound(); got < e.est.floor {
+		t.Fatalf("bound %v below floor %v", got, e.est.floor)
+	}
+}
+
+// TestSettleViolationStraggler exercises the straggler path: under a
+// deliberately too-tight static settle bound, a message held back by
+// extreme jitter arrives after larger-keyed entries retired, and the
+// engine surfaces the violation instead of mis-ordering silently.
+func TestSettleViolationStraggler(t *testing.T) {
+	ms := vtime.Millisecond
+	g := topology.FromLinks("straggle", 3, []topology.Link{
+		{A: 0, B: 1, Delay: 5 * ms, Jitter: ms / 10},
+		{A: 2, B: 1, Delay: 5 * ms, Jitter: 400 * ms},
+	})
+	sawViolation := false
+	for seed := uint64(0); seed < 10 && !sawViolation; seed++ {
+		as := floodApps(g.N)
+		e := New(g, as, Config{
+			Seed:        seed,
+			SettleAfter: 30 * ms, // deliberately tighter than the 400 ms jitter tail
+		})
+		e.sim.ScheduleFn(0, func() { e.InjectExternal(0, injectEvent{Value: 1}) })
+		e.sim.ScheduleFn(0, func() { e.InjectExternal(2, injectEvent{Value: 2}) })
+		e.Run(vtime.Time(2 * vtime.Second))
+		if !e.RunQuiescent(1_000_000) {
+			t.Fatal("did not quiesce")
+		}
+		if e.Stats().SettleViolations > 0 {
+			sawViolation = true
+			// The straggler is still applied: every value reaches every
+			// node even when exact global order can no longer be pinned.
+			for i := 0; i < g.N; i++ {
+				if got := len(as[i].(*floodApp).st.log); got != 2 {
+					t.Fatalf("node %d saw %d values, want 2", i, got)
+				}
+			}
+		}
+	}
+	if !sawViolation {
+		t.Fatal("no seed produced a settle violation; bound or jitter mistuned")
+	}
+}
+
+// TestAdaptiveSettleEstimator unit-tests the straggler-margin ring.
+func TestAdaptiveSettleEstimator(t *testing.T) {
+	iv := 250 * vtime.Millisecond
+	est := newSettleEstimator(iv, 300*vtime.Millisecond, 2*vtime.Second)
+	if got := est.bound(); got != 300*vtime.Millisecond {
+		t.Fatalf("idle bound = %v, want the floor", got)
+	}
+	est.observe(vtime.Time(10*vtime.Millisecond), 5*vtime.Millisecond)
+	if got := est.bound(); got != 300*vtime.Millisecond+4*5*vtime.Millisecond {
+		t.Fatalf("bound after 5ms margin = %v", got)
+	}
+	// Early arrivals (negative margin) clamp to zero and never shrink it.
+	est.observe(vtime.Time(20*vtime.Millisecond), -10*vtime.Millisecond)
+	if got := est.bound(); got != 320*vtime.Millisecond {
+		t.Fatalf("bound after early arrival = %v", got)
+	}
+	// The margin expires once the horizon slides past its interval.
+	past := vtime.Time((settleHorizon + 2) * int64(iv))
+	est.observe(past, 0)
+	if got := est.bound(); got != 300*vtime.Millisecond {
+		t.Fatalf("bound after horizon slide = %v, want the floor", got)
+	}
+	// The ceiling clamps runaway margins.
+	est.observe(past+1, vtime.Second)
+	if got := est.bound(); got != 2*vtime.Second {
+		t.Fatalf("bound = %v, want the 2s ceiling", got)
+	}
+}
+
+// TestAdaptiveSettleShrinksQuietWindows checks the estimator's purpose:
+// on a quiet topology the adaptive bound retires history faster than the
+// static paper rule, so live windows stay smaller, with zero violations.
+func TestAdaptiveSettleShrinksQuietWindows(t *testing.T) {
+	g := topology.Brite(12, 2, 4)
+	run := func(settle vtime.Duration) (maxWin int, e *Engine) {
+		as := floodApps(g.N)
+		e = New(g, as, Config{Seed: 1, SettleAfter: settle, LogDeliveries: true})
+		for v := 0; v < 3; v++ {
+			v := v
+			at := vtime.Time(vtime.Duration(v) * 400 * vtime.Millisecond)
+			e.sim.ScheduleFn(at, func() { e.InjectExternal(msg.NodeID(v*3), injectEvent{Value: v}) })
+		}
+		for step := vtime.Time(0); step < vtime.Time(3*vtime.Second); step += vtime.Time(100 * vtime.Millisecond) {
+			e.Run(step)
+			for n := 0; n < g.N; n++ {
+				if w := e.WindowLen(msg.NodeID(n)); w > maxWin {
+					maxWin = w
+				}
+			}
+		}
+		e.Run(vtime.Time(3 * vtime.Second))
+		e.RunQuiescent(1_000_000)
+		return maxWin, e
+	}
+	adaptiveWin, ea := run(0)
+	staticWin, es := run(StaticSettle(g))
+	if ea.Stats().SettleViolations != 0 || es.Stats().SettleViolations != 0 {
+		t.Fatalf("violations: adaptive %d static %d",
+			ea.Stats().SettleViolations, es.Stats().SettleViolations)
+	}
+	if adaptiveWin > staticWin {
+		t.Fatalf("adaptive bound enlarged windows: %d > %d", adaptiveWin, staticWin)
+	}
+	if ea.est == nil {
+		t.Fatal("zero SettleAfter must select the adaptive estimator")
+	}
+	// And the committed sequences agree, of course.
+	for n := 0; n < g.N; n++ {
+		if !reflect.DeepEqual(ea.CommittedKeys(msg.NodeID(n)), es.CommittedKeys(msg.NodeID(n))) {
+			t.Fatalf("node %d: adaptive vs static committed keys diverged", n)
+		}
+	}
+}

@@ -22,11 +22,39 @@
 //
 // Message loss is handled per the paper's footnote 4: drops are recorded
 // as external events (by ordering key) so DEFINED-LS can replay them.
+//
+// # Rollback avoidance: deterministic arrival deferral
+//
+// Speculation is only profitable when the guess is usually right. The
+// ordering function's d_i field predicts arrival times, so an arrival
+// whose key sorts only a small Delay gap past the window tail is exactly
+// the one d_i predicts may still have predecessors in flight (any message
+// keyed into that gap) — delivering it eagerly buys nothing but a
+// rollback when one lands. Instead the shim holds such arrivals in a
+// small key-ordered pending buffer for the gap's complement
+// (Config.DeferSlack − gap, at most Config.DeferMax) and flushes them on
+// a single re-armable eventq event, batching at the d_i quantum the way
+// buffering deterministic-execution systems batch at quantum boundaries.
+// A straggler running up to the hold later still lands first and is
+// delivered in place; the flush then inserts the batch in key order,
+// which by construction cannot roll anything back. Anti-messages whose
+// target is still pending annihilate it in the buffer — an unsend with no
+// rollback at all.
+//
+// Deferral never changes what the node computes, only when: entries enter
+// the same history window in the same ordering-function positions, and
+// Theorem 1 makes the committed delivery order a function of the ordering
+// function and the external events alone. The knobs shift virtual-time
+// speculation dynamics (rollback counts, window occupancy, convergence
+// latency by at most the hold) and nothing else — the cross-mode golden
+// test pins committed orders and routing tables defer-on vs defer-off.
+//
+// Settlement uses an adaptive bound by default: see Config.SettleAfter.
 package rollback
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"defined/internal/annotate"
 	"defined/internal/checkpoint"
@@ -64,9 +92,31 @@ type Config struct {
 	// chains roll into the next group (paper §2.2). Default 64.
 	ChainBound int
 	// SettleAfter is how long a history entry lives before it retires.
-	// Zero selects the paper's rule: twice the maximum propagation time,
-	// estimated as mean + 4 standard deviations (footnote 3).
+	// Zero selects the adaptive bound: a per-engine estimator tracks the
+	// observed straggler margin (arrival lateness versus the d_i
+	// prediction over a trailing horizon) and sets the bound to a
+	// propagation-sweep floor plus a multiple of that margin — shrinking
+	// live windows, checkpoint stacks and journals on quiet topologies,
+	// widening under churn. Set it explicitly to pin a static bound
+	// (StaticSettle(g) reproduces the paper's footnote-3 rule).
 	SettleAfter vtime.Duration
+	// DeferSlack tunes deterministic arrival deferral, the rollback-
+	// avoidance fast path: a message whose ordering-key Delay exceeds its
+	// predecessor's by a gap smaller than DeferSlack — the arrival d_i
+	// predicts may still have predecessors in flight — is held in a
+	// per-shim pending buffer for the gap's complement (DeferSlack − gap)
+	// and delivered on an eventq re-schedule instead of immediately.
+	// Predecessors land during the hold and the batch flushes in key
+	// order, replacing deliver-then-rollback cycles with one ordered
+	// delivery. Zero selects the default (8 ms); negative disables
+	// deferral (the pre-deferral dynamics the figure experiments pin).
+	// Committed orders are bit-identical either way (Theorem 1).
+	DeferSlack vtime.Duration
+	// DeferMax caps how long any single arrival may be held, including
+	// waits inherited by queuing behind held predecessors (it bounds the
+	// convergence-latency cost of a hold chain). Zero selects the
+	// default (100 ms).
+	DeferMax vtime.Duration
 	// BaseProcessing is the per-message application processing cost
 	// charged in virtual time. Default 100 µs.
 	BaseProcessing vtime.Duration
@@ -103,6 +153,12 @@ func (c *Config) fillDefaults() {
 	if c.JitterScale == 0 {
 		c.JitterScale = 1.0
 	}
+	if c.DeferSlack == 0 {
+		c.DeferSlack = defaultDeferSlack
+	}
+	if c.DeferMax <= 0 {
+		c.DeferMax = defaultDeferMax
+	}
 }
 
 // Stats aggregates engine-level counters.
@@ -118,7 +174,22 @@ type Stats struct {
 	DropsRecorded    uint64 // message-loss events recorded
 	SettleViolations uint64 // stragglers that arrived after their slot retired
 	LazyReuses       uint64 // replayed outputs that re-adopted their original transmission
+
+	// Rollback-avoidance counters (PR 3). SpuriousRollbacks counts
+	// episodes whose replay re-adopted 100 % of the original sends and
+	// materialized nothing new — pure wasted speculation the deferral
+	// layer exists to remove. RollbackDepthSum over Rollbacks is the mean
+	// replay depth.
+	Deferred           uint64 // arrivals held in the pending buffer
+	DeferredFlushes    uint64 // flush batches that delivered pending arrivals
+	DeferHits          uint64 // deferred arrivals a predecessor overtook while held
+	PendingAnnihilated uint64 // anti-messages annihilated while their target was still pending
+	SpuriousRollbacks  uint64 // rollbacks whose replay re-adopted every original send
+	RollbackDepthSum   uint64 // window entries per episode's replay span (trigger included), summed
 }
+
+// CommittedDeliveries is the number of deliveries that were never undone.
+func (s Stats) CommittedDeliveries() uint64 { return s.Deliveries - s.RolledBack }
 
 // Engine drives one production network under DEFINED-RB (or bare, when
 // Config.Baseline is set).
@@ -126,13 +197,15 @@ type Engine struct {
 	G   *topology.Graph
 	cfg Config
 
-	sim    *netsim.Sim
-	cost   checkpoint.CostModel
-	shims  []*shim
-	rec    *record.Recording
-	stats  Stats
-	skew   []vtime.Duration
-	leader msg.NodeID
+	sim     *netsim.Sim
+	cost    checkpoint.CostModel
+	shims   []*shim
+	rec     *record.Recording
+	stats   Stats
+	skew    []vtime.Duration
+	leader  msg.NodeID
+	deferOn bool
+	est     *settleEstimator // nil when Config.SettleAfter pins a static bound
 
 	scheduledThrough vtime.Time // group ticks scheduled up to here
 	dropLog          map[msg.ID]record.LossEvent
@@ -157,8 +230,16 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 	if cfg.Baseline {
 		e.cost = checkpoint.Baseline()
 	}
+	// Deferral needs d_i-monotone keys (the gap rule reads Delay off
+	// key-adjacent entries): it keys off the same delay-ordering marker
+	// DEFINED-LS's conservative replay uses. Under a chain-hash ordering
+	// like RO the gap is meaningless and holds would only add latency.
+	_, delayOrdered := e.cfg.Ordering.(interface{ LSLookahead() bool })
+	e.deferOn = !cfg.Baseline && e.cfg.DeferSlack > 0 && delayOrdered
 	if cfg.SettleAfter <= 0 {
-		e.cfg.SettleAfter = defaultSettle(g)
+		iv := e.cfg.BeaconInterval
+		e.est = newSettleEstimator(iv, settleFloor(g, iv), 2*staticSettle(g, iv))
+		e.cfg.SettleAfter = staticSettle(g, iv) // reported default; live bound comes from est
 	}
 	e.sim = netsim.New(g, netsim.Config{
 		Seed:        cfg.Seed,
@@ -185,6 +266,7 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 			sender: annotate.NewSender(n, g, e.cfg.ChainBound, e.procEstimate()),
 			extSeq: map[uint64]uint64{},
 		}
+		sh.flushFn = sh.onFlush
 		e.shims[i] = sh
 		var neighbors []api.Neighbor
 		for _, nb := range g.Neighbors(i) {
@@ -216,16 +298,43 @@ func (e *Engine) procEstimate() vtime.Duration {
 	return e.cfg.BaseProcessing + e.cost.PerMessage
 }
 
-// defaultSettle implements the paper's retirement bound: two times the
-// maximum propagation time, upper-bounded as mean + 4σ of per-link delays
-// accumulated over the propagation diameter (footnote 3). A beacon
-// interval is added so settlement never outruns group formation.
-func defaultSettle(g *topology.Graph) vtime.Duration {
+// StaticSettle implements the paper's static retirement bound: two times
+// the maximum propagation time, upper-bounded as mean + 4σ of per-link
+// delays accumulated over the propagation diameter (footnote 3). A beacon
+// interval is added so settlement never outruns group formation. Setting
+// Config.SettleAfter to this value pins the pre-adaptive behaviour.
+func StaticSettle(g *topology.Graph) vtime.Duration {
+	return staticSettle(g, vtime.BeaconInterval)
+}
+
+// staticSettle is StaticSettle for a configured beacon interval — the
+// adaptive estimator's ceiling must scale with the same interval as its
+// floor, or a long interval would invert them.
+func staticSettle(g *topology.Graph, beacon vtime.Duration) vtime.Duration {
 	maxProp := g.MaxPropagation()
 	// Jitter is a small fraction of delay; 4σ over the diameter is
 	// approximated by 40% headroom on the propagation bound.
 	bound := maxProp + maxProp*2/5
-	return 2*bound + vtime.BeaconInterval
+	return 2*bound + beacon
+}
+
+// settleFloor is the adaptive bound's minimum: one jitter-headroomed
+// propagation sweep plus a beacon interval. The second propagation sweep
+// of the static rule is replaced by the estimator's margin term, which is
+// what lets quiet networks retire history (and compact journals) roughly
+// twice as fast.
+func settleFloor(g *topology.Graph, beacon vtime.Duration) vtime.Duration {
+	maxProp := g.MaxPropagation()
+	return maxProp + maxProp*2/5 + beacon
+}
+
+// settleBound returns the current retirement bound: the adaptive
+// estimator's value, or the pinned Config.SettleAfter.
+func (e *Engine) settleBound() vtime.Duration {
+	if e.est != nil {
+		return e.est.bound()
+	}
+	return e.cfg.SettleAfter
 }
 
 // computeSkew sets each node's beacon-propagation skew: the shortest-path
@@ -274,11 +383,11 @@ func (e *Engine) flushDrops() {
 	for _, le := range e.dropLog {
 		losses = append(losses, le)
 	}
-	sort.Slice(losses, func(i, j int) bool {
-		if c := e.cfg.Ordering.Compare(losses[i].Key, losses[j].Key); c != 0 {
-			return c < 0
+	slices.SortFunc(losses, func(a, b record.LossEvent) int {
+		if c := e.cfg.Ordering.Compare(a.Key, b.Key); c != 0 {
+			return c
 		}
-		return losses[i].To < losses[j].To
+		return int(a.To) - int(b.To)
 	})
 	for _, le := range losses {
 		e.rec.Append(record.Event{

@@ -48,6 +48,24 @@ type shim struct {
 	// serials, ascending (window serials increase by position).
 	undoneScratch []uint64
 
+	// pend is the key-ordered pending buffer of deferred arrivals (see
+	// defer.go); flushH/flushAt track the single re-armable flush event
+	// and flushFn is its callback, bound once. arrSeq sequences arrivals
+	// and directSeq is the arrSeq of the latest non-flush window
+	// insertion — together they detect holds that avoided a rollback.
+	pend      []pendingArrival
+	flushH    eventq.Handle
+	flushAt   vtime.Time
+	flushFn   func()
+	arrSeq    uint64
+	directSeq uint64
+
+	// replayFresh counts outputs materialized (not re-adopted) during the
+	// current replay; together with an empty leftover pool it identifies
+	// spurious rollbacks.
+	replayFresh int
+	inReplay    bool
+
 	// sender assigns annotations and wire ids; its OriginSeq/LinkSeq
 	// counters are part of the checkpointed state so replayed messages
 	// come out identical.
@@ -192,9 +210,27 @@ func (sh *shim) baselineTimer(group uint64) {
 
 // ---- speculative delivery and rollback --------------------------------------
 
-// onEntry inserts an arrival into the history window and either delivers
-// it speculatively (in-order case) or triggers a rollback (divergence).
+// onEntry routes an arrival: it feeds the settle estimator, may park the
+// entry in the pending buffer (deterministic arrival deferral), and
+// otherwise inserts it into the history window immediately.
 func (sh *shim) onEntry(entry history.Entry) {
+	if est := sh.e.est; est != nil && entry.Key.Class == ordering.ClassMessage {
+		pred := vtime.GroupStart(entry.Key.Group, sh.e.cfg.BeaconInterval).Add(entry.Key.Delay)
+		est.observe(entry.ArrivedAt, entry.ArrivedAt.Sub(pred))
+	}
+	if sh.e.deferOn {
+		if sh.maybeDefer(entry) {
+			return
+		}
+		sh.arrSeq++
+		sh.directSeq = sh.arrSeq
+	}
+	sh.insertNow(entry)
+}
+
+// insertNow inserts an arrival into the history window and either delivers
+// it speculatively (in-order case) or triggers a rollback (divergence).
+func (sh *shim) insertNow(entry history.Entry) {
 	if sh.hasSettled && sh.e.cfg.Ordering.Compare(entry.Key, sh.lastSettledKey) < 0 {
 		// A straggler sorted before an already-retired entry: the
 		// settle bound was too tight for this arrival. The entry is
@@ -244,6 +280,8 @@ func (sh *shim) onTimerBatch(group uint64) {
 func (sh *shim) undoTo(pos int) {
 	e := sh.e
 	e.stats.Rollbacks++
+	e.stats.RollbackDepthSum += uint64(sh.win.Len() - pos)
+	sh.replayFresh = 0
 
 	// Serials of deliveries being undone: every entry at >= pos that has
 	// been delivered (a freshly inserted entry has serial 0 and was never
@@ -283,7 +321,19 @@ func (sh *shim) replayFrom(pos int) {
 	delay := e.cfg.BaseProcessing + e.cost.RollbackFixed
 	for i := pos; i < sh.win.Len(); i++ {
 		delay += e.cost.RollbackPerReplay + e.cost.PerMessage
+		// Fresh materializations only make a rollback non-spurious when a
+		// *re-delivered* entry produced them; the trigger entry (serial
+		// still zero) is doing its sends for the first time either way.
+		sh.inReplay = sh.win.At(i).Serial != 0
 		sh.deliverAt(i, delay)
+	}
+	sh.inReplay = false
+
+	// A replay that re-adopted every original send and materialized
+	// nothing new changed nothing observable: the rollback was spurious —
+	// pure speculation churn.
+	if len(sh.replayPool) == 0 && sh.replayFresh == 0 {
+		e.stats.SpuriousRollbacks++
 	}
 
 	// Whatever the replay did not regenerate is now genuinely unsent.
@@ -373,6 +423,9 @@ func (sh *shim) sendOutsTracked(outs []msg.Out, parent msg.Annotation, fresh boo
 		rec := sh.newRec()
 		rec.causeSerial = causeSerial
 		rec.m = sh.sender.Materialize(out, ann, ls)
+		if sh.inReplay {
+			sh.replayFresh++
+		}
 		sh.sent = append(sh.sent, rec)
 		sh.scheduleSend(rec, procDelay)
 	}
@@ -480,6 +533,11 @@ func (sh *shim) onAnti(m *msg.Message) {
 	target := m.Payload.(antiPayload).Target
 	pos := sh.win.FindMsg(target)
 	if pos < 0 {
+		// Still held in the pending buffer: annihilate it there, before
+		// it was ever delivered — no rollback needed at all.
+		if sh.annihilatePending(target) {
+			return
+		}
 		// Already settled or never arrived (e.g. dropped in flight).
 		sh.e.stats.LateAnti++
 		return
@@ -503,35 +561,33 @@ func (sh *shim) findSent(id msg.ID) *sentRec {
 // ---- settlement -------------------------------------------------------------
 
 // maybeSettle retires history entries older than the settle bound. Runs at
-// most once per beacon interval per node.
+// most once per beacon interval per node. The retiring prefix is walked
+// exactly once: the scan feeds the settled log and the last-retired key as
+// it goes, then Retire commits it.
 func (sh *shim) maybeSettle() {
 	now := sh.e.sim.Now()
 	if now.Sub(sh.lastSettle) < sh.e.cfg.BeaconInterval {
 		return
 	}
 	sh.lastSettle = now
-	cutoff := now.Add(-sh.e.cfg.SettleAfter)
+	cutoff := now.Add(-sh.e.settleBound())
 	if cutoff <= 0 {
 		return
 	}
-	if sh.e.cfg.LogDeliveries {
-		n := 0
-		for n < sh.win.Len() && sh.win.At(n).ArrivedAt.Before(cutoff) {
-			sh.settledLog = append(sh.settledLog, sh.win.At(n).Key)
-			n++
+	logging := sh.e.cfg.LogDeliveries
+	n := 0
+	for n < sh.win.Len() && sh.win.At(n).ArrivedAt.Before(cutoff) {
+		k := sh.win.At(n).Key
+		if logging {
+			sh.settledLog = append(sh.settledLog, k)
 		}
+		sh.lastSettledKey = k
+		n++
 	}
-	var retiredLast ordering.Key
-	willRetire := 0
-	for willRetire < sh.win.Len() && sh.win.At(willRetire).ArrivedAt.Before(cutoff) {
-		retiredLast = sh.win.At(willRetire).Key
-		willRetire++
-	}
-	n := sh.win.Settle(cutoff)
 	if n > 0 {
+		sh.win.Retire(n)
 		sh.ckpts.DropFirst(n)
 		sh.compactJournals()
-		sh.lastSettledKey = retiredLast
 		sh.hasSettled = true
 	}
 	// Prune sent records whose cause has settled: a record sent before

@@ -68,6 +68,28 @@ func WithDropProbability(p float64) Option {
 	return func(c *rollback.Config) { c.DropProb = p }
 }
 
+// WithDeferral tunes the rollback-avoidance arrival deferral: slack is the
+// ordering-key gap below which an in-order arrival is briefly held for
+// predicted predecessors, max caps any single hold (see
+// rollback.Config.DeferSlack/DeferMax). Committed orders are unaffected.
+func WithDeferral(slack, max Duration) Option {
+	return func(c *rollback.Config) { c.DeferSlack, c.DeferMax = slack, max }
+}
+
+// WithoutDeferral disables arrival deferral, restoring the eager
+// deliver-then-rollback speculation dynamics (committed orders are
+// bit-identical either way; only rollback counts and virtual timing move).
+func WithoutDeferral() Option {
+	return func(c *rollback.Config) { c.DeferSlack = -1 }
+}
+
+// WithSettleBound pins a static history retirement bound in place of the
+// default adaptive straggler-margin estimator; rollback.StaticSettle
+// reproduces the paper's footnote-3 rule for a topology.
+func WithSettleBound(d Duration) Option {
+	return func(c *rollback.Config) { c.SettleAfter = d }
+}
+
 // NewNetwork builds a production network over g with one application per
 // node (len(apps) == g.N).
 func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
