@@ -29,9 +29,9 @@ import (
 type cloneOnlyApp struct{ api.Application }
 
 // goldenRun drives one link-flap scenario on g and returns every node's
-// committed delivery order, the engine stats, and every node's final
-// routing table.
-func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hideJournal bool, extra ...defined.Option) (orders [][]string, stats string, tables []string) {
+// committed delivery order, the engine stats, every node's final routing
+// table, and the network itself (for pool/counter inspection).
+func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hideJournal bool, extra ...defined.Option) (orders [][]string, stats string, tables []string, net *defined.Network) {
 	apps := make([]defined.Application, g.N)
 	daemons := make([]*ospf.Daemon, g.N)
 	for i := range apps {
@@ -45,7 +45,7 @@ func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hide
 	opts := append([]defined.Option{
 		defined.WithSeed(seed), defined.WithStrategy(strat), defined.WithDeliveryLog()},
 		extra...)
-	net := defined.NewNetwork(g, apps, opts...)
+	net = defined.NewNetwork(g, apps, opts...)
 	l := g.Links[0]
 	net.At(vtime.Time(300*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
 	net.At(vtime.Time(700*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, true) })
@@ -55,7 +55,7 @@ func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hide
 		orders = append(orders, net.CommittedOrder(defined.NodeID(i)))
 		tables = append(tables, daemons[i].DumpTable())
 	}
-	return orders, fmt.Sprintf("%+v", net.Stats()), tables
+	return orders, fmt.Sprintf("%+v", net.Stats()), tables, net
 }
 
 func diffOrders(t *testing.T, what string, a, b [][]string) {
@@ -109,26 +109,81 @@ func TestCrossModeGolden(t *testing.T) {
 	for _, tp := range topos {
 		for _, seed := range []uint64{1, 2, 3} {
 			t.Run(fmt.Sprintf("%s/seed%d", tp.name, seed), func(t *testing.T) {
-				miOrders, miStats, miTables := goldenRun(tp.mk(seed), seed, mi, false)
+				miOrders, miStats, miTables, _ := goldenRun(tp.mk(seed), seed, mi, false)
 				if !strings.Contains(miStats, "SettleViolations:0") {
 					t.Fatalf("adaptive settle bound violated: %s", miStats)
 				}
 
-				fbOrders, fbStats, fbTables := goldenRun(tp.mk(seed), seed, mi, true)
+				fbOrders, fbStats, fbTables, _ := goldenRun(tp.mk(seed), seed, mi, true)
 				diffOrders(t, "journal vs fallback", miOrders, fbOrders)
 				diffTables(t, "journal vs fallback", miTables, fbTables)
 				if miStats != fbStats {
 					t.Fatalf("journal vs fallback stats differ:\n%s\n%s", miStats, fbStats)
 				}
 
-				fkOrders, _, fkTables := goldenRun(tp.mk(seed), seed, fk, false)
+				fkOrders, _, fkTables, _ := goldenRun(tp.mk(seed), seed, fk, false)
 				diffOrders(t, "FK vs MI", fkOrders, miOrders)
 				diffTables(t, "FK vs MI", fkTables, miTables)
 
-				ndOrders, _, ndTables := goldenRun(tp.mk(seed), seed, mi, false,
+				ndOrders, _, ndTables, _ := goldenRun(tp.mk(seed), seed, mi, false,
 					defined.WithoutDeferral())
 				diffOrders(t, "defer-on vs defer-off", miOrders, ndOrders)
 				diffTables(t, "defer-on vs defer-off", miTables, ndTables)
+			})
+		}
+	}
+}
+
+// TestMessageLifecycleGolden runs the golden cross-mode workload (three
+// seeds, both evaluation topology families) under three wire-message
+// lifecycles — refcount-off (unmanaged heap messages, the pre-refcount
+// reference), refcount-on (the pooled default), and refcount-on with
+// poison mode — and requires:
+//
+//  1. lifecycle invisibility — committed delivery orders, Stats counters
+//     and final routing tables are bit-identical across all three
+//     (pooling may move allocations, never execution);
+//  2. zero use-after-release — the poison sweep (scribbled, quarantined
+//     released messages; any stale touch panics) completes with zero
+//     recorded violations.
+func TestMessageLifecycleGolden(t *testing.T) {
+	mi := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.MI}
+	topos := []struct {
+		name string
+		mk   func(seed uint64) *defined.Topology
+	}{
+		{"sprintlink", func(uint64) *defined.Topology { return defined.Sprintlink() }},
+		{"brite20", func(seed uint64) *defined.Topology { return defined.Brite(20, 2, 9000+seed) }},
+	}
+	for _, tp := range topos {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", tp.name, seed), func(t *testing.T) {
+				offOrders, offStats, offTables, _ := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithoutMessagePool())
+
+				onOrders, onStats, onTables, _ := goldenRun(tp.mk(seed), seed, mi, false)
+				diffOrders(t, "refcount-on vs refcount-off", onOrders, offOrders)
+				diffTables(t, "refcount-on vs refcount-off", onTables, offTables)
+				if onStats != offStats {
+					t.Fatalf("refcount-on vs refcount-off stats differ:\n%s\n%s", onStats, offStats)
+				}
+				if !strings.Contains(onStats, "ReflectFallbacks:0") {
+					t.Fatalf("lazy cancellation fell back to reflection: %s", onStats)
+				}
+
+				pOrders, pStats, pTables, pnet := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithMessagePoison())
+				if v := pnet.MessagePool().Violations(); v != 0 {
+					t.Fatalf("poison sweep: %d use-after-release violations, want 0", v)
+				}
+				if pnet.MessagePool().Quarantined() == 0 {
+					t.Fatal("poison sweep quarantined nothing — releases never happened")
+				}
+				diffOrders(t, "poison vs refcount-off", pOrders, offOrders)
+				diffTables(t, "poison vs refcount-off", pTables, offTables)
+				if pStats != offStats {
+					t.Fatalf("poison vs refcount-off stats differ:\n%s\n%s", pStats, offStats)
+				}
 			})
 		}
 	}

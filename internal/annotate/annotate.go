@@ -34,6 +34,11 @@ type Sender struct {
 	// node's processing time, and d_i tracks expected *arrival* times
 	// (paper §2.2). Production and replay must use the same value.
 	ProcEstimate vtime.Duration
+	// Pool, when set, backs Materialize: wire messages are allocated
+	// refcounted from it (the caller owns the returned reference) and
+	// recycle once every layer holding them releases. A nil Pool keeps
+	// the unmanaged heap-allocation behaviour.
+	Pool *msg.Pool
 
 	OriginSeq uint64
 	// LinkSeq is dense by destination node id (len == graph size):
@@ -160,14 +165,21 @@ func (s *Sender) Prepare(out msg.Out, parent msg.Annotation, fresh bool, group u
 // Materialize allocates the wire message for a prepared output. The wire
 // id uses the current MsgSeq, i.e. the value Prepare assigned — callers
 // materialize (or drop) a prepared output before preparing the next one.
+// With a Pool attached the message is refcounted and the caller owns the
+// returned reference.
 func (s *Sender) Materialize(out msg.Out, ann msg.Annotation, linkSeq uint64) *msg.Message {
-	return &msg.Message{
-		ID:      msg.ID{Sender: s.Self, Seq: s.MsgSeq},
-		From:    s.Self,
-		To:      out.To,
-		Kind:    msg.KindApp,
-		Ann:     ann,
-		LinkSeq: linkSeq,
-		Payload: out.Payload,
+	var m *msg.Message
+	if s.Pool != nil {
+		m = s.Pool.Get()
+	} else {
+		m = &msg.Message{}
 	}
+	m.ID = msg.ID{Sender: s.Self, Seq: s.MsgSeq}
+	m.From = s.Self
+	m.To = out.To
+	m.Kind = msg.KindApp
+	m.Ann = ann
+	m.LinkSeq = linkSeq
+	m.Payload = out.Payload
+	return m
 }

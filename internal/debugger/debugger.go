@@ -73,8 +73,14 @@ func (s *Session) Run() int {
 }
 
 // Execute runs one command line; it returns false when the session ends.
+// Empty and whitespace-only lines are a no-op (the session continues),
+// matching Run's prompt behaviour — scripted sessions feed Execute
+// directly and must not panic on a blank line.
 func (s *Session) Execute(line string) bool {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return true
+	}
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
 	case "quit", "q", "exit":

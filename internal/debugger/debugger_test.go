@@ -220,3 +220,35 @@ func (a *plainApp) HandleExternal(api.ExternalEvent) []msg.Out { return nil }
 func (a *plainApp) State() api.State                           { return a.st }
 func (a *plainApp) Restore(st api.State)                       { a.st = st.(plainState) }
 func (a *plainApp) String() string                             { return fmt.Sprintf("plain%d", a.st.N) }
+
+// Execute is the documented scripted-session entry point: empty and
+// whitespace-only lines must be a no-op that keeps the session alive, not
+// a fields[0] panic (regression: Run guarded blank lines, Execute didn't).
+func TestExecuteEmptyLineIsNoOp(t *testing.T) {
+	g, rec := produce(t)
+	apps := make([]api.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	ls, err := lockstep.New(g, apps, rec, lockstep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	s := New(ls, strings.NewReader(""), &out)
+	for _, line := range []string{"", "   ", "\t", " \t  "} {
+		if !s.Execute(line) {
+			t.Fatalf("Execute(%q) ended the session, want no-op continue", line)
+		}
+	}
+	if got := out.String(); got != "" {
+		t.Fatalf("blank lines should produce no output, got %q", got)
+	}
+	// The session must still work after blank input.
+	if !s.Execute("step") {
+		t.Fatal("session should survive past blank lines")
+	}
+	if !strings.Contains(out.String(), "timer batch") && !strings.Contains(out.String(), "←") {
+		t.Fatalf("step after blank lines produced unexpected output: %q", out.String())
+	}
+}

@@ -35,16 +35,27 @@ const (
 	KindDeliver
 	// KindFn is a scheduled callback (timer, scenario driver, ...).
 	KindFn
+	// KindCall is a scheduled pre-bound Caller: unlike a fresh closure,
+	// pushing one allocates nothing, which is what lets pooled objects
+	// (the rollback engine's sent records) schedule themselves for free.
+	KindCall
 )
 
+// Caller is a pre-bound event target; see KindCall.
+type Caller interface {
+	Fire()
+}
+
 // Event is the by-value view of a scheduled occurrence, as returned by
-// Pop and Peek. Exactly one of Msg (KindDeliver) and Fn (KindFn) is set.
+// Pop and Peek. Exactly one of Msg (KindDeliver), Fn (KindFn) and Call
+// (KindCall) is set.
 type Event struct {
 	At   vtime.Time
 	Seq  uint64 // insertion order, assigned by the queue
 	Kind Kind
 	Msg  *msg.Message
 	Fn   func()
+	Call Caller
 }
 
 // Handle identifies a pending event for cancellation. The zero Handle is
@@ -67,6 +78,7 @@ type slot struct {
 	kind    Kind
 	m       *msg.Message
 	fn      func()
+	call    Caller
 }
 
 // Queue is a deterministic min-heap of events. The zero value is ready to
@@ -88,15 +100,20 @@ func (q *Queue) Live(h Handle) bool {
 
 // PushDeliver schedules delivery of m at time at.
 func (q *Queue) PushDeliver(at vtime.Time, m *msg.Message) Handle {
-	return q.push(at, KindDeliver, m, nil)
+	return q.push(at, KindDeliver, m, nil, nil)
 }
 
 // PushFn schedules fn at time at.
 func (q *Queue) PushFn(at vtime.Time, fn func()) Handle {
-	return q.push(at, KindFn, nil, fn)
+	return q.push(at, KindFn, nil, fn, nil)
 }
 
-func (q *Queue) push(at vtime.Time, kind Kind, m *msg.Message, fn func()) Handle {
+// PushCall schedules a pre-bound Caller at time at (no allocation).
+func (q *Queue) PushCall(at vtime.Time, c Caller) Handle {
+	return q.push(at, KindCall, nil, nil, c)
+}
+
+func (q *Queue) push(at vtime.Time, kind Kind, m *msg.Message, fn func(), call Caller) Handle {
 	var idx int32
 	if n := len(q.free); n > 0 {
 		idx = q.free[n-1]
@@ -111,6 +128,7 @@ func (q *Queue) push(at vtime.Time, kind Kind, m *msg.Message, fn func()) Handle
 	s.kind = kind
 	s.m = m
 	s.fn = fn
+	s.call = call
 	s.heapIdx = int32(len(q.heap))
 	q.next++
 	q.heap = append(q.heap, idx)
@@ -126,7 +144,7 @@ func (q *Queue) Pop() (Event, bool) {
 	}
 	root := q.heap[0]
 	s := &q.slots[root]
-	ev := Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn}
+	ev := Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn, Call: s.call}
 	q.deleteAt(0)
 	return ev, true
 }
@@ -138,7 +156,7 @@ func (q *Queue) Peek() (Event, bool) {
 		return Event{}, false
 	}
 	s := &q.slots[q.heap[0]]
-	return Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn}, true
+	return Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn, Call: s.call}, true
 }
 
 // Remove cancels a previously pushed event. Removing an event that has
@@ -199,6 +217,7 @@ func (q *Queue) deleteAt(i int) {
 	s.kind = KindNone
 	s.m = nil
 	s.fn = nil
+	s.call = nil
 	q.free = append(q.free, idx)
 }
 

@@ -333,3 +333,61 @@ func TestRescheduleAllocFree(t *testing.T) {
 		t.Fatalf("Reschedule allocates %.1f allocs/op, want 0", avg)
 	}
 }
+
+// caller is a minimal eventq.Caller for the typed-call tests.
+type caller struct{ fired int }
+
+func (c *caller) Fire() { c.fired++ }
+
+func TestCallEvents(t *testing.T) {
+	var q Queue
+	c := &caller{}
+	q.PushCall(5, c)
+	ev, ok := q.Pop()
+	if !ok || ev.Kind != KindCall || ev.Call == nil {
+		t.Fatalf("got %+v ok=%v, want call event", ev, ok)
+	}
+	ev.Call.Fire()
+	if c.fired != 1 {
+		t.Fatal("call payload should round-trip")
+	}
+}
+
+// PushCall orders with the other kinds by (at, seq) and allocates nothing
+// in steady state — the property the rollback engine's pooled sentRecs
+// rely on.
+func TestCallOrderingAndZeroAlloc(t *testing.T) {
+	var q Queue
+	c := &caller{}
+	fired := []string{}
+	q.PushFn(10, func() { fired = append(fired, "fn") })
+	q.PushCall(10, c)
+	q.PushDeliver(5, mk(1))
+	if ev, _ := q.Pop(); ev.Kind != KindDeliver {
+		t.Fatalf("earliest should be deliver, got %v", ev.Kind)
+	}
+	if ev, _ := q.Pop(); ev.Kind != KindFn {
+		t.Fatalf("same-time tie should pop insertion order (fn first), got %v", ev.Kind)
+	}
+	if ev, _ := q.Pop(); ev.Kind != KindCall || ev.Call != Caller(c) {
+		t.Fatalf("want the call event last, got %+v", ev)
+	}
+
+	// Warm the slab, then verify steady-state PushCall/Pop allocates 0.
+	for i := 0; i < 8; i++ {
+		q.PushCall(vtime.Time(i), c)
+	}
+	for {
+		if _, ok := q.Pop(); !ok {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		h := q.PushCall(7, c)
+		_ = h
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PushCall allocates %v objects/op, want 0", allocs)
+	}
+}

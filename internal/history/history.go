@@ -52,6 +52,11 @@ func (e Entry) String() string {
 // Window is the sorted sliding-window history of one node. The invariant
 // is that entries are always in ordering-function order, which equals the
 // order in which they have been (re-)delivered to the application.
+//
+// The window participates in the refcounted message lifecycle (msg package
+// comment): Insert retains an entry's message and Retire/RemoveAt release
+// it, so a message stays live exactly as long as some window can still
+// roll it back.
 type Window struct {
 	f       ordering.Func
 	entries []Entry
@@ -81,12 +86,14 @@ func (w *Window) At(i int) Entry { return w.entries[i] }
 // means every entry now after pos was delivered out of order and must be
 // rolled back and replayed.
 func (w *Window) Insert(e Entry) (pos int, dup bool) {
+	e.Msg.CheckLive("history.Insert")
 	pos = sort.Search(len(w.entries), func(i int) bool {
 		return w.f.Compare(w.entries[i].Key, e.Key) >= 0
 	})
 	if pos < len(w.entries) && w.f.Compare(w.entries[pos].Key, e.Key) == 0 {
 		return pos, true
 	}
+	e.Msg.Retain()
 	w.entries = append(w.entries, Entry{})
 	copy(w.entries[pos+1:], w.entries[pos:])
 	w.entries[pos] = e
@@ -97,10 +104,15 @@ func (w *Window) Insert(e Entry) (pos int, dup bool) {
 func (w *Window) SetSerial(i int, serial uint64) { w.entries[i].Serial = serial }
 
 // RemoveAt deletes and returns the entry at position i ("unsend" received
-// for a message we had accepted).
+// for a message we had accepted). The window's reference on the entry's
+// message is released: the returned Entry is readable but must not be
+// retained past the caller's frame.
 func (w *Window) RemoveAt(i int) Entry {
 	e := w.entries[i]
-	w.entries = append(w.entries[:i], w.entries[i+1:]...)
+	n := copy(w.entries[i:], w.entries[i+1:])
+	w.entries[i+n] = Entry{}
+	w.entries = w.entries[:i+n]
+	e.Msg.Release()
 	return e
 }
 
@@ -138,7 +150,12 @@ func (w *Window) Retire(n int) {
 	if n <= 0 {
 		return
 	}
-	w.entries = append(w.entries[:0], w.entries[n:]...)
+	for i := 0; i < n; i++ {
+		w.entries[i].Msg.Release()
+	}
+	m := copy(w.entries, w.entries[n:])
+	clear(w.entries[m:]) // drop lingering references in the recycled tail
+	w.entries = w.entries[:m]
 }
 
 // Keys returns the keys of all live entries in delivered order (testing

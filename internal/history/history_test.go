@@ -249,3 +249,55 @@ func TestRetire(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// pooledEntry builds an entry whose message comes refcounted from p.
+func pooledEntry(p *msg.Pool, group uint64, delay vtime.Duration, origin msg.NodeID, seq uint64, at vtime.Time) Entry {
+	m := p.Get()
+	m.ID = msg.ID{Sender: origin, Seq: seq}
+	m.Ann = msg.Annotation{Origin: origin, Seq: seq, Delay: delay, Group: group}
+	m.LinkSeq = seq
+	return Entry{Key: ordering.KeyOf(m), Msg: m, ArrivedAt: at}
+}
+
+// The window participates in the refcounted lifecycle: Insert retains,
+// Retire and RemoveAt release, duplicate inserts retain nothing.
+func TestWindowRetainsAndReleasesMessages(t *testing.T) {
+	var p msg.Pool
+	w := New(ordering.Optimized())
+
+	e0 := pooledEntry(&p, 1, 10, 0, 1, 100)
+	e1 := pooledEntry(&p, 1, 20, 0, 2, 200)
+	w.Insert(e0)
+	w.Insert(e1)
+	if e0.Msg.Refs() != 2 || e1.Msg.Refs() != 2 {
+		t.Fatalf("refs after insert = %d, %d, want 2, 2", e0.Msg.Refs(), e1.Msg.Refs())
+	}
+
+	// A duplicate key must not add a reference.
+	dup := pooledEntry(&p, 1, 10, 0, 1, 150)
+	if _, isDup := w.Insert(dup); !isDup {
+		t.Fatal("expected duplicate")
+	}
+	if dup.Msg.Refs() != 1 {
+		t.Fatalf("duplicate retained: refs = %d, want 1", dup.Msg.Refs())
+	}
+	dup.Msg.Release()
+
+	// RemoveAt drops the window's reference.
+	w.RemoveAt(1)
+	if e1.Msg.Refs() != 1 {
+		t.Fatalf("refs after RemoveAt = %d, want 1", e1.Msg.Refs())
+	}
+	e1.Msg.Release()
+
+	// Retire drops the window's reference on the retired prefix; with the
+	// caller's reference also gone the struct recycles.
+	e0.Msg.Release()
+	if e0.Msg.Refs() != 1 {
+		t.Fatalf("refs before retire = %d, want 1 (window)", e0.Msg.Refs())
+	}
+	w.Retire(1)
+	if p.Live() != 0 {
+		t.Fatalf("pool live = %d after retire, want 0", p.Live())
+	}
+}

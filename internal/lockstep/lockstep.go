@@ -53,6 +53,13 @@ type Config struct {
 	SemaphoreCost vtime.Duration
 	// LogDeliveries retains per-node delivery logs for verification.
 	LogDeliveries bool
+	// NoMessagePool disables refcounted message pooling (unmanaged
+	// heap-allocated messages, the pre-refcount behaviour).
+	NoMessagePool bool
+	// PoisonMessages enables the pool's debug poison mode: released
+	// messages are scribbled and quarantined so a use-after-release
+	// trips deterministically. Ignored with NoMessagePool.
+	PoisonMessages bool
 }
 
 func (c *Config) fillDefaults() {
@@ -150,6 +157,13 @@ type Engine struct {
 	steps    []StepInfo
 	breakFn  func(Delivery) bool
 	breakHit *Delivery
+
+	// pool backs every node sender's wire messages; lastMsg is the most
+	// recently delivered message, whose reference is released when the
+	// next delivery starts (so the Delivery StepEvent returned stays
+	// readable until the next step) or when the replay completes.
+	pool    msg.Pool
+	lastMsg *msg.Message
 }
 
 type dropKey struct {
@@ -212,6 +226,9 @@ func New(g *topology.Graph, apps []api.Application, rec *record.Recording, cfg C
 			e.maxSkew = d
 		}
 	}
+	if cfg.PoisonMessages && !cfg.NoMessagePool {
+		e.pool.SetPoison(true)
+	}
 	e.nodes = make([]*node, g.N)
 	for i := 0; i < g.N; i++ {
 		n := msg.NodeID(i)
@@ -219,6 +236,9 @@ func New(g *topology.Graph, apps []api.Application, rec *record.Recording, cfg C
 			id:     n,
 			app:    apps[i],
 			sender: annotate.NewSender(n, g, rec.ChainBound, rec.ProcEstimate),
+		}
+		if !cfg.NoMessagePool {
+			e.nodes[i].sender.Pool = &e.pool
 		}
 		var neighbors []api.Neighbor
 		for _, nb := range g.Neighbors(i) {
@@ -233,6 +253,10 @@ func New(g *topology.Graph, apps []api.Application, rec *record.Recording, cfg C
 
 // Done reports whether the replay is complete.
 func (e *Engine) Done() bool { return e.done }
+
+// MsgPool exposes the engine's wire-message pool (lifecycle tests read its
+// violation and live counters).
+func (e *Engine) MsgPool() *msg.Pool { return &e.pool }
 
 // CurrentGroup returns the group being replayed.
 func (e *Engine) CurrentGroup() uint64 { return e.curGroup }
@@ -328,8 +352,24 @@ func (e *Engine) StepEvent() (Delivery, bool) {
 	return d, true
 }
 
+// releaseDelivered drops the engine's reference on the previously
+// delivered message. Deferred one step so the Delivery returned by
+// StepEvent stays readable (for breakpoint reports, debugger rendering)
+// until the next delivery begins.
+func (e *Engine) releaseDelivered() {
+	if e.lastMsg != nil {
+		e.lastMsg.Release()
+		e.lastMsg = nil
+	}
+}
+
 // deliver hands one event to the target application and buffers outputs.
+// A message delivery is logged and then queued for release: the engine's
+// reference (inherited from the transmit queue) dies when the next
+// delivery starts.
 func (e *Engine) deliver(d Delivery) {
+	e.releaseDelivered()
+	d.Msg.CheckLive("lockstep.deliver")
 	n := e.nodes[d.Node]
 	n.delivered = append(n.delivered, d.Key)
 	e.roundDeliv++
@@ -357,6 +397,7 @@ func (e *Engine) deliver(d Delivery) {
 		if e.cfg.LogDeliveries {
 			n.log = append(n.log, "M:"+d.Msg.ID.String())
 		}
+		e.lastMsg = d.Msg
 	}
 	for _, out := range outs {
 		m := n.sender.Build(out, parent, fresh, d.Key.Group, freshOffset)
@@ -398,6 +439,7 @@ func (e *Engine) advancePhase() bool {
 		next++
 	}
 	e.done = true
+	e.releaseDelivered()
 	return false
 }
 
@@ -425,8 +467,10 @@ func (e *Engine) transmit() {
 			k := ordering.KeyOf(m)
 			if cnt := e.drops[dropKey{key: k, to: m.To}]; cnt > 0 {
 				// The production network lost this message; replay
-				// the loss (paper footnote 4).
+				// the loss (paper footnote 4) and release the sender's
+				// reference — the message never reaches a queue.
 				e.drops[dropKey{key: k, to: m.To}] = cnt - 1
+				m.Release()
 				continue
 			}
 			if m.Ann.Group > e.curGroup {

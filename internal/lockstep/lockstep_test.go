@@ -464,3 +464,53 @@ func TestLogRendering(t *testing.T) {
 		t.Fatal("no log lines rendered")
 	}
 }
+
+// The replay engine's message lifecycle (pool-backed senders, release
+// after logging, loss-replay release) must be observationally invisible
+// and survive a poison sweep with zero use-after-release — including under
+// replayed message loss, the one path where a replay message dies without
+// ever being delivered.
+func TestReplayMessageLifecycle(t *testing.T) {
+	g := topology.Brite(12, 2, 21)
+	rec, rbKeys, _ := produce(t, g, 3, 4)
+
+	run := func(cfg Config) *Engine {
+		apps := floodApps(g.N)
+		ls, err := New(g, apps, rec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls.RunToEnd()
+		if !ls.Done() {
+			t.Fatal("replay not done")
+		}
+		return ls
+	}
+
+	pooled := run(Config{LogDeliveries: true})
+	if pooled.MsgPool().Len() == 0 {
+		t.Fatal("replay recycled no messages")
+	}
+	unpooled := run(Config{LogDeliveries: true, NoMessagePool: true})
+	poisoned := run(Config{LogDeliveries: true, PoisonMessages: true})
+	if v := poisoned.MsgPool().Violations(); v != 0 {
+		t.Fatalf("poison replay: %d use-after-release violations, want 0", v)
+	}
+	if poisoned.MsgPool().Quarantined() == 0 {
+		t.Fatal("poison replay quarantined nothing — releases never happened")
+	}
+	for i := 0; i < g.N; i++ {
+		n := msg.NodeID(i)
+		if !reflect.DeepEqual(pooled.DeliveredKeys(n), unpooled.DeliveredKeys(n)) ||
+			!reflect.DeepEqual(pooled.DeliveredKeys(n), poisoned.DeliveredKeys(n)) {
+			t.Fatalf("node %d: delivery sequences diverge across lifecycles", i)
+		}
+		if !reflect.DeepEqual(pooled.DeliveredKeys(n), rbKeys[i]) {
+			t.Fatalf("node %d: pooled replay no longer reproduces production", i)
+		}
+		if !reflect.DeepEqual(pooled.Log(n), unpooled.Log(n)) ||
+			!reflect.DeepEqual(pooled.Log(n), poisoned.Log(n)) {
+			t.Fatalf("node %d: delivery logs diverge across lifecycles", i)
+		}
+	}
+}

@@ -11,6 +11,54 @@
 //
 // plus the beacon group number and the causal chain length used to bound
 // rollback chains within a timestep.
+//
+// # Message ownership and lifecycle
+//
+// Wire messages are reference-counted and pool-recycled (Pool, Retain,
+// Release). A message allocated from a Pool starts with one reference owned
+// by the allocator; the struct returns to the pool when the last reference
+// is released. Messages built without a pool (struct literals in tests,
+// senders with no Pool attached) are unmanaged: Retain/Release are no-ops
+// and the garbage collector owns them. The ownership rules, layer by layer:
+//
+//   - annotate.Sender.Materialize allocates from its configured pool and
+//     hands the caller an owned reference. In the rollback engine that
+//     owner is the sentRec tracking the transmission; in lockstep it is
+//     the node's send buffer.
+//   - netsim.Sim.Send retains while the message is in flight (queued for
+//     delivery) and releases after the delivery handler returns — for
+//     every traffic class, which is what lets control messages
+//     (anti-messages, markers, ...) recycle with no extra bookkeeping: the
+//     engine releases its own reference right after Send, and the
+//     in-flight reference dies with the delivery. A send that returns
+//     false retained nothing.
+//   - history windows retain per entry on Insert and release on Retire and
+//     RemoveAt; the rollback engine's pending (deferral) buffer retains
+//     held arrivals and releases when they flush into the window or are
+//     annihilated by an anti-message.
+//   - the rollback engine's sentRec keeps its reference across rollback
+//     and replay — a re-adopted (lazy-cancellation) output reuses the
+//     original message — and releases when the record is cancelled,
+//     retracted, or settles.
+//   - lockstep releases a delivered message after logging it; the Delivery
+//     returned by StepEvent stays readable until the next step.
+//
+// Handlers receive messages as borrows: a layer that wants to keep a
+// message beyond the current callback must Retain it. Payloads are shared,
+// never pooled — recycling zeroes the Payload field, not the payload.
+//
+// # Poison mode
+//
+// Pool.SetPoison(true) turns release-to-pool into scribble-and-quarantine:
+// a released struct is overwritten with sentinel values and never reused,
+// so any read through a stale reference deterministically observes the
+// sentinel instead of a recycled message, and any Retain/Release/CheckLive
+// on it is tallied in Pool.Violations (the sweep runs to completion and
+// reports the full count; without poison mode the same violation panics
+// immediately, because the struct may already alias a new owner). A
+// poison-mode run that completes with zero violations and bit-identical
+// committed orders is the lifecycle correctness proof the golden tests
+// automate.
 package msg
 
 import (
@@ -95,7 +143,9 @@ func (k Kind) String() string {
 
 // Message is one packet on the wire. Messages are immutable once sent:
 // neither engines nor applications may modify a received message or its
-// payload (payloads are shared across rollback replays).
+// payload (payloads are shared across rollback replays). Lifetime is
+// reference-counted when the message came from a Pool (see the package
+// comment for the ownership rules).
 type Message struct {
 	ID   ID
 	From NodeID // sending node (previous hop)
@@ -108,6 +158,11 @@ type Message struct {
 	// deterministic final tie-break for the ordering function.
 	LinkSeq uint64
 	Payload any
+
+	// rc/home implement pool-managed lifetime: home is the owning pool
+	// (nil for unmanaged messages) and rc the live reference count.
+	rc   int32
+	home *Pool
 }
 
 // String renders a short human-readable digest.

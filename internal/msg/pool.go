@@ -1,40 +1,155 @@
 package msg
 
-// Pool is a free list of Message structs for traffic whose lifetime the
-// substrate controls. Application messages (KindApp) must never be pooled:
-// they are retained by history windows, sent-record tables and rollback
-// replays long after delivery. Control traffic (anti-messages, markers,
-// semaphores, election packets) is transient by contract — the receiver's
-// handler may read it but not retain it — so the simulator can recycle
-// those structs the moment the handler returns.
+import "fmt"
+
+// Pool is a reference-counted free list of Message structs. Every message
+// the substrate puts on the wire — application traffic and control traffic
+// alike — is allocated from a pool and recycled when its last reference is
+// released, so steady-state message traffic stops allocating wrappers.
+//
+// See the package comment for the ownership rules: who retains, who
+// releases, and when poison mode applies.
 //
 // Pool is not safe for concurrent use; like the simulator it serves, it
 // assumes the single-threaded deterministic event loop.
 type Pool struct {
 	free []*Message
+	// poison selects the debug lifecycle mode: released messages are
+	// scribbled with sentinel values and quarantined (never reused), so a
+	// use-after-release deterministically reads the sentinel instead of
+	// whatever message happened to recycle the struct.
+	poison      bool
+	violations  uint64
+	live        int
+	quarantined int
 }
 
-// Get returns a zeroed Message, reusing a recycled struct when one is
-// available.
+// poisonNode is the sentinel scribbled into released messages' node fields
+// under poison mode. It is distinct from None so a poisoned read cannot be
+// mistaken for a legitimately unset field.
+const poisonNode NodeID = -0xDEAD
+
+// Get returns a zeroed Message owned by the caller (reference count 1),
+// reusing a recycled struct when one is available.
 func (p *Pool) Get() *Message {
+	p.live++
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		m.rc = 1
 		return m
 	}
-	return &Message{}
+	return &Message{rc: 1, home: p}
 }
 
-// Put recycles m. The struct is zeroed immediately, so any retained
-// reference turns into a visible bug rather than silent aliasing.
-func (p *Pool) Put(m *Message) {
-	if m == nil {
+// put recycles a message whose last reference was released. Under poison
+// mode the struct is scribbled and quarantined instead of reused.
+func (p *Pool) put(m *Message) {
+	p.live--
+	if p.poison {
+		p.quarantined++
+		*m = Message{
+			ID:   ID{Sender: poisonNode, Seq: ^uint64(0)},
+			From: poisonNode,
+			To:   poisonNode,
+			Kind: Kind(0xEF),
+			Ann:  Annotation{Origin: poisonNode, Seq: ^uint64(0), Delay: -1, Group: ^uint64(0), Chain: -1},
+			home: p,
+		}
 		return
 	}
-	*m = Message{}
+	*m = Message{home: p}
 	p.free = append(p.free, m)
 }
 
+// SetPoison switches the pool's debug poison mode. Enable it before any
+// traffic flows; a sweep with poison on that completes with Violations()==0
+// proves the lifecycle has no use-after-release. Poison-mode violations
+// are recorded and execution continues (quarantined structs make that
+// aliasing-free), so the sweep's tally is complete rather than truncated
+// at the first hit; without poison a violation panics immediately.
+func (p *Pool) SetPoison(on bool) { p.poison = on }
+
+// Poisoning reports whether poison mode is active.
+func (p *Pool) Poisoning() bool { return p.poison }
+
+// Violations reports how many lifecycle violations (retain/release/check
+// of an already-released message) the pool has detected. Nonzero tallies
+// are only observable under poison mode — without it the first violation
+// panics instead of counting on.
+func (p *Pool) Violations() uint64 { return p.violations }
+
+// Live reports the number of messages currently checked out (allocated and
+// not yet fully released) — the leak-detection balance.
+func (p *Pool) Live() int { return p.live }
+
+// Quarantined reports how many released messages poison mode has impounded.
+func (p *Pool) Quarantined() int { return p.quarantined }
+
 // Len reports the number of recycled messages currently pooled (tests).
 func (p *Pool) Len() int { return len(p.free) }
+
+// violation records a lifecycle violation and reports whether execution
+// may continue. Under poison mode it returns true: released structs are
+// quarantined (never reused), so continuing is aliasing-free and the sweep
+// completes with a reportable Violations tally — the "zero
+// use-after-release" number the golden tests assert. Without poison the
+// struct may already be recycled under a new owner, so the only safe
+// response is an immediate panic (deterministic under the event loop, so
+// the stack reproduces).
+func (p *Pool) violation(m *Message, op string) bool {
+	p.violations++
+	if p.poison {
+		return true
+	}
+	panic(fmt.Sprintf("msg: %s of released message %s (rc=%d)", op, m.ID, m.rc))
+}
+
+// Retain adds a reference to m and returns it. Messages that did not come
+// from a pool (plain literals in tests, pool-less senders) are unmanaged:
+// Retain is a no-op for them, and nil is tolerated so callers need not
+// special-case timer/external history entries.
+func (m *Message) Retain() *Message {
+	if m == nil || m.home == nil {
+		return m
+	}
+	if m.rc <= 0 {
+		// Counted (poison) or panicked; never resurrect the struct.
+		m.home.violation(m, "Retain")
+		return m
+	}
+	m.rc++
+	return m
+}
+
+// Release drops one reference; the last release returns the struct to its
+// pool (or the poison quarantine). Unmanaged and nil messages are no-ops.
+func (m *Message) Release() {
+	if m == nil || m.home == nil {
+		return
+	}
+	if m.rc <= 0 {
+		m.home.violation(m, "Release")
+		return
+	}
+	m.rc--
+	if m.rc == 0 {
+		m.home.put(m)
+	}
+}
+
+// Refs reports the current reference count (0 for unmanaged messages).
+func (m *Message) Refs() int32 { return m.rc }
+
+// Managed reports whether m's lifetime is pool-managed.
+func (m *Message) Managed() bool { return m != nil && m.home != nil }
+
+// CheckLive asserts that a borrowed message has not been released — the
+// cheap chokepoint check the simulator, history window and replay engines
+// run on every hand-off. It is a no-op for unmanaged messages.
+func (m *Message) CheckLive(op string) {
+	if m != nil && m.home != nil && m.rc <= 0 {
+		m.home.violation(m, op)
+	}
+}

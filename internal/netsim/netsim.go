@@ -15,12 +15,15 @@
 // The event path is allocation-aware: scheduling goes through eventq's
 // slab-backed typed queue (no per-event boxing), the per-directed-link
 // FIFO clamp is a dense array indexed by the topology's link indices, and
-// per-kind traffic counters are fixed arrays indexed by msg.Kind. Control
-// messages (every kind except msg.KindApp) are transient by contract —
-// handlers must not retain them — and are recycled through a msg.Pool the
-// moment their delivery handler returns; engines allocate them via Pool()
-// to close the loop. Application messages are never pooled: history
-// windows and rollback replays retain them indefinitely.
+// per-kind traffic counters are fixed arrays indexed by msg.Kind. Message
+// lifetime follows the refcounted lifecycle in the msg package comment:
+// Send retains while a message is in flight and releases after the
+// delivery handler returns, for every traffic class. Handlers receive
+// borrows — a layer that keeps a message past the callback (history
+// windows, defer buffers) must Retain it; transient control traffic
+// (anti-messages, markers, ...) recycles through the simulator's Pool()
+// the moment its handler returns, because the sending engine released its
+// own reference right after Send.
 package netsim
 
 import (
@@ -149,10 +152,11 @@ func (s *Sim) ResetStats() {
 	}
 }
 
-// Pool returns the simulator's control-message free list. Engines allocate
-// transient control messages (anti-messages, markers, ...) from it; the
-// simulator recycles them automatically after the delivery handler
-// returns. Never allocate KindApp messages from the pool.
+// Pool returns the simulator's message free list. Engines allocate wire
+// messages from it (typically via an annotate.Sender for application
+// traffic, directly for transient control messages) and release their own
+// reference once transmission is handed off; the simulator's in-flight
+// reference dies when the delivery handler returns.
 func (s *Sim) Pool() *msg.Pool { return &s.pool }
 
 // SetLinkState marks the a-b link up or down. Packets in flight on a link
@@ -185,11 +189,16 @@ func (s *Sim) NodeState(n msg.NodeID) bool { return s.nodeUp[n] }
 // either endpoint is down, or injected loss hit. Delivery is scheduled at
 // now + delay + jitter, FIFO-clamped per directed link.
 //
+// Send borrows m from the caller and retains its own in-flight reference
+// on success (released after the delivery handler returns); a false
+// return retained nothing.
+//
 // Only application traffic (msg.KindApp) is subject to link and node state:
 // DEFINED's own control messages (anti-messages, lockstep coordination)
 // ride a reliable out-of-band channel, as the paper's TCP-based
 // coordination does (§2.3 and footnote 4).
 func (s *Sim) Send(m *msg.Message) bool {
+	m.CheckLive("Send")
 	idx := s.G.LinkIndex(int(m.From), int(m.To))
 	if idx < 0 {
 		panic(fmt.Sprintf("netsim: send over non-existent link %d-%d", m.From, m.To))
@@ -222,7 +231,7 @@ func (s *Sim) Send(m *msg.Message) bool {
 		at = last + 1 // FIFO: never overtake the previous packet
 	}
 	s.lastArr[di] = at
-	s.q.PushDeliver(at, m)
+	s.q.PushDeliver(at, m.Retain())
 	s.inFlight++
 	return true
 }
@@ -248,6 +257,21 @@ func (s *Sim) ScheduleFn(at vtime.Time, fn func()) eventq.Handle {
 // After schedules fn d after now.
 func (s *Sim) After(d vtime.Duration, fn func()) eventq.Handle {
 	return s.ScheduleFn(s.now.Add(d), fn)
+}
+
+// ScheduleCall runs a pre-bound Caller at virtual time at (>= now); unlike
+// ScheduleFn it allocates nothing, so pooled objects can schedule
+// themselves for free.
+func (s *Sim) ScheduleCall(at vtime.Time, c eventq.Caller) eventq.Handle {
+	if at < s.now {
+		at = s.now
+	}
+	return s.q.PushCall(at, c)
+}
+
+// AfterCall schedules a pre-bound Caller d after now.
+func (s *Sim) AfterCall(d vtime.Duration, c eventq.Caller) eventq.Handle {
+	return s.ScheduleCall(s.now.Add(d), c)
 }
 
 // Cancel removes a scheduled fn event. Cancelling an already-fired event —
@@ -279,6 +303,8 @@ func (s *Sim) Step() bool {
 		s.deliver(ev.Msg)
 	case eventq.KindFn:
 		ev.Fn()
+	case eventq.KindCall:
+		ev.Call.Fire()
 	default:
 		panic(fmt.Sprintf("netsim: unknown event kind %d", ev.Kind))
 	}
@@ -291,6 +317,7 @@ func (s *Sim) Step() bool {
 func (s *Sim) OnDrop(h func(m *msg.Message)) { s.onDrop = h }
 
 func (s *Sim) deliver(m *msg.Message) {
+	m.CheckLive("deliver")
 	if m.Kind == msg.KindApp {
 		idx := s.G.LinkIndex(int(m.From), int(m.To))
 		if idx < 0 || !s.linkUp[idx] || !s.nodeUp[m.To] {
@@ -298,6 +325,7 @@ func (s *Sim) deliver(m *msg.Message) {
 			if s.onDrop != nil {
 				s.onDrop(m)
 			}
+			m.Release() // the in-flight reference dies with the loss
 			return
 		}
 	}
@@ -307,11 +335,10 @@ func (s *Sim) deliver(m *msg.Message) {
 	if h := s.handlers[m.To]; h != nil {
 		h(m)
 	}
-	if m.Kind != msg.KindApp {
-		// Control messages are transient by contract: the handler has
-		// returned, so the struct goes back to the free list.
-		s.pool.Put(m)
-	}
+	// The handler has returned; layers that keep the message retained it.
+	// For transient control traffic this is the last reference, so the
+	// struct recycles here.
+	m.Release()
 }
 
 // Run processes events until the queue is empty or the next event is after

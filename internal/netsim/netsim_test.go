@@ -409,7 +409,8 @@ func TestFIFOClampGoldenCrossSeed(t *testing.T) {
 }
 
 // Control messages are recycled through the pool once their handler
-// returns; the pool hands the same struct back for the next control send.
+// returns and the sender has released its reference; the pool hands the
+// same struct back for the next control send.
 func TestControlMessagePoolRecycling(t *testing.T) {
 	g := topology.Line(2, vtime.Millisecond)
 	s := New(g, Config{Deterministic: true})
@@ -422,12 +423,19 @@ func TestControlMessagePoolRecycling(t *testing.T) {
 	if !s.Send(anti) {
 		t.Fatal("control send should succeed")
 	}
+	anti.Release() // in-flight reference carries it from here
+	if got := anti.Refs(); got != 1 {
+		t.Fatalf("in-flight refs = %d, want 1", got)
+	}
 	s.RunQuiescent(10)
 	if seen != anti {
 		t.Fatal("handler should have seen the control message")
 	}
 	if s.Pool().Len() != 1 {
 		t.Fatalf("pool len = %d after control delivery, want 1", s.Pool().Len())
+	}
+	if s.Pool().Live() != 0 {
+		t.Fatalf("pool live = %d after control delivery, want 0", s.Pool().Live())
 	}
 	if anti.Kind != msg.KindApp || anti.From != 0 || anti.To != 0 {
 		t.Fatal("recycled message should be zeroed")

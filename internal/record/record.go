@@ -78,6 +78,12 @@ type Recording struct {
 	Groups uint64 `json:"groups"`
 	// Events is the recorded external event log, in application order.
 	Events []Event `json:"events"`
+
+	// byGroup is the lazily built per-group index behind ByGroup;
+	// byGroupLen is the Events length it was built from, so direct
+	// appends to Events (Append, Decode, tests) invalidate it.
+	byGroup    map[uint64][]Event
+	byGroupLen int
 }
 
 // Append records one event.
@@ -96,21 +102,28 @@ func (r *Recording) MaxGroup() uint64 {
 }
 
 // ByGroup returns the events of group g sorted by (node, seq) — the order
-// DEFINED-LS applies them in.
+// DEFINED-LS applies them in. The per-group buckets are built once and
+// reused across calls (lockstep replay asks for every group of a long
+// recording; rescanning all events per group made recording load O(E·G)).
+// The returned slice aliases the index: callers must not mutate it. Ties
+// on (node, seq) keep recording order, stably.
 func (r *Recording) ByGroup(g uint64) []Event {
-	var out []Event
-	for _, e := range r.Events {
-		if e.Group == g {
-			out = append(out, e)
+	if r.byGroup == nil || r.byGroupLen != len(r.Events) {
+		r.byGroup = make(map[uint64][]Event)
+		for _, e := range r.Events {
+			r.byGroup[e.Group] = append(r.byGroup[e.Group], e)
 		}
+		for _, evs := range r.byGroup {
+			sort.SliceStable(evs, func(i, j int) bool {
+				if evs[i].Node != evs[j].Node {
+					return evs[i].Node < evs[j].Node
+				}
+				return evs[i].Seq < evs[j].Seq
+			})
+		}
+		r.byGroupLen = len(r.Events)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Seq < out[j].Seq
-	})
-	return out
+	return r.byGroup[g]
 }
 
 // ---- payload codec registry ------------------------------------------------

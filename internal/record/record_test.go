@@ -3,9 +3,11 @@ package record
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 
+	"defined/internal/msg"
 	"defined/internal/routing/api"
 	"defined/internal/vtime"
 )
@@ -137,3 +139,67 @@ type testInject struct {
 }
 
 func (testInject) ExternalKind() string { return "test-inject" }
+
+// referenceByGroup is the original O(E) per-call implementation, kept as
+// the oracle for the bucketed index.
+func referenceByGroup(r *Recording, g uint64) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Group == g {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// The bucketed ByGroup must return identical (node, seq) order to the
+// reference scan for every group, reuse its index across calls, and
+// rebuild after direct appends.
+func TestByGroupBucketedOrderPinned(t *testing.T) {
+	r := &Recording{}
+	rnd := []struct {
+		g    uint64
+		node msg.NodeID
+		seq  uint64
+	}{
+		{2, 3, 0}, {0, 1, 0}, {2, 0, 1}, {1, 4, 0}, {2, 0, 0},
+		{0, 1, 1}, {1, 4, 1}, {2, 3, 1}, {0, 0, 0}, {1, 0, 0},
+		{5, 2, 0}, {2, 1, 0}, {0, 2, 0}, {5, 2, 1}, {1, 2, 0},
+	}
+	for _, e := range rnd {
+		r.Append(Event{Group: e.g, Seq: e.seq, Node: e.node, Kind: "link-change", Payload: api.LinkChange{}})
+	}
+	for g := uint64(0); g <= 6; g++ {
+		got := r.ByGroup(g)
+		want := referenceByGroup(r, g)
+		if len(got) != len(want) {
+			t.Fatalf("group %d: %d events, want %d", g, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Node != want[i].Node || got[i].Seq != want[i].Seq {
+				t.Fatalf("group %d event %d: (node %d, seq %d), want (node %d, seq %d)",
+					g, i, got[i].Node, got[i].Seq, want[i].Node, want[i].Seq)
+			}
+		}
+	}
+	// Repeated calls reuse the same index (no rebuild, stable aliasing).
+	a, b := r.ByGroup(2), r.ByGroup(2)
+	if len(a) > 0 && &a[0] != &b[0] {
+		t.Fatal("repeated ByGroup calls should reuse the bucketed index")
+	}
+	// A direct append invalidates and rebuilds.
+	r.Append(Event{Group: 2, Seq: 2, Node: 0, Kind: "link-change", Payload: api.LinkChange{}})
+	after := r.ByGroup(2)
+	if len(after) != len(a)+1 {
+		t.Fatalf("index not rebuilt after append: %d events, want %d", len(after), len(a)+1)
+	}
+	if want := referenceByGroup(r, 2); after[len(after)-1].Seq != want[len(want)-1].Seq {
+		t.Fatalf("rebuilt order wrong: %+v", after)
+	}
+}

@@ -152,6 +152,10 @@ func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
 		due = capAt
 	}
 	sh.arrSeq++
+	// The buffer outlives the delivery callback that handed us the entry,
+	// so it takes its own reference on the message (released on flush or
+	// annihilation).
+	entry.Msg.Retain()
 	p := pendingArrival{entry: entry, capAt: capAt, due: due, seq: sh.arrSeq, held: due > now}
 	sh.pend = append(sh.pend, pendingArrival{})
 	copy(sh.pend[pos+1:], sh.pend[pos:])
@@ -248,9 +252,11 @@ func (sh *shim) flushPending() {
 		}
 		// The entry enters the window when it flushes; retirement clocks
 		// start here, so a hold can never age an entry toward a
-		// settle violation.
+		// settle violation. The window takes its own reference on insert,
+		// so the buffer's reference can drop right after.
 		p.entry.ArrivedAt = now
 		sh.insertNow(p.entry)
+		p.entry.Msg.Release()
 	}
 	if heldAny {
 		sh.e.stats.DeferredFlushes++
@@ -285,6 +291,7 @@ func (sh *shim) annihilatePending(target msg.ID) bool {
 		clearPending(sh.pend[i+n:])
 		sh.pend = sh.pend[:i+n]
 		sh.e.stats.PendingAnnihilated++
+		m.Release() // annihilated before delivery: the buffer held the last local reference
 		return true
 	}
 	return false

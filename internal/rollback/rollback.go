@@ -126,6 +126,18 @@ type Config struct {
 	JitterScale float64
 	// DropProb injects uniform app-message loss (tests).
 	DropProb float64
+	// NoMessagePool disables refcounted wire-message pooling: senders
+	// heap-allocate unmanaged messages and every Retain/Release is a
+	// no-op. The pre-refcount behaviour, kept selectable so golden tests
+	// can prove the lifecycle is observationally invisible.
+	NoMessagePool bool
+	// PoisonMessages enables the message pool's debug poison mode:
+	// released messages are scribbled and quarantined so any
+	// use-after-release is deterministic — stale reads observe the
+	// sentinel, stale retain/release/check calls tally in the pool's
+	// Violations counter — instead of silently aliasing a recycled
+	// struct. Implies the refcount lifecycle; ignored with NoMessagePool.
+	PoisonMessages bool
 	// Record, when true, captures the partial recording of external
 	// events (and message-loss events) for later replay.
 	Record bool
@@ -174,6 +186,7 @@ type Stats struct {
 	DropsRecorded    uint64 // message-loss events recorded
 	SettleViolations uint64 // stragglers that arrived after their slot retired
 	LazyReuses       uint64 // replayed outputs that re-adopted their original transmission
+	ReflectFallbacks uint64 // lazy-cancellation payload compares that fell back to reflection
 
 	// Rollback-avoidance counters (PR 3). SpuriousRollbacks counts
 	// episodes whose replay re-adopted 100 % of the original sends and
@@ -246,6 +259,9 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 		JitterScale: cfg.JitterScale,
 		DropProb:    cfg.DropProb,
 	})
+	if cfg.PoisonMessages && !cfg.NoMessagePool {
+		e.sim.Pool().SetPoison(true)
+	}
 	if cfg.Record {
 		e.rec = &record.Recording{
 			Topology:       g.Name,
@@ -265,6 +281,12 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 			win:    history.New(e.cfg.Ordering),
 			sender: annotate.NewSender(n, g, e.cfg.ChainBound, e.procEstimate()),
 			extSeq: map[uint64]uint64{},
+		}
+		if !cfg.NoMessagePool {
+			// Wire messages come refcounted from the shared pool; the
+			// sentRec (or the baseline send closure) owns the reference
+			// Materialize returns.
+			sh.sender.Pool = e.sim.Pool()
 		}
 		sh.flushFn = sh.onFlush
 		e.shims[i] = sh

@@ -37,8 +37,11 @@ type shim struct {
 
 	// recFree is the sentRec free list: records cycle back once their
 	// send event has fired or been cancelled, so steady-state tracking
-	// stops allocating (each rec carries its send callback, created once).
+	// stops allocating. Fresh records come from recSlab in batches, so
+	// even the high-water ramp-up costs one allocation per slab rather
+	// than one (plus a bound callback) per record.
 	recFree []*sentRec
+	recSlab []sentRec
 
 	// replayPool holds the undone deliveries' sent records during a
 	// rollback replay for lazy cancellation (see rollbackAndReplay).
@@ -81,8 +84,8 @@ type shim struct {
 }
 
 // sentRec tracks one transmitted message for potential unsending. Records
-// are pooled per shim; fire is the send callback bound once at allocation
-// so rescheduling a recycled record allocates nothing.
+// are pooled per shim and implement eventq.Caller, so scheduling a send
+// allocates nothing — the record itself is the event payload.
 type sentRec struct {
 	sh          *shim
 	causeSerial uint64
@@ -91,11 +94,11 @@ type sentRec struct {
 	wired       bool          // sim.Send succeeded
 	dropped     bool          // lost in flight (engine drop log has it)
 	sentAt      vtime.Time
-	fire        func() // == rec.onFire, created once per struct
 }
 
-// onFire performs the physical transmission when the send delay elapses.
-func (rec *sentRec) onFire() {
+// Fire performs the physical transmission when the send delay elapses
+// (eventq.Caller).
+func (rec *sentRec) Fire() {
 	sh := rec.sh
 	sim := sh.e.sim
 	ok := sim.Send(rec.m)
@@ -108,20 +111,32 @@ func (rec *sentRec) onFire() {
 	}
 }
 
-// newRec takes a record off the free list (or allocates the first time).
+// recSlabSize is how many sentRecs one slab allocation provides.
+const recSlabSize = 128
+
+// newRec takes a record off the free list, falling back to the current
+// slab (a fresh slab is cut when it runs dry; pointers into old slabs stay
+// valid because slabs are never resized in place).
 func (sh *shim) newRec() *sentRec {
 	if n := len(sh.recFree); n > 0 {
 		rec := sh.recFree[n-1]
 		sh.recFree = sh.recFree[:n-1]
 		return rec
 	}
-	rec := &sentRec{sh: sh}
-	rec.fire = rec.onFire
+	if len(sh.recSlab) == 0 {
+		sh.recSlab = make([]sentRec, recSlabSize)
+	}
+	rec := &sh.recSlab[0]
+	sh.recSlab = sh.recSlab[1:]
+	rec.sh = sh
 	return rec
 }
 
-// freeRec recycles a record whose send event has fired or been cancelled.
+// freeRec recycles a record whose send event has fired or been cancelled,
+// releasing the record's reference on its wire message (the receiver's
+// history window may still hold the last one).
 func (sh *shim) freeRec(rec *sentRec) {
+	rec.m.Release()
 	rec.causeSerial = 0
 	rec.m = nil
 	rec.ev = eventq.Handle{}
@@ -439,7 +454,7 @@ func (sh *shim) adoptFromPool(to msg.NodeID, key ordering.Key, payload any) *sen
 		if rec.m.To != to || ordering.KeyOf(rec.m) != key {
 			continue
 		}
-		if !payloadEqual(rec.m.Payload, payload) {
+		if !sh.payloadEqual(rec.m.Payload, payload) {
 			continue
 		}
 		sh.replayPool = append(sh.replayPool[:i], sh.replayPool[i+1:]...)
@@ -451,11 +466,41 @@ func (sh *shim) adoptFromPool(to msg.NodeID, key ordering.Key, payload any) *sen
 
 // payloadEqual compares two payloads on the rollback-replay critical path:
 // typed comparison when the payload implements msg.PayloadEq (all shipped
-// daemons do), reflection only as the third-party fallback.
-func payloadEqual(a, b any) bool {
+// daemons do), then direct == for comparable built-in payloads (strings,
+// numerics — the kinds ad-hoc test applications send). Reflection is the
+// third-party escape hatch only, and every use is counted in
+// Stats.ReflectFallbacks so silent reflection on the hot path is
+// test-visible instead of creeping back unnoticed.
+func (sh *shim) payloadEqual(a, b any) bool {
 	if pe, ok := a.(msg.PayloadEq); ok {
 		return pe.PayloadEqual(b)
 	}
+	switch av := a.(type) {
+	case nil:
+		return b == nil
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case int:
+		bv, ok := b.(int)
+		return ok && av == bv
+	case int32:
+		bv, ok := b.(int32)
+		return ok && av == bv
+	case int64:
+		bv, ok := b.(int64)
+		return ok && av == bv
+	case uint64:
+		bv, ok := b.(uint64)
+		return ok && av == bv
+	case float64:
+		bv, ok := b.(float64)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	}
+	sh.e.stats.ReflectFallbacks++
 	return reflect.DeepEqual(a, b)
 }
 
@@ -484,8 +529,8 @@ func (sh *shim) cancelRecs(recs []*sentRec) {
 }
 
 // scheduleSend queues rec's physical transmission after procDelay; the
-// record's pre-bound callback performs the send, so tracked transmission
-// costs no per-send closure.
+// record is its own event payload (eventq.Caller), so tracked
+// transmission costs no per-send closure.
 //
 // A send-time drop (link or peer down when the packet would leave) is a
 // nondeterministic loss exactly like an in-flight drop — whether the packet
@@ -493,15 +538,19 @@ func (sh *shim) cancelRecs(recs []*sentRec) {
 // as a loss event for replay (paper footnote 4).
 func (sh *shim) scheduleSend(rec *sentRec, procDelay vtime.Duration) {
 	sim := sh.e.sim
-	rec.ev = sim.After(procDelay, rec.fire)
+	rec.ev = sim.AfterCall(procDelay, rec)
 	rec.sentAt = sim.Now()
 }
 
 // scheduleBaselineSend queues an untracked transmission (baseline mode:
-// nothing is ever unsent).
+// nothing is ever unsent). The closure owns the builder's reference and
+// releases it once the simulator has taken (or refused) the message.
 func (sh *shim) scheduleBaselineSend(m *msg.Message, procDelay vtime.Duration) {
 	sim := sh.e.sim
-	sim.After(procDelay, func() { sim.Send(m) })
+	sim.After(procDelay, func() {
+		sim.Send(m)
+		m.Release()
+	})
 }
 
 // antiPayload identifies the message to roll back.
@@ -524,6 +573,7 @@ func (sh *shim) sendAnti(orig *msg.Message) {
 	anti.Kind = msg.KindAnti
 	anti.Payload = antiPayload{Target: orig.ID}
 	sh.e.sim.Send(anti)
+	anti.Release() // the simulator's in-flight reference carries it from here
 }
 
 // onAnti processes a received unsend notification: if the target was

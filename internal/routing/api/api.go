@@ -47,6 +47,11 @@ type Application interface {
 	// handler invocation on the same application: implementations may
 	// reuse one output buffer across calls, and the substrate consumes
 	// outputs synchronously before delivering anything else.
+	//
+	// m is a borrow: the wire struct is pool-recycled once every engine
+	// layer releases it, so applications must not retain m itself past
+	// the call. Retaining m.Payload is fine — payloads are shared and
+	// never pooled (the LSA databases do exactly this).
 	HandleMessage(m *msg.Message) []msg.Out
 
 	// HandleTimer advances the application's virtual clock to now and

@@ -221,18 +221,30 @@ func Compress(events []Event, target vtime.Duration) []Event {
 		}
 		out[i] = Event{At: at, Type: e.Type, A: e.A, B: e.B}
 	}
-	// Rescaling can collapse distinct timestamps; keep them strictly
-	// non-decreasing and at least 1µs apart per link pair to preserve
-	// the original causal order of same-link events.
-	for i := 1; i < len(out); i++ {
-		if out[i].At <= out[i-1].At && (out[i].A == out[i-1].A && out[i].B == out[i-1].B) {
-			out[i].At = out[i-1].At + 1
-		} else if out[i].At < out[i-1].At {
+	// Rescaling can collapse distinct timestamps; keep the slice
+	// non-decreasing and same-link events strictly increasing (at least
+	// 1 µs apart) so the original causal order of a link's failures and
+	// repairs survives any later time-keyed re-sort. The separation is
+	// enforced per link pair across the whole slice — adjacent-only
+	// checking let non-adjacent down/up pairs of one link collapse onto
+	// the same microsecond, and a collapsed pair re-sorts with downs
+	// before ups, replaying a repair before its failure.
+	last := make(map[linkPair]vtime.Time, 16)
+	for i := range out {
+		if i > 0 && out[i].At < out[i-1].At {
 			out[i].At = out[i-1].At
 		}
+		k := linkPair{out[i].A, out[i].B}
+		if lt, seen := last[k]; seen && out[i].At <= lt {
+			out[i].At = lt + 1
+		}
+		last[k] = out[i].At
 	}
 	return sanitize(out)
 }
+
+// linkPair keys per-link bookkeeping during compression.
+type linkPair struct{ a, b int }
 
 // Poisson generates a simple Poisson stream of single link flaps (a down
 // immediately followed by an up after meanRepair on average) at the given

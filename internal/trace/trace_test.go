@@ -198,3 +198,51 @@ func TestSynthesizeWellFormedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: the 1 µs same-link separation must hold across the whole
+// slice, not just between adjacent events. An interleaved two-link flap
+// compressed aggressively used to collapse non-adjacent down/up pairs of
+// one link onto the same microsecond — after which any time-keyed re-sort
+// (downs tie-break before ups) replays a link's repair before its failure.
+func TestCompressInterleavedFlapKeepsPerLinkSeparation(t *testing.T) {
+	// Two links flapping in interleaved order: same-link events are never
+	// adjacent, so the old adjacent-only rule never separated them.
+	var events []Event
+	at := vtime.Time(0)
+	for cycle := 0; cycle < 3; cycle++ {
+		for _, e := range []Event{
+			{Type: LinkDown, A: 0, B: 1},
+			{Type: LinkDown, A: 2, B: 3},
+			{Type: LinkUp, A: 0, B: 1},
+			{Type: LinkUp, A: 2, B: 3},
+		} {
+			e.At = at
+			events = append(events, e)
+			at = at.Add(vtime.Hour)
+		}
+	}
+
+	out := Compress(events, 3*vtime.Microsecond) // collapses everything
+	if len(out) != len(events) {
+		t.Fatalf("compress dropped events: %d of %d", len(out), len(events))
+	}
+	lastAt := map[[2]int]vtime.Time{}
+	for i, e := range out {
+		if i > 0 && e.At < out[i-1].At {
+			t.Fatalf("event %d not time-ordered: %v after %v", i, e.At, out[i-1].At)
+		}
+		k := [2]int{e.A, e.B}
+		if prev, ok := lastAt[k]; ok && e.At <= prev {
+			t.Fatalf("event %d (%v) within 1µs of previous same-link event at %v", i, e, prev)
+		}
+		lastAt[k] = e.At
+	}
+
+	// With strict per-link separation, a time-keyed re-sort cannot invert
+	// a link's down/up order: sanitize must keep every event.
+	resorted := append([]Event(nil), out...)
+	sortEvents(resorted)
+	if kept := sanitize(resorted); len(kept) != len(out) {
+		t.Fatalf("re-sorted trace lost alternation: %d of %d events survive", len(kept), len(out))
+	}
+}

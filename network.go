@@ -2,6 +2,7 @@ package defined
 
 import (
 	"defined/internal/checkpoint"
+	"defined/internal/msg"
 	"defined/internal/ordering"
 	"defined/internal/rollback"
 	"defined/internal/trace"
@@ -90,6 +91,22 @@ func WithSettleBound(d Duration) Option {
 	return func(c *rollback.Config) { c.SettleAfter = d }
 }
 
+// WithoutMessagePool disables refcounted wire-message pooling (unmanaged
+// heap-allocated messages — the pre-refcount behaviour, kept selectable so
+// golden tests can prove the lifecycle never changes execution).
+func WithoutMessagePool() Option {
+	return func(c *rollback.Config) { c.NoMessagePool = true }
+}
+
+// WithMessagePoison enables the message pool's debug poison mode: released
+// messages are scribbled and quarantined, so any use-after-release is
+// deterministic — stale reads observe the sentinel and stale lifecycle
+// calls tally in the pool's Violations counter — instead of silently
+// aliasing a recycled struct.
+func WithMessagePoison() Option {
+	return func(c *rollback.Config) { c.PoisonMessages = true }
+}
+
 // NewNetwork builds a production network over g with one application per
 // node (len(apps) == g.N).
 func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
@@ -138,6 +155,10 @@ func (n *Network) Recording() *Recording { return n.eng.Recording() }
 
 // Stats returns engine counters (rollbacks, anti-messages, ...).
 func (n *Network) Stats() rollback.Stats { return n.eng.Stats() }
+
+// MessagePool exposes the wire-message pool (lifecycle tests read its
+// violation, quarantine and live counters).
+func (n *Network) MessagePool() *msg.Pool { return n.eng.Sim().Pool() }
 
 // CommittedOrder returns node id's committed delivery sequence rendered as
 // strings (requires WithDeliveryLog for the settled prefix).
