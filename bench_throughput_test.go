@@ -19,12 +19,19 @@ import (
 func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportAllocs()
 	events := 0
+	var eng *rollback.Engine
 	for i := 0; i < b.N; i++ {
-		eng := flapScenario()
+		eng = flapScenario()
 		n, _ := eng.Sim().RunQuiescent(10_000_000)
 		events += n
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	// Epoch-cache effectiveness: skipped and hit recomputes reused a
+	// current or memoized table; misses ran Dijkstra.
+	st := eng.Stats()
+	if lookups := st.SPFCacheHits + st.SPFCacheMisses + st.RecomputeSkipped; lookups > 0 {
+		b.ReportMetric(float64(st.SPFCacheHits+st.RecomputeSkipped)/float64(lookups), "spf-cache-hit-rate")
+	}
 }
 
 // flapScenario builds the shared Sprintlink link-flap workload and runs it

@@ -25,8 +25,27 @@ import (
 )
 
 // cloneOnlyApp hides the Journaled capability behind an embedded
-// interface, forcing the engine's clone fallback even in MI mode.
+// interface, forcing the engine's clone fallback even in MI mode. Only
+// Journaled is hidden: the RecomputeCached capability is forwarded, so the
+// engine's aggregated cache counters still match the unwrapped run (the
+// cache itself is mode-independent — identical executions produce
+// identical hit/miss/skip counts either way).
 type cloneOnlyApp struct{ api.Application }
+
+// RouteCacheStats forwards api.RecomputeCached.
+func (c cloneOnlyApp) RouteCacheStats() api.RouteCacheStats {
+	if rc, ok := c.Application.(api.RecomputeCached); ok {
+		return rc.RouteCacheStats()
+	}
+	return api.RouteCacheStats{}
+}
+
+// SetRouteCaching forwards api.RecomputeCached.
+func (c cloneOnlyApp) SetRouteCaching(on bool) {
+	if rc, ok := c.Application.(api.RecomputeCached); ok {
+		rc.SetRouteCaching(on)
+	}
+}
 
 // goldenRun drives one link-flap scenario on g and returns every node's
 // committed delivery order, the engine stats, every node's final routing
@@ -183,6 +202,57 @@ func TestMessageLifecycleGolden(t *testing.T) {
 				diffTables(t, "poison vs refcount-off", pTables, offTables)
 				if pStats != offStats {
 					t.Fatalf("poison vs refcount-off stats differ:\n%s\n%s", pStats, offStats)
+				}
+			})
+		}
+	}
+}
+
+// TestRouteCacheGolden runs the golden cross-mode workload (three seeds,
+// both evaluation topology families) with the epoch-keyed route-
+// computation cache on (the default) and off, and requires:
+//
+//  1. cache invisibility — committed delivery orders, Stats counters
+//     (with the cache's own counters factored out) and final routing
+//     tables are bit-identical: the cache may remove real computation,
+//     never change execution;
+//  2. the cache actually works — the cached run reuses tables (hits or
+//     skips > 0) and never violates the settle bound.
+func TestRouteCacheGolden(t *testing.T) {
+	mi := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.MI}
+	topos := []struct {
+		name string
+		mk   func(seed uint64) *defined.Topology
+	}{
+		{"sprintlink", func(uint64) *defined.Topology { return defined.Sprintlink() }},
+		{"brite20", func(seed uint64) *defined.Topology { return defined.Brite(20, 2, 9000+seed) }},
+	}
+	for _, tp := range topos {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", tp.name, seed), func(t *testing.T) {
+				onOrders, _, onTables, onNet := goldenRun(tp.mk(seed), seed, mi, false)
+				offOrders, _, offTables, offNet := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithoutRouteCache())
+
+				diffOrders(t, "cache-on vs cache-off", onOrders, offOrders)
+				diffTables(t, "cache-on vs cache-off", onTables, offTables)
+
+				// Stats must match bit-for-bit once the cache's own
+				// counters are zeroed (the cache-off run reports zeros
+				// there by construction).
+				onStats, offStats := onNet.Stats(), offNet.Stats()
+				if onStats.SPFCacheHits+onStats.RecomputeSkipped == 0 {
+					t.Fatalf("cache-on run never reused a table: %+v", onStats)
+				}
+				if offStats.SPFCacheHits+offStats.SPFCacheMisses+offStats.RecomputeSkipped != 0 {
+					t.Fatalf("cache-off run reported cache traffic: %+v", offStats)
+				}
+				onStats.SPFCacheHits, onStats.SPFCacheMisses, onStats.RecomputeSkipped = 0, 0, 0
+				if on, off := fmt.Sprintf("%+v", onStats), fmt.Sprintf("%+v", offStats); on != off {
+					t.Fatalf("cache-on vs cache-off stats differ:\n%s\n%s", on, off)
+				}
+				if onStats.SettleViolations != 0 {
+					t.Fatalf("settle bound violated under caching: %+v", onStats)
 				}
 			})
 		}

@@ -131,6 +131,12 @@ type Config struct {
 	// no-op. The pre-refcount behaviour, kept selectable so golden tests
 	// can prove the lifecycle is observationally invisible.
 	NoMessagePool bool
+	// NoRouteCache disables the daemons' epoch-keyed route-computation
+	// cache (api.RecomputeCached): every recompute runs the real
+	// computation, the pre-cache behaviour. Kept selectable so golden
+	// tests can prove the cache is observationally invisible — committed
+	// orders, stats and routing tables are bit-identical either way.
+	NoRouteCache bool
 	// PoisonMessages enables the message pool's debug poison mode:
 	// released messages are scribbled and quarantined so any
 	// use-after-release is deterministic — stale reads observe the
@@ -199,6 +205,17 @@ type Stats struct {
 	PendingAnnihilated uint64 // anti-messages annihilated while their target was still pending
 	SpuriousRollbacks  uint64 // rollbacks whose replay re-adopted every original send
 	RollbackDepthSum   uint64 // window entries per episode's replay span (trigger included), summed
+
+	// Route-computation cache counters (PR 5), aggregated at Stats() time
+	// from every application implementing api.RecomputeCached.
+	// RecomputeSkipped is the zero-lookup fast path (the daemon's current
+	// result already carries the current topology epoch — the common case
+	// in MI repair waves that recompute from an unchanged LSDB); hits
+	// reused a memoized result at a different already-seen epoch; misses
+	// ran the real computation.
+	SPFCacheHits     uint64 // memoized route computations reused
+	SPFCacheMisses   uint64 // route computations actually executed
+	RecomputeSkipped uint64 // recomputes skipped (result already current)
 }
 
 // CommittedDeliveries is the number of deliveries that were never undone.
@@ -295,6 +312,15 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 			l, _ := g.LinkBetween(i, nb)
 			neighbors = append(neighbors, api.Neighbor{ID: msg.NodeID(nb), Cost: api.LinkCost(l.Delay)})
 		}
+		// The epoch-keyed route-computation cache is on by default inside
+		// capable applications; an opted-out run disables it before Init
+		// (and so before any computation) to reproduce the exact uncached
+		// behaviour.
+		if cfg.NoRouteCache {
+			if rc, ok := apps[i].(api.RecomputeCached); ok {
+				rc.SetRouteCaching(false)
+			}
+		}
 		apps[i].Init(n, neighbors)
 		// MI strategy + a journal-capable application = real undo-journal
 		// checkpointing: marks instead of clones. Enabled only after Init
@@ -378,8 +404,21 @@ func (e *Engine) Sim() *netsim.Sim { return e.sim }
 // App returns node n's application.
 func (e *Engine) App(n msg.NodeID) api.Application { return e.shims[n].app }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a copy of the engine counters, with the route-computation
+// cache counters aggregated from every capable application (deterministic:
+// shims are visited in node order).
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	for _, sh := range e.shims {
+		if rc, ok := sh.app.(api.RecomputeCached); ok {
+			cs := rc.RouteCacheStats()
+			st.SPFCacheHits += cs.Hits
+			st.SPFCacheMisses += cs.Misses
+			st.RecomputeSkipped += cs.Skipped
+		}
+	}
+	return st
+}
 
 // Recording returns the partial recording (nil unless Config.Record).
 // Surviving message-loss events are flushed into it first, and the

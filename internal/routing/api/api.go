@@ -14,6 +14,7 @@ package api
 import (
 	"defined/internal/journal"
 	"defined/internal/msg"
+	"defined/internal/routing/routecache"
 	"defined/internal/vtime"
 )
 
@@ -104,6 +105,38 @@ type Journaled interface {
 	JournalRewind(m journal.Mark)
 	// JournalCompact discards undo entries older than m.
 	JournalCompact(m journal.Mark)
+}
+
+// RouteCacheStats counts the outcomes of an application's epoch-keyed
+// route-computation cache (see RecomputeCached).
+type RouteCacheStats = routecache.Stats
+
+// RecomputeCached is an optional Application capability: the application
+// memoizes its route computation (OSPF's SPF table, RIP's announcement
+// vectors, BGP's per-prefix decision) on a **topology epoch** — a
+// journaled state version bumped only by *effective* routing-input
+// mutations — so a recompute requested at an already-seen epoch reuses the
+// shared immutable result with zero allocation.
+//
+// The epoch-bump contract (see the routecache package comment for the full
+// statement): the epoch must change exactly when the routing input's
+// *content* changes — a no-op write (refreshed OSPF LSA with identical
+// links, RIP timer refresh) must not bump it — and the epoch must be part
+// of the journaled/cloned checkpointable state, so a rollback rewind
+// restores it and the cached result for the restored epoch is valid again.
+// Cached results must be observationally invisible: bit-identical to what
+// the uncached computation would produce at the same epoch.
+//
+// The substrate probes for this interface with a type assertion:
+// applications without it simply keep today's uncached behavior and
+// contribute nothing to the engine's cache counters.
+type RecomputeCached interface {
+	// RouteCacheStats reports the cumulative cache counters.
+	RouteCacheStats() RouteCacheStats
+	// SetRouteCaching toggles the cache. The substrate calls it (with
+	// false) before any handler runs when the run opts out of caching;
+	// disabling empties the cache and zeroes its counters.
+	SetRouteCaching(enabled bool)
 }
 
 // ExternalEvent is an event arriving from outside the instrumented network

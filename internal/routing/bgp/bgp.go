@@ -23,6 +23,7 @@ import (
 	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/routing/api"
+	"defined/internal/routing/routecache"
 	"defined/internal/vtime"
 )
 
@@ -170,6 +171,10 @@ type state struct {
 	ribIn map[string][]Path
 	// best is the currently selected path per prefix.
 	best map[string]Path
+	// epoch is the topology epoch: a commutative content hash of the
+	// RIB-in's (prefix, path) pairs, bumped by every RIB-in change.
+	// Journaled, so rewind un-bumps it.
+	epoch uint64
 	// decisions counts selection runs (experiments).
 	decisions uint64
 }
@@ -178,6 +183,7 @@ func (s *state) Clone() api.State {
 	ns := &state{
 		ribIn:     make(map[string][]Path, len(s.ribIn)),
 		best:      make(map[string]Path, len(s.best)),
+		epoch:     s.epoch,
 		decisions: s.decisions,
 	}
 	for k, v := range s.ribIn {
@@ -197,6 +203,7 @@ type undoKind uint8
 const (
 	undoRibIn     undoKind = iota // ribIn[prefix] = paths / delete
 	undoBest                      // best[prefix] = path / delete
+	undoEpoch                     // epoch = u64
 	undoDecisions                 // decisions = u64
 )
 
@@ -227,6 +234,8 @@ func (s *state) applyUndo(u undoRec) {
 		} else {
 			delete(s.best, u.prefix)
 		}
+	case undoEpoch:
+		s.epoch = u.u64
 	case undoDecisions:
 		s.decisions = u.u64
 	}
@@ -245,6 +254,20 @@ type Daemon struct {
 	// j is the undo journal backing MI checkpoints; disabled (and empty)
 	// unless the substrate calls JournalEnable.
 	j *journal.Log[undoRec]
+
+	// cache memoizes (epoch, prefix) → selected path for the Fixed (full
+	// decision) engine: the correct decision is a pure function of the
+	// RIB-in set, so rollback replays that rebuild an already-seen RIB-in
+	// reuse the selection instead of re-running it. The XORP 0.4 engine is
+	// order-sensitive and incremental — it never consults the cache.
+	cache routecache.Ring[selKey, Path]
+}
+
+// selKey identifies one memoized decision: the RIB-in epoch plus the
+// prefix the decision ran over.
+type selKey struct {
+	epoch  uint64
+	prefix string
 }
 
 // New creates a daemon running the given decision engine.
@@ -255,9 +278,19 @@ func New(mode Mode) *Daemon {
 }
 
 var (
-	_ api.Application = (*Daemon)(nil)
-	_ api.Journaled   = (*Daemon)(nil)
+	_ api.Application     = (*Daemon)(nil)
+	_ api.Journaled       = (*Daemon)(nil)
+	_ api.RecomputeCached = (*Daemon)(nil)
 )
+
+// RouteCacheStats implements api.RecomputeCached.
+func (d *Daemon) RouteCacheStats() api.RouteCacheStats { return d.cache.Stats() }
+
+// SetRouteCaching implements api.RecomputeCached.
+func (d *Daemon) SetRouteCaching(on bool) { d.cache.SetEnabled(on) }
+
+// Epoch exposes the current topology epoch (tests and debugging).
+func (d *Daemon) Epoch() uint64 { return d.st.epoch }
 
 // JournalEnable implements api.Journaled.
 func (d *Daemon) JournalEnable() { d.j.Enable() }
@@ -278,6 +311,23 @@ func (d *Daemon) appendRibIn(prefix string, p Path) {
 	old, had := d.st.ribIn[prefix]
 	d.j.Record(undoRec{kind: undoRibIn, prefix: prefix, paths: old, had: had})
 	d.st.ribIn[prefix] = append(old, p)
+	// Epoch-bump contract: every RIB-in change is an effective mutation
+	// (learn already deduplicates, so each append adds a new path).
+	d.j.Record(undoRec{kind: undoEpoch, u64: d.st.epoch})
+	d.st.epoch += pathContentHash(p)
+}
+
+// pathContentHash fingerprints one RIB-in path (all decision inputs plus
+// the identity fields).
+func pathContentHash(p Path) uint64 {
+	h := routecache.Hash()
+	h = routecache.HashString(h, p.Name)
+	h = routecache.HashString(h, p.Prefix)
+	h = routecache.HashUint64(h, uint64(p.ASPathLen))
+	h = routecache.HashUint64(h, uint64(p.NeighborAS))
+	h = routecache.HashUint64(h, uint64(p.MED))
+	h = routecache.HashUint64(h, uint64(p.IGPDist))
+	return h
 }
 
 func (d *Daemon) setBest(prefix string, p Path) {
@@ -315,7 +365,17 @@ func (d *Daemon) learn(p Path, from msg.NodeID) []msg.Out {
 	var ok bool
 	switch d.mode {
 	case Fixed:
+		// The full decision is a pure function of the RIB-in set, so it
+		// memoizes on (epoch, prefix): a rollback replay that rebuilds an
+		// already-seen RIB-in reuses the selection.
+		if best, hit := d.cache.Lookup(selKey{d.st.epoch, p.Prefix}); hit {
+			newBest, ok = best, true
+			break
+		}
 		newBest, ok = SelectCorrect(d.st.ribIn[p.Prefix])
+		if ok {
+			d.cache.Insert(selKey{d.st.epoch, p.Prefix}, newBest)
+		}
 	default:
 		// XORP 0.4: compare the incoming path against the current best
 		// only.

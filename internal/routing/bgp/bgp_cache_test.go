@@ -1,0 +1,101 @@
+package bgp
+
+// Epoch-cache coherence tests: every RIB-in change bumps the epoch, the
+// Fixed (full decision) engine memoizes selections per (epoch, prefix) and
+// reuses them across a rewind-and-replay of the same announcements, and
+// the order-sensitive XORP 0.4 engine never consults the cache.
+
+import (
+	"testing"
+
+	"defined/internal/routing/api"
+)
+
+func cachedBGP(mode Mode) *Daemon {
+	d := New(mode)
+	d.Init(0, []api.Neighbor{{ID: 1, Cost: 1}, {ID: 2, Cost: 1}})
+	d.JournalEnable()
+	return d
+}
+
+func TestRibInChangeBumpsEpoch(t *testing.T) {
+	d := cachedBGP(Fixed)
+	p1, p2, _ := Figure4Paths("10.0.0.0/8")
+
+	e0 := d.Epoch()
+	d.HandleExternal(Announce{Path: p1})
+	e1 := d.Epoch()
+	if e1 == e0 {
+		t.Fatal("RIB-in change did not bump the epoch")
+	}
+	// A duplicate (same path name) is deduplicated: no RIB-in change, no
+	// bump.
+	d.HandleExternal(Announce{Path: p1})
+	if d.Epoch() != e1 {
+		t.Fatal("duplicate announcement bumped the epoch")
+	}
+	d.HandleExternal(Announce{Path: p2})
+	if d.Epoch() == e1 {
+		t.Fatal("second path did not bump the epoch")
+	}
+}
+
+func TestFixedDecisionMemoizedAcrossRewind(t *testing.T) {
+	d := cachedBGP(Fixed)
+	p1, p2, p3 := Figure4Paths("10.0.0.0/8")
+
+	mark := d.JournalMark()
+	for _, p := range []Path{p1, p2, p3} {
+		d.HandleExternal(Announce{Path: p})
+	}
+	want, _ := d.Best("10.0.0.0/8")
+	endEpoch := d.Epoch()
+	misses := d.RouteCacheStats().Misses
+
+	// Rewind the whole wave and replay it in the same order: every
+	// selection runs at an already-seen (epoch, prefix) and must hit.
+	d.JournalRewind(mark)
+	for _, p := range []Path{p1, p2, p3} {
+		d.HandleExternal(Announce{Path: p})
+	}
+	got, _ := d.Best("10.0.0.0/8")
+	if got != want {
+		t.Fatalf("replayed selection differs: %+v vs %+v", got, want)
+	}
+	if d.Epoch() != endEpoch {
+		t.Fatalf("replay reached epoch %d, want %d", d.Epoch(), endEpoch)
+	}
+	st := d.RouteCacheStats()
+	if st.Misses != misses {
+		t.Fatalf("replay re-ran decisions: misses %d -> %d", misses, st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Fatal("replay recorded no cache hits")
+	}
+
+	// Reordered replay: intermediate RIB-ins differ (different epochs, so
+	// those decisions run), but the full set converges on the same best.
+	d.JournalRewind(mark)
+	for _, p := range []Path{p3, p1, p2} {
+		d.HandleExternal(Announce{Path: p})
+	}
+	if got, _ := d.Best("10.0.0.0/8"); got != want {
+		t.Fatalf("reordered replay selected %+v, want %+v", got, want)
+	}
+	if d.Epoch() != endEpoch {
+		t.Fatalf("commutative fold broken: epoch %d, want %d", d.Epoch(), endEpoch)
+	}
+}
+
+func TestXORP04NeverConsultsCache(t *testing.T) {
+	d := cachedBGP(XORP04)
+	p1, p2, p3 := Figure4Paths("10.0.0.0/8")
+	for _, p := range []Path{p1, p2, p3} {
+		d.HandleExternal(Announce{Path: p})
+	}
+	// The buggy engine's output is arrival-order-sensitive, so it must
+	// not be served from an order-blind memo.
+	if st := d.RouteCacheStats(); st != (api.RouteCacheStats{}) {
+		t.Fatalf("XORP 0.4 engine touched the cache: %+v", st)
+	}
+}

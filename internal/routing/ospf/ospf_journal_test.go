@@ -41,6 +41,10 @@ func statesEqual(t *testing.T, got, want *state) {
 		t.Fatalf("scalars differ: seq %d/%d now %v/%v booted %v/%v spfRuns %d/%d",
 			got.seq, want.seq, got.now, want.now, got.booted, want.booted, got.spfRuns, want.spfRuns)
 	}
+	if got.epoch != want.epoch || got.tableEpoch != want.tableEpoch {
+		t.Fatalf("epochs differ: epoch %d/%d tableEpoch %d/%d",
+			got.epoch, want.epoch, got.tableEpoch, want.tableEpoch)
+	}
 	if len(got.table) != len(want.table) {
 		t.Fatalf("table len %d vs %d", len(got.table), len(want.table))
 	}

@@ -12,6 +12,13 @@
 // a permanent black hole (the paper's Figure 5).
 //
 // Mode selects the faithful buggy behaviour (Quagga0965) or the fixed one.
+//
+// The daemon implements api.RecomputeCached: the periodic announcement
+// vectors are memoized on a journaled topology epoch folded over the
+// distance-vector entries (prefix, next hop, metric — a timer refresh that
+// only moves a route's Deadline is not an effective mutation and does not
+// bump), so announcement rounds over an unchanged table reuse the shared
+// immutable outputs with zero allocation.
 package rip
 
 import (
@@ -21,6 +28,7 @@ import (
 	"defined/internal/journal"
 	"defined/internal/msg"
 	"defined/internal/routing/api"
+	"defined/internal/routing/routecache"
 	"defined/internal/vtime"
 )
 
@@ -131,16 +139,21 @@ type routeEntry struct {
 type state struct {
 	table      map[string]routeEntry
 	originated map[string]int // prefix → metric
-	crashed    bool
-	now        vtime.Time
-	expiries   uint64 // count of routes expired (experiments)
-	refreshes  uint64 // count of timer refreshes
+	// epoch is the topology epoch: a commutative content hash of the
+	// distance-vector entries (prefix, next hop, metric — Deadlines
+	// excluded), bumped only by effective route changes. Journaled.
+	epoch     uint64
+	crashed   bool
+	now       vtime.Time
+	expiries  uint64 // count of routes expired (experiments)
+	refreshes uint64 // count of timer refreshes
 }
 
 func (s *state) Clone() api.State {
 	ns := &state{
 		table:      make(map[string]routeEntry, len(s.table)),
 		originated: make(map[string]int, len(s.originated)),
+		epoch:      s.epoch,
 		crashed:    s.crashed,
 		now:        s.now,
 		expiries:   s.expiries,
@@ -163,6 +176,7 @@ type undoKind uint8
 const (
 	undoRoute      undoKind = iota // table[prefix] = route / delete
 	undoOriginated                 // originated[prefix] = metric / delete
+	undoEpoch                      // epoch = u64
 	undoCrashed                    // crashed = b
 	undoNow                        // now = t
 	undoExpiries                   // expiries = u64
@@ -196,6 +210,8 @@ func (s *state) applyUndo(u undoRec) {
 		} else {
 			delete(s.originated, u.prefix)
 		}
+	case undoEpoch:
+		s.epoch = u.u64
 	case undoCrashed:
 		s.crashed = u.b
 	case undoNow:
@@ -217,6 +233,11 @@ type Daemon struct {
 	// j is the undo journal backing MI checkpoints; disabled (and empty)
 	// unless the substrate calls JournalEnable.
 	j *journal.Log[undoRec]
+
+	// cache memoizes epoch → announcement vector (api.RecomputeCached).
+	// Daemon-level, not checkpointable state: entries are immutable shared
+	// outputs keyed by content epoch, valid in every timeline.
+	cache routecache.Ring[uint64, []msg.Out]
 }
 
 // New creates a daemon.
@@ -228,9 +249,19 @@ func New(cfg Config) *Daemon {
 }
 
 var (
-	_ api.Application = (*Daemon)(nil)
-	_ api.Journaled   = (*Daemon)(nil)
+	_ api.Application     = (*Daemon)(nil)
+	_ api.Journaled       = (*Daemon)(nil)
+	_ api.RecomputeCached = (*Daemon)(nil)
 )
+
+// RouteCacheStats implements api.RecomputeCached.
+func (d *Daemon) RouteCacheStats() api.RouteCacheStats { return d.cache.Stats() }
+
+// SetRouteCaching implements api.RecomputeCached.
+func (d *Daemon) SetRouteCaching(on bool) { d.cache.SetEnabled(on) }
+
+// Epoch exposes the current topology epoch (tests and debugging).
+func (d *Daemon) Epoch() uint64 { return d.st.epoch }
 
 // JournalEnable implements api.Journaled.
 func (d *Daemon) JournalEnable() { d.j.Enable() }
@@ -251,6 +282,17 @@ func (d *Daemon) setRoute(prefix string, e routeEntry) {
 	old, had := d.st.table[prefix]
 	d.j.Record(undoRec{kind: undoRoute, prefix: prefix, route: old, had: had})
 	d.st.table[prefix] = e
+	// Epoch-bump contract: only a distance-vector entry change — next hop
+	// or metric — is an effective mutation. A timer refresh (same route,
+	// newer Deadline) leaves the announced content, and so the epoch and
+	// the cached announcement vector, untouched.
+	oldH := uint64(0)
+	if had {
+		oldH = routeContentHash(old)
+	}
+	if newH := routeContentHash(e); newH != oldH {
+		d.bumpEpoch(newH - oldH)
+	}
 }
 
 func (d *Daemon) delRoute(prefix string) {
@@ -260,6 +302,25 @@ func (d *Daemon) delRoute(prefix string) {
 	}
 	d.j.Record(undoRec{kind: undoRoute, prefix: prefix, route: old, had: true})
 	delete(d.st.table, prefix)
+	d.bumpEpoch(-routeContentHash(old))
+}
+
+// routeContentHash fingerprints the announced content of one route:
+// prefix, next hop and metric. The Deadline is a local timer, invisible in
+// announcements, and deliberately excluded.
+func routeContentHash(e routeEntry) uint64 {
+	h := routecache.Hash()
+	h = routecache.HashString(h, e.Prefix)
+	h = routecache.HashUint64(h, uint64(e.NextHop))
+	h = routecache.HashUint64(h, uint64(e.Metric))
+	return h
+}
+
+// bumpEpoch moves the topology epoch by a commutative content delta; the
+// old value is journaled so MI rewinds un-bump it.
+func (d *Daemon) bumpEpoch(delta uint64) {
+	d.j.Record(undoRec{kind: undoEpoch, u64: d.st.epoch})
+	d.st.epoch += delta
 }
 
 func (d *Daemon) setOriginated(prefix string, metric int) {
@@ -302,8 +363,15 @@ func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
 	d.st = &state{table: map[string]routeEntry{}, originated: map[string]int{}}
 }
 
-// announceOuts builds the periodic announcement to every neighbor.
+// announceOuts builds the periodic announcement to every neighbor. The
+// vector is a pure function of the distance-vector content (the epoch), so
+// it is memoized: announcement rounds over an unchanged table — the common
+// steady state, and every rollback replay of one — reuse the shared
+// immutable outputs with zero allocation.
 func (d *Daemon) announceOuts() []msg.Out {
+	if outs, ok := d.cache.Lookup(d.st.epoch); ok {
+		return outs
+	}
 	prefixes := make([]string, 0, len(d.st.table))
 	for p := range d.st.table {
 		prefixes = append(prefixes, p)
@@ -324,6 +392,7 @@ func (d *Daemon) announceOuts() []msg.Out {
 		}
 		outs = append(outs, msg.Out{To: nb.ID, Payload: announcement{From: d.self, Routes: routes}})
 	}
+	d.cache.Insert(d.st.epoch, outs)
 	return outs
 }
 

@@ -91,6 +91,15 @@ func WithSettleBound(d Duration) Option {
 	return func(c *rollback.Config) { c.SettleAfter = d }
 }
 
+// WithoutRouteCache disables the daemons' epoch-keyed route-computation
+// cache: every SPF run, announcement build and BGP decision executes the
+// real computation — the pre-cache behaviour, kept selectable so golden
+// tests can prove the cache never changes execution (committed orders,
+// stats and routing tables are bit-identical either way).
+func WithoutRouteCache() Option {
+	return func(c *rollback.Config) { c.NoRouteCache = true }
+}
+
 // WithoutMessagePool disables refcounted wire-message pooling (unmanaged
 // heap-allocated messages — the pre-refcount behaviour, kept selectable so
 // golden tests can prove the lifecycle never changes execution).
