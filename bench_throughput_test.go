@@ -14,23 +14,37 @@ import (
 // (events/sec) on Sprintlink under DEFINED-RB: a link flap drives an OSPF
 // flood wave through the full stack — eventq scheduling, netsim FIFO
 // clamping, speculative delivery, rollback replay and anti-message
-// cancellation. This is the end-to-end number the allocation-free core
-// refactor targets; run with -benchmem to see allocs/op.
+// cancellation. The seq sub-benchmark is the sequential engine (the
+// allocation-free core's end-to-end number; run with -benchmem to see
+// allocs/op); shards4 runs the identical workload on the 4-shard parallel
+// engine, so seq vs shards4 at -cpu 4 is the sharding speedup on the
+// bit-identical execution. At -cpu 1 shards4 instead measures the
+// window/merge overhead with no parallelism to pay for it.
 func BenchmarkEngineThroughput(b *testing.B) {
-	b.ReportAllocs()
-	events := 0
-	var eng *rollback.Engine
-	for i := 0; i < b.N; i++ {
-		eng = flapScenario()
-		n, _ := eng.Sim().RunQuiescent(10_000_000)
-		events += n
-	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
-	// Epoch-cache effectiveness: skipped and hit recomputes reused a
-	// current or memoized table; misses ran Dijkstra.
-	st := eng.Stats()
-	if lookups := st.SPFCacheHits + st.SPFCacheMisses + st.RecomputeSkipped; lookups > 0 {
-		b.ReportMetric(float64(st.SPFCacheHits+st.RecomputeSkipped)/float64(lookups), "spf-cache-hit-rate")
+	for _, mode := range []struct {
+		name   string
+		shards int
+	}{
+		{"seq", 0},
+		{"shards4", 4},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			var eng *rollback.Engine
+			for i := 0; i < b.N; i++ {
+				eng = flapScenario(func(c *rollback.Config) { c.Shards = mode.shards })
+				n, _ := eng.Sim().RunQuiescent(10_000_000)
+				events += n
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			// Epoch-cache effectiveness: skipped and hit recomputes reused a
+			// current or memoized table; misses ran Dijkstra.
+			st := eng.Stats()
+			if lookups := st.SPFCacheHits + st.SPFCacheMisses + st.RecomputeSkipped; lookups > 0 {
+				b.ReportMetric(float64(st.SPFCacheHits+st.RecomputeSkipped)/float64(lookups), "spf-cache-hit-rate")
+			}
+		})
 	}
 }
 

@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N]
+//	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N] [-shards N]
 //
 // Without -fig, every figure is regenerated. -quick runs the reduced
 // workloads used by CI; the full workloads replay the paper's sample sizes
-// (651 trace events, four network sizes, five event rates).
+// (651 trace events, four network sizes, five event rates). -shards runs
+// the experiment engines on N parallel shards — the figures themselves are
+// bit-identical for any shard count (sharding changes wall-clock speed,
+// never execution), so the flag only makes regeneration faster on
+// multi-core machines.
 package main
 
 import (
@@ -24,9 +28,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workloads (CI scale)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	shards := flag.Int("shards", 0, "parallel engine shards (0 = sequential; figures are bit-identical for any value)")
 	flag.Parse()
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards}
 
 	var ids []string
 	if *fig != "" {

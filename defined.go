@@ -24,6 +24,13 @@
 // repository ships OSPF-, BGP- and RIP-style daemons (including faithful
 // reimplementations of the two bugs the paper's case studies debug).
 //
+// The production engine can additionally run sharded across cores
+// (WithShards): routers are partitioned over per-core shards that execute
+// inside conservative lookahead windows and merge cross-shard traffic at
+// a deterministic commit barrier, so committed orders, statistics and
+// routing tables stay bit-identical to the sequential engine for any
+// shard count — parallelism changes wall-clock speed only.
+//
 // A minimal production-then-debug session:
 //
 //	g := defined.Sprintlink()

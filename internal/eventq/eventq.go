@@ -113,7 +113,76 @@ func (q *Queue) PushCall(at vtime.Time, c Caller) Handle {
 	return q.push(at, KindCall, nil, nil, c)
 }
 
+// PushDeliverSeq schedules delivery of m at time at under an
+// externally assigned insertion sequence. The sharded simulator owns one
+// global sequence counter spanning many per-shard queues; explicit-seq
+// pushes are how corresponding events get identical (at, seq) labels in
+// sequential and sharded runs. The queue's own counter is not advanced.
+func (q *Queue) PushDeliverSeq(at vtime.Time, seq uint64, m *msg.Message) Handle {
+	return q.pushSeq(at, seq, KindDeliver, m, nil, nil)
+}
+
+// PushFnSeq schedules fn at time at with an externally assigned sequence.
+func (q *Queue) PushFnSeq(at vtime.Time, seq uint64, fn func()) Handle {
+	return q.pushSeq(at, seq, KindFn, nil, fn, nil)
+}
+
+// PushCallSeq schedules a pre-bound Caller at time at with an externally
+// assigned sequence (no allocation).
+func (q *Queue) PushCallSeq(at vtime.Time, seq uint64, c Caller) Handle {
+	return q.pushSeq(at, seq, KindCall, nil, nil, c)
+}
+
+// SetSeq rewrites a live event's insertion sequence and restores heap
+// order. Sharded windows push events under provisional sequences and
+// resolve them to globally ordered ones at the commit barrier; a stale
+// handle (the event already fired or was cancelled) is a safe no-op that
+// returns false, like Remove.
+func (q *Queue) SetSeq(h Handle, seq uint64) bool {
+	if !q.Live(h) {
+		return false
+	}
+	s := &q.slots[h.slot]
+	if s.seq == seq {
+		return true
+	}
+	s.seq = seq
+	i := int(s.heapIdx)
+	if !q.siftDown(i) {
+		q.siftUp(i)
+	}
+	return true
+}
+
+// NextAtSeq returns the (timestamp, sequence) pair of the earliest pending
+// event; ok is false when the queue is empty. It is the frontier probe the
+// sharded runtime's merge loop runs on every queue without popping.
+func (q *Queue) NextAtSeq() (at vtime.Time, seq uint64, ok bool) {
+	if len(q.heap) == 0 {
+		return vtime.Never, 0, false
+	}
+	s := &q.slots[q.heap[0]]
+	return s.at, s.seq, true
+}
+
+// Scan calls fn for every pending event in unspecified (heap) order.
+// Mutating the queue from fn is not allowed. The sharded runtime uses it
+// to enumerate a window's scheduled deliveries and to re-derive which
+// queued arrivals a link/node state change doomed.
+func (q *Queue) Scan(fn func(Event)) {
+	for _, idx := range q.heap {
+		s := &q.slots[idx]
+		fn(Event{At: s.at, Seq: s.seq, Kind: s.kind, Msg: s.m, Fn: s.fn, Call: s.call})
+	}
+}
+
 func (q *Queue) push(at vtime.Time, kind Kind, m *msg.Message, fn func(), call Caller) Handle {
+	h := q.pushSeq(at, q.next, kind, m, fn, call)
+	q.next++
+	return h
+}
+
+func (q *Queue) pushSeq(at vtime.Time, seq uint64, kind Kind, m *msg.Message, fn func(), call Caller) Handle {
 	var idx int32
 	if n := len(q.free); n > 0 {
 		idx = q.free[n-1]
@@ -124,13 +193,12 @@ func (q *Queue) push(at vtime.Time, kind Kind, m *msg.Message, fn func(), call C
 	}
 	s := &q.slots[idx]
 	s.at = at
-	s.seq = q.next
+	s.seq = seq
 	s.kind = kind
 	s.m = m
 	s.fn = fn
 	s.call = call
 	s.heapIdx = int32(len(q.heap))
-	q.next++
 	q.heap = append(q.heap, idx)
 	q.siftUp(len(q.heap) - 1)
 	return Handle{slot: idx, gen: s.gen}

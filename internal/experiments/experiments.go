@@ -30,6 +30,11 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Shards runs every experiment's engine on that many parallel shards
+	// (0 = sequential). Committed executions are bit-identical either
+	// way (TestShardGolden), so the figures' virtual-time metric series
+	// do not move; sharding only changes how fast they regenerate.
+	Shards int
 }
 
 // traceEvents returns how many trace events an experiment replays.
@@ -77,8 +82,11 @@ type network struct {
 // for fewer rollbacks, which would shift the convergence-time series the
 // figures report. Committed orders are identical either way; only the
 // timing dynamics the figures measure would move.
-func newNetwork(g *topology.Graph, cfg rollback.Config) *network {
+func newNetwork(g *topology.Graph, opt Options, cfg rollback.Config) *network {
 	cfg.StrategySet = true
+	if cfg.Shards == 0 {
+		cfg.Shards = opt.Shards
+	}
 	if cfg.DeferSlack == 0 {
 		cfg.DeferSlack = -1 // pre-deferral dynamics
 	}

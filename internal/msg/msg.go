@@ -47,6 +47,20 @@
 // message beyond the current callback must Retain it. Payloads are shared,
 // never pooled — recycling zeroes the Payload field, not the payload.
 //
+// # Sharded engines
+//
+// Reference counts are atomic, so the ownership rules above hold unchanged
+// when a message crosses a shard boundary of the sharded engine: the
+// sender's shard allocates (from its shard-local pool), the receiver's
+// shard retains and releases, and the last release — wherever it happens —
+// returns the struct to its home pool. Pools that can receive such
+// cross-shard releases run in concurrent mode (Pool.SetConcurrent); the
+// sequential engine's single pool stays in the lock-free fast path.
+// Message contents are still unsynchronized: a message must only be
+// mutated before it is handed to the simulator, and the simulator's
+// commit barrier is the happens-before edge between the sender's writes
+// and the receiving shard's reads.
+//
 // # Poison mode
 //
 // Pool.SetPoison(true) turns release-to-pool into scribble-and-quarantine:

@@ -1,6 +1,10 @@
 package msg
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a reference-counted free list of Message structs. Every message
 // the substrate puts on the wire — application traffic and control traffic
@@ -10,16 +14,27 @@ import "fmt"
 // See the package comment for the ownership rules: who retains, who
 // releases, and when poison mode applies.
 //
-// Pool is not safe for concurrent use; like the simulator it serves, it
-// assumes the single-threaded deterministic event loop.
+// Reference counts are always manipulated atomically, so Retain, Release
+// and CheckLive are safe from any goroutine: a message allocated on one
+// shard of the sharded engine can be retained by a history window on
+// another and released there, with the last release returning the struct
+// to its home pool. The free list itself is single-threaded by default
+// (the sequential engine's allocation fast path takes no lock); a pool
+// that can receive cross-shard releases must be switched to concurrent
+// mode with SetConcurrent, which guards Get and recycling with a mutex.
 type Pool struct {
+	mu   sync.Mutex // guards free/live/quarantined in concurrent mode
 	free []*Message
 	// poison selects the debug lifecycle mode: released messages are
 	// scribbled with sentinel values and quarantined (never reused), so a
 	// use-after-release deterministically reads the sentinel instead of
 	// whatever message happened to recycle the struct.
-	poison      bool
-	violations  uint64
+	poison bool
+	// concurrent guards the free list for cross-goroutine Get/Release.
+	// Set once before traffic flows (the sharded simulator does it at
+	// construction), never toggled mid-run.
+	concurrent  bool
+	violations  atomic.Uint64
 	live        int
 	quarantined int
 }
@@ -32,12 +47,16 @@ const poisonNode NodeID = -0xDEAD
 // Get returns a zeroed Message owned by the caller (reference count 1),
 // reusing a recycled struct when one is available.
 func (p *Pool) Get() *Message {
+	if p.concurrent {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	p.live++
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
-		m.rc = 1
+		atomic.StoreInt32(&m.rc, 1)
 		return m
 	}
 	return &Message{rc: 1, home: p}
@@ -46,6 +65,10 @@ func (p *Pool) Get() *Message {
 // put recycles a message whose last reference was released. Under poison
 // mode the struct is scribbled and quarantined instead of reused.
 func (p *Pool) put(m *Message) {
+	if p.concurrent {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	p.live--
 	if p.poison {
 		p.quarantined++
@@ -63,6 +86,12 @@ func (p *Pool) put(m *Message) {
 	p.free = append(p.free, m)
 }
 
+// SetConcurrent switches the pool's free list to mutex-guarded mode, for
+// pools whose messages can be released from another goroutine (shard
+// boundary crossings). Like SetPoison it must be set before any traffic
+// flows; the sequential engine leaves it off and keeps the lock-free path.
+func (p *Pool) SetConcurrent(on bool) { p.concurrent = on }
+
 // SetPoison switches the pool's debug poison mode. Enable it before any
 // traffic flows; a sweep with poison on that completes with Violations()==0
 // proves the lifecycle has no use-after-release. Poison-mode violations
@@ -78,17 +107,35 @@ func (p *Pool) Poisoning() bool { return p.poison }
 // of an already-released message) the pool has detected. Nonzero tallies
 // are only observable under poison mode — without it the first violation
 // panics instead of counting on.
-func (p *Pool) Violations() uint64 { return p.violations }
+func (p *Pool) Violations() uint64 { return p.violations.Load() }
 
 // Live reports the number of messages currently checked out (allocated and
 // not yet fully released) — the leak-detection balance.
-func (p *Pool) Live() int { return p.live }
+func (p *Pool) Live() int {
+	if p.concurrent {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return p.live
+}
 
 // Quarantined reports how many released messages poison mode has impounded.
-func (p *Pool) Quarantined() int { return p.quarantined }
+func (p *Pool) Quarantined() int {
+	if p.concurrent {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return p.quarantined
+}
 
 // Len reports the number of recycled messages currently pooled (tests).
-func (p *Pool) Len() int { return len(p.free) }
+func (p *Pool) Len() int {
+	if p.concurrent {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return len(p.free)
+}
 
 // violation records a lifecycle violation and reports whether execution
 // may continue. Under poison mode it returns true: released structs are
@@ -99,48 +146,65 @@ func (p *Pool) Len() int { return len(p.free) }
 // response is an immediate panic (deterministic under the event loop, so
 // the stack reproduces).
 func (p *Pool) violation(m *Message, op string) bool {
-	p.violations++
+	p.violations.Add(1)
 	if p.poison {
 		return true
 	}
-	panic(fmt.Sprintf("msg: %s of released message %s (rc=%d)", op, m.ID, m.rc))
+	panic(fmt.Sprintf("msg: %s of released message %s (rc=%d)", op, m.ID, atomic.LoadInt32(&m.rc)))
 }
 
 // Retain adds a reference to m and returns it. Messages that did not come
 // from a pool (plain literals in tests, pool-less senders) are unmanaged:
 // Retain is a no-op for them, and nil is tolerated so callers need not
 // special-case timer/external history entries.
+//
+// The count is a CAS loop, never a blind increment: a reference may only
+// be minted from a reference the caller already holds, so observing
+// rc <= 0 means use-after-release (counted or panicked, per pool mode)
+// and the struct is never resurrected — including when another shard
+// releases concurrently.
 func (m *Message) Retain() *Message {
 	if m == nil || m.home == nil {
 		return m
 	}
-	if m.rc <= 0 {
-		// Counted (poison) or panicked; never resurrect the struct.
-		m.home.violation(m, "Retain")
-		return m
+	for {
+		rc := atomic.LoadInt32(&m.rc)
+		if rc <= 0 {
+			// Counted (poison) or panicked; never resurrect the struct.
+			m.home.violation(m, "Retain")
+			return m
+		}
+		if atomic.CompareAndSwapInt32(&m.rc, rc, rc+1) {
+			return m
+		}
 	}
-	m.rc++
-	return m
 }
 
 // Release drops one reference; the last release returns the struct to its
 // pool (or the poison quarantine). Unmanaged and nil messages are no-ops.
+// The CAS guarantees exactly one releaser observes the count reach zero
+// and recycles the struct, wherever that release happens.
 func (m *Message) Release() {
 	if m == nil || m.home == nil {
 		return
 	}
-	if m.rc <= 0 {
-		m.home.violation(m, "Release")
-		return
-	}
-	m.rc--
-	if m.rc == 0 {
-		m.home.put(m)
+	for {
+		rc := atomic.LoadInt32(&m.rc)
+		if rc <= 0 {
+			m.home.violation(m, "Release")
+			return
+		}
+		if atomic.CompareAndSwapInt32(&m.rc, rc, rc-1) {
+			if rc == 1 {
+				m.home.put(m)
+			}
+			return
+		}
 	}
 }
 
 // Refs reports the current reference count (0 for unmanaged messages).
-func (m *Message) Refs() int32 { return m.rc }
+func (m *Message) Refs() int32 { return atomic.LoadInt32(&m.rc) }
 
 // Managed reports whether m's lifetime is pool-managed.
 func (m *Message) Managed() bool { return m != nil && m.home != nil }
@@ -149,7 +213,7 @@ func (m *Message) Managed() bool { return m != nil && m.home != nil }
 // cheap chokepoint check the simulator, history window and replay engines
 // run on every hand-off. It is a no-op for unmanaged messages.
 func (m *Message) CheckLive(op string) {
-	if m != nil && m.home != nil && m.rc <= 0 {
+	if m != nil && m.home != nil && atomic.LoadInt32(&m.rc) <= 0 {
 		m.home.violation(m, op)
 	}
 }

@@ -1,0 +1,620 @@
+package netsim
+
+// This file is the sharded parallel runtime: the Lane type (one shard's
+// queue, pool and window state, plus the scheduling facade engines use so
+// the same call sites work in both modes), the worker-side window loop,
+// and the driver-side orchestration (serial steps, window horizons, the
+// commit-barrier merge). See the package comment for the concurrency
+// contract and the shard package comment for the determinism argument.
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"defined/internal/eventq"
+	"defined/internal/msg"
+	"defined/internal/shard"
+	"defined/internal/vtime"
+)
+
+// Lane is one shard of the sharded runtime: it owns the event queue and
+// message pool for a contiguous range of nodes, and executes their events
+// on a worker goroutine during parallel windows. Engines hold the Lane of
+// each node they drive and go through it for everything they previously
+// called on the Sim (Now, Send, scheduling, Cancel/Rearm, Pool); in
+// sequential mode the Lane is a zero-cost facade that delegates to the
+// Sim, so engine code is identical in both modes.
+//
+// During a window a Lane's methods must only be called from its own
+// worker (equivalently: from the delivery handlers and timers of its own
+// nodes). Outside windows everything runs on the driver goroutine.
+type Lane struct {
+	s       *Sim
+	idx     int32
+	sharded bool
+
+	q    eventq.Queue
+	pool msg.Pool
+	log  shard.Log
+
+	inWindow bool
+	now      vtime.Time
+	curSeq   uint64
+	winEnd   vtime.Time
+	provN    uint64
+
+	// doomed caches the (at, seq) keys of queued app arrivals that the
+	// current link/node state would drop at delivery time, sorted. Their
+	// drops mutate cross-shard state, so doomed[0].at caps the window
+	// horizon and the drop executes in a serial step.
+	doomed []evKey
+
+	nEvents int
+	nPops   int
+	err     any
+}
+
+// evKey orders queued events by (timestamp, sequence).
+type evKey struct {
+	at  vtime.Time
+	seq uint64
+}
+
+// Now returns the Lane's current virtual time: the executing event's
+// timestamp during a window, the global clock otherwise.
+func (l *Lane) Now() vtime.Time {
+	if l.inWindow {
+		return l.now
+	}
+	return l.s.now
+}
+
+// InWindow reports whether the Lane is currently executing a parallel
+// window slice on its worker.
+func (l *Lane) InWindow() bool { return l.inWindow }
+
+// CurAt and CurSeq identify the event the Lane's worker is executing
+// (valid only during a window). CurSeq may be provisional.
+func (l *Lane) CurAt() vtime.Time { return l.now }
+func (l *Lane) CurSeq() uint64    { return l.curSeq }
+
+// Pool returns the message pool this Lane's nodes allocate from: the
+// shard-local pool in sharded mode (concurrent, since receivers on other
+// shards release into it), the simulator's pool otherwise.
+func (l *Lane) Pool() *msg.Pool {
+	if l.sharded {
+		return &l.pool
+	}
+	return &l.s.pool
+}
+
+// Send transmits m like Sim.Send. During a window the boundary-crossing
+// half (jitter draw, FIFO clamp, destination push) is logged and applied
+// at the commit barrier; send-time droppability is still decided here,
+// against the link/node state frozen for the window, so the return value
+// and sender stats match the sequential engine exactly.
+func (l *Lane) Send(m *msg.Message) bool {
+	if !l.inWindow {
+		return l.s.Send(m)
+	}
+	s := l.s
+	m.CheckLive("Send")
+	idx := s.G.LinkIndex(int(m.From), int(m.To))
+	if idx < 0 {
+		panic(fmt.Sprintf("netsim: send over non-existent link %d-%d", m.From, m.To))
+	}
+	st := &s.stats[m.From]
+	st.Sent++
+	st.ByKindOut[m.Kind]++
+	if m.Kind == msg.KindApp {
+		if !s.linkUp[idx] || !s.nodeUp[m.From] || !s.nodeUp[m.To] {
+			st.DroppedTx++
+			return false
+		}
+		// DropProb > 0 forces the sequential engine (see Config.Shards),
+		// so no loss draw happens here.
+	}
+	l.log.Add(shard.Action{Kind: shard.ActionSend, Msg: m.Retain(), Link: int32(idx)})
+	return true
+}
+
+// ScheduleFn schedules fn at time at for one of this Lane's nodes. In
+// sharded mode the event lives in the Lane's own queue: pushed under the
+// next global sequence from the driver, or under a provisional sequence
+// (resolved at the commit barrier) from inside a window.
+func (l *Lane) ScheduleFn(at vtime.Time, fn func()) eventq.Handle {
+	if !l.sharded {
+		return l.s.ScheduleFn(at, fn)
+	}
+	if !l.inWindow {
+		if at < l.s.now {
+			at = l.s.now
+		}
+		return l.q.PushFnSeq(at, l.s.nextSeq(), fn)
+	}
+	if at < l.now {
+		at = l.now
+	}
+	prov := shard.ProvSeq(int(l.idx), l.provN)
+	l.provN++
+	h := l.q.PushFnSeq(at, prov, fn)
+	l.log.Add(shard.Action{Kind: shard.ActionLocalPush, H: h, Prov: prov})
+	return h
+}
+
+// After schedules fn d after the Lane's current time.
+func (l *Lane) After(d vtime.Duration, fn func()) eventq.Handle {
+	return l.ScheduleFn(l.Now().Add(d), fn)
+}
+
+// ScheduleCall schedules a pre-bound Caller, like ScheduleFn but
+// allocation-free.
+func (l *Lane) ScheduleCall(at vtime.Time, c eventq.Caller) eventq.Handle {
+	if !l.sharded {
+		return l.s.ScheduleCall(at, c)
+	}
+	if !l.inWindow {
+		if at < l.s.now {
+			at = l.s.now
+		}
+		return l.q.PushCallSeq(at, l.s.nextSeq(), c)
+	}
+	if at < l.now {
+		at = l.now
+	}
+	prov := shard.ProvSeq(int(l.idx), l.provN)
+	l.provN++
+	h := l.q.PushCallSeq(at, prov, c)
+	l.log.Add(shard.Action{Kind: shard.ActionLocalPush, H: h, Prov: prov})
+	return h
+}
+
+// AfterCall schedules a pre-bound Caller d after the Lane's current time.
+func (l *Lane) AfterCall(d vtime.Duration, c eventq.Caller) eventq.Handle {
+	return l.ScheduleCall(l.Now().Add(d), c)
+}
+
+// Cancel removes a scheduled event of this Lane's nodes. Stale handles are
+// a safe no-op. A cancelled window-phase push still consumes its global
+// sequence at commit, exactly as the sequential engine consumed one at
+// push time.
+func (l *Lane) Cancel(h eventq.Handle) {
+	if !l.sharded {
+		l.s.Cancel(h)
+		return
+	}
+	l.q.Remove(h)
+}
+
+// Rearm slides a scheduled event to a new fire time (clamped to the Lane's
+// current time), keeping its handle and insertion sequence, like Sim.Rearm.
+func (l *Lane) Rearm(h eventq.Handle, at vtime.Time) bool {
+	if !l.sharded {
+		return l.s.Rearm(h, at)
+	}
+	if now := l.Now(); at < now {
+		at = now
+	}
+	return l.q.Reschedule(h, at)
+}
+
+// runWindow executes the Lane's slice of the current window on its worker:
+// every queued event with at < winEnd, in (at, seq) order. Panics are
+// captured and re-raised on the driver at the barrier.
+func (l *Lane) runWindow() {
+	defer func() {
+		if r := recover(); r != nil {
+			l.err = r
+		}
+	}()
+	for {
+		at, seq, ok := l.q.NextAtSeq()
+		if !ok || at >= l.winEnd {
+			return
+		}
+		ev, _ := l.q.Pop()
+		l.now = at
+		l.curSeq = seq
+		l.nEvents++
+		l.log.BeginExec(at, seq)
+		switch ev.Kind {
+		case eventq.KindDeliver:
+			l.nPops++
+			l.deliver(ev.Msg)
+		case eventq.KindFn:
+			ev.Fn()
+		case eventq.KindCall:
+			ev.Call.Fire()
+		default:
+			panic(fmt.Sprintf("netsim: unknown event kind %d", ev.Kind))
+		}
+	}
+}
+
+// deliver is the window-phase delivery path. Delivery-time drops mutate
+// cross-shard state, so the horizon protocol guarantees none can be
+// scheduled inside a window; hitting one here is a runtime bug.
+func (l *Lane) deliver(m *msg.Message) {
+	s := l.s
+	m.CheckLive("deliver")
+	if m.Kind == msg.KindApp {
+		idx := s.G.LinkIndex(int(m.From), int(m.To))
+		if idx < 0 || !s.linkUp[idx] || !s.nodeUp[m.To] {
+			panic(fmt.Sprintf("netsim: doomed delivery %s inside a parallel window", m))
+		}
+	}
+	st := &s.stats[m.To]
+	st.Received++
+	st.ByKindIn[m.Kind]++
+	if h := s.handlers[m.To]; h != nil {
+		h(m)
+	}
+	m.Release()
+}
+
+// WinDeliver is one application-message delivery scheduled inside the
+// upcoming window, as handed to the WindowObserver.
+type WinDeliver struct {
+	At  vtime.Time
+	Seq uint64
+	Msg *msg.Message
+}
+
+// WindowObserver lets an engine bracket parallel windows. BeginWindow runs
+// on the driver before the workers start, with the window's scheduled app
+// deliveries in global (at, seq) execution order — engines use it to
+// precompute read-only schedules of any global estimator their handlers
+// consult, since handlers must not mutate shared state mid-window.
+// EndWindow runs on the driver after the commit barrier.
+type WindowObserver interface {
+	BeginWindow(delivers []WinDeliver)
+	EndWindow()
+}
+
+// SetWindowObserver registers the engine's window bracket (sharded mode
+// only; never called on the sequential engine).
+func (s *Sim) SetWindowObserver(o WindowObserver) { s.obs = o }
+
+// Sharded reports whether the sharded runtime is active.
+func (s *Sim) Sharded() bool { return s.lanes != nil }
+
+// ShardCount reports the number of shards (1 for the sequential engine).
+func (s *Sim) ShardCount() int {
+	if s.lanes == nil {
+		return 1
+	}
+	return len(s.lanes)
+}
+
+// LaneFor returns node n's Lane. In sequential mode every node shares one
+// facade Lane that delegates to the Sim.
+func (s *Sim) LaneFor(n msg.NodeID) *Lane {
+	if s.lanes == nil {
+		return s.lane0
+	}
+	return s.lanes[s.laneOf[n]]
+}
+
+// SetPoison switches message-lifecycle poison mode on the simulator's pool
+// and every lane pool.
+func (s *Sim) SetPoison(on bool) {
+	s.pool.SetPoison(on)
+	for _, l := range s.lanes {
+		l.pool.SetPoison(on)
+	}
+}
+
+// PoolViolations sums lifecycle violations across the simulator's pool and
+// every lane pool.
+func (s *Sim) PoolViolations() uint64 {
+	v := s.pool.Violations()
+	for _, l := range s.lanes {
+		v += l.pool.Violations()
+	}
+	return v
+}
+
+// initShards builds the sharded runtime when Config.Shards asks for it.
+// Nodes are partitioned contiguously (node IDs are dense, and neighbours
+// in generated topologies tend to be ID-close, which keeps some traffic
+// shard-local). The worker pool is sized to the shard count; workers hold
+// no reference to the Sim, and a finalizer closes the work channel when
+// the Sim is collected, so idle engines do not leak goroutines.
+func (s *Sim) initShards() {
+	nsh := s.cfg.Shards
+	if s.cfg.DropProb > 0 {
+		nsh = 0 // loss draws need the global send order; see Config.Shards
+	}
+	if nsh > s.G.N {
+		nsh = s.G.N
+	}
+	s.lane0 = &Lane{s: s}
+	if nsh <= 1 {
+		return
+	}
+	s.lanes = make([]*Lane, nsh)
+	for i := range s.lanes {
+		s.lanes[i] = &Lane{s: s, idx: int32(i), sharded: true}
+		s.lanes[i].pool.SetConcurrent(true)
+	}
+	s.laneOf = make([]int32, s.G.N)
+	for n := 0; n < s.G.N; n++ {
+		s.laneOf[n] = int32(n * nsh / s.G.N)
+	}
+	s.lookahead = vtime.Duration(1) << 62
+	for _, lk := range s.G.Links {
+		if lk.Delay < s.lookahead {
+			s.lookahead = lk.Delay
+		}
+	}
+	if len(s.G.Links) == 0 || s.lookahead < 1 {
+		s.lookahead = 1
+	}
+	workCh := make(chan *Lane)
+	wg := new(sync.WaitGroup)
+	s.workCh = workCh
+	s.winWG = wg
+	for w := 0; w < nsh; w++ {
+		go func() {
+			for l := range workCh {
+				l.runWindow()
+				wg.Done()
+			}
+		}()
+	}
+	runtime.SetFinalizer(s, func(dead *Sim) { close(dead.workCh) })
+}
+
+// minSource locates the globally minimal pending event: src -1 for the
+// driver queue, a lane index otherwise; ok is false when everything is
+// drained. Sequences are globally unique outside windows, so the minimum
+// is unambiguous.
+func (s *Sim) minSource() (src int, ok bool) {
+	src = -2
+	var bAt vtime.Time
+	var bSeq uint64
+	if at, seq, qok := s.q.NextAtSeq(); qok {
+		src, bAt, bSeq = -1, at, seq
+	}
+	for i, l := range s.lanes {
+		at, seq, lok := l.q.NextAtSeq()
+		if !lok {
+			continue
+		}
+		if src == -2 || at < bAt || (at == bAt && seq < bSeq) {
+			src, bAt, bSeq = i, at, seq
+		}
+	}
+	return src, src != -2
+}
+
+// serialStep executes the globally minimal event (from minSource) on the
+// driver with full sequential semantics — the fallback for everything a
+// window cannot run: driver-queue events, doomed deliveries, and windows
+// with a single active lane.
+func (s *Sim) serialStep(src int) {
+	var ev eventq.Event
+	var ok bool
+	if src < 0 {
+		ev, ok = s.q.Pop()
+	} else {
+		l := s.lanes[src]
+		ev, ok = l.q.Pop()
+		if len(l.doomed) > 0 && l.doomed[0].at == ev.At && l.doomed[0].seq == ev.Seq {
+			l.doomed = l.doomed[1:]
+		}
+	}
+	if !ok {
+		panic("netsim: serialStep with no pending event")
+	}
+	s.now = ev.At
+	s.processed++
+	switch ev.Kind {
+	case eventq.KindDeliver:
+		s.inFlight--
+		s.deliver(ev.Msg)
+	case eventq.KindFn:
+		ev.Fn()
+	case eventq.KindCall:
+		ev.Call.Fire()
+	default:
+		panic(fmt.Sprintf("netsim: unknown event kind %d", ev.Kind))
+	}
+}
+
+// rescanDooms rebuilds every lane's doomed-arrival cache after a link or
+// node state change. Freshly pushed arrivals passed the send-time check
+// under the current state, so only state changes create (or clear) doom.
+func (s *Sim) rescanDooms() {
+	for _, l := range s.lanes {
+		l.doomed = l.doomed[:0]
+		l.q.Scan(func(ev eventq.Event) {
+			if ev.Kind != eventq.KindDeliver || ev.Msg.Kind != msg.KindApp {
+				return
+			}
+			m := ev.Msg
+			idx := s.G.LinkIndex(int(m.From), int(m.To))
+			if idx < 0 || !s.linkUp[idx] || !s.nodeUp[m.To] {
+				l.doomed = append(l.doomed, evKey{at: ev.At, seq: ev.Seq})
+			}
+		})
+		slices.SortFunc(l.doomed, func(a, b evKey) int {
+			if a.at != b.at {
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			}
+			if a.seq < b.seq {
+				return -1
+			}
+			if a.seq > b.seq {
+				return 1
+			}
+			return 0
+		})
+	}
+	s.doomDirty = false
+}
+
+// runSharded is the sharded main loop: serial steps for boundary-crossing
+// events, parallel windows for everything else. Returns the number of
+// events executed and whether the queues drained (until == Never). The
+// maxEvents budget is checked between windows.
+func (s *Sim) runSharded(until vtime.Time, maxEvents int) (int, bool) {
+	n := 0
+	for {
+		if n >= maxEvents {
+			return n, false
+		}
+		if s.doomDirty {
+			s.rescanDooms()
+		}
+		src, ok := s.minSource()
+		if !ok {
+			return n, true
+		}
+		if src < 0 {
+			// The frontier event is a driver event: always serial.
+			if at := s.q.NextAt(); until != vtime.Never && at > until {
+				return n, false
+			}
+			s.serialStep(src)
+			n++
+			continue
+		}
+		mkAt := s.lanes[src].q.NextAt()
+		if until != vtime.Never && mkAt > until {
+			return n, false
+		}
+		caps := s.capsBuf[:0]
+		if at := s.q.NextAt(); at != vtime.Never {
+			caps = append(caps, at)
+		}
+		for _, l := range s.lanes {
+			if len(l.doomed) > 0 {
+				caps = append(caps, l.doomed[0].at)
+			}
+		}
+		if until != vtime.Never {
+			caps = append(caps, until.Add(1))
+		}
+		s.capsBuf = caps[:0]
+		wEnd := shard.WindowEnd(mkAt, s.lookahead, caps...)
+		active := 0
+		if wEnd > mkAt {
+			for _, l := range s.lanes {
+				if at := l.q.NextAt(); at < wEnd {
+					active++
+				}
+			}
+		}
+		if active >= 2 {
+			n += s.execWindow(wEnd)
+		} else {
+			s.serialStep(src)
+			n++
+		}
+	}
+}
+
+// execWindow runs one parallel window [frontier, wEnd) across every lane
+// with events in range, then commits: worker logs are merged in global
+// (at, seq) order, deferred sends fire, provisional sequences resolve, and
+// the engine's window bracket closes. Returns the number of events the
+// window executed.
+func (s *Sim) execWindow(wEnd vtime.Time) int {
+	act := s.actLanes[:0]
+	for _, l := range s.lanes {
+		if at := l.q.NextAt(); at < wEnd {
+			act = append(act, l)
+		}
+	}
+	s.actLanes = act
+	if s.obs != nil {
+		s.winDel = s.winDel[:0]
+		for _, l := range act {
+			l.q.Scan(func(ev eventq.Event) {
+				if ev.Kind == eventq.KindDeliver && ev.At < wEnd && ev.Msg.Kind == msg.KindApp {
+					s.winDel = append(s.winDel, WinDeliver{At: ev.At, Seq: ev.Seq, Msg: ev.Msg})
+				}
+			})
+		}
+		slices.SortFunc(s.winDel, func(a, b WinDeliver) int {
+			if a.At != b.At {
+				if a.At < b.At {
+					return -1
+				}
+				return 1
+			}
+			if a.Seq < b.Seq {
+				return -1
+			}
+			if a.Seq > b.Seq {
+				return 1
+			}
+			return 0
+		})
+		s.obs.BeginWindow(s.winDel)
+	}
+	for _, l := range act {
+		l.winEnd = wEnd
+		l.inWindow = true
+		l.nEvents = 0
+		l.nPops = 0
+		l.err = nil
+	}
+	s.winWG.Add(len(act))
+	for _, l := range act {
+		s.workCh <- l
+	}
+	s.winWG.Wait()
+	total := 0
+	for _, l := range act {
+		l.inWindow = false
+		if l.err != nil {
+			panic(l.err)
+		}
+		total += l.nEvents
+		s.inFlight -= l.nPops
+		s.processed += uint64(l.nEvents)
+		if l.now > s.now {
+			s.now = l.now
+		}
+	}
+	logs := s.logsBuf[:0]
+	for _, l := range act {
+		logs = append(logs, &l.log)
+	}
+	s.logsBuf = logs[:0]
+	shard.Merge(logs, &s.seqNext, s.applyAction)
+	for _, l := range act {
+		l.log.Reset()
+	}
+	if s.obs != nil {
+		s.obs.EndWindow()
+	}
+	return total
+}
+
+// applyAction replays one logged window action at the commit barrier, in
+// the global order Merge establishes, under the global sequence the
+// sequential engine would have assigned.
+func (s *Sim) applyAction(lane int, e *shard.Exec, a *shard.Action, seq uint64) {
+	switch a.Kind {
+	case shard.ActionLocalPush:
+		// Resolve the provisional push to its real sequence; stale handles
+		// (the event already fired or was cancelled) still consumed the
+		// sequence, matching the sequential engine's push-time assignment.
+		s.actLanes[lane].q.SetSeq(a.H, seq)
+	case shard.ActionSend:
+		m := a.Msg
+		at := s.arrivalAt(int(a.Link), m, e.At)
+		// The log's retained reference transfers to the queue as the
+		// in-flight reference.
+		s.lanes[s.laneOf[m.To]].q.PushDeliverSeq(at, seq, m)
+		s.inFlight++
+	}
+}

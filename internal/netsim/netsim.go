@@ -24,14 +24,40 @@
 // (anti-messages, markers, ...) recycles through the simulator's Pool()
 // the moment its handler returns, because the sending engine released its
 // own reference right after Send.
+//
+// # Concurrency contract
+//
+// By default the simulator executes its single totally-ordered timeline on
+// one driver goroutine and is not safe for concurrent use. Config.Shards
+// enables the sharded runtime: nodes are partitioned across per-core
+// shards (Lane), each owning its nodes' event queue, message pool and
+// delivery handlers, and execution alternates between serial steps on the
+// driver and parallel windows bounded by the minimum link delay (see the
+// shard package comment for the model and its determinism argument).
+//
+// Shard-local, touchable from a lane's worker during a window: the lane's
+// own queue (scheduling, cancelling and re-arming events for its own
+// nodes), its pool, per-node traffic stats of its own nodes, and
+// everything the attached handlers own. Boundary-crossing, driver-only:
+// wire transmission (jitter stream, FIFO clamps, destination queues —
+// window-phase Sends are logged as intents and applied at the commit
+// barrier), link/node state, the drop callback, and the global event
+// sequence. The happens-before edges are the window handoff and the
+// commit barrier: state the driver wrote before a window is visible to
+// every worker, and everything a worker wrote is visible to the driver —
+// and to every later window — after the barrier. Events execute in the
+// same (timestamp, sequence) order as the sequential engine, so results
+// are bit-identical for any shard count and any GOMAXPROCS.
 package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"defined/internal/eventq"
 	"defined/internal/msg"
 	"defined/internal/rng"
+	"defined/internal/shard"
 	"defined/internal/topology"
 	"defined/internal/vtime"
 )
@@ -52,6 +78,13 @@ type Config struct {
 	// DropProb is an optional uniform packet-loss probability applied to
 	// app messages (not control traffic); used by loss-injection tests.
 	DropProb float64
+	// Shards enables the sharded parallel runtime with the given number of
+	// per-core shards (clamped to the node count). 0 or 1 selects the
+	// sequential engine. Results are bit-identical across shard counts; see
+	// the package comment's concurrency contract. Ignored (sequential)
+	// when DropProb > 0: the loss draw consumes the loss stream in global
+	// send order, which window-phase sends do not preserve.
+	Shards int
 }
 
 // NodeStats counts per-node traffic, the raw material of the control
@@ -73,8 +106,10 @@ type NodeStats struct {
 // Dropped is the node's total loss count (both directions).
 func (st *NodeStats) Dropped() uint64 { return st.DroppedTx + st.DroppedRx }
 
-// Sim is a deterministic discrete-event network simulation. Not safe for
-// concurrent use: determinism requires a single driver goroutine.
+// Sim is a deterministic discrete-event network simulation. All calls into
+// a Sim must come from the driver goroutine (or, with Config.Shards, from
+// the owning Lane during a parallel window — see the package comment's
+// concurrency contract); determinism does not depend on GOMAXPROCS.
 type Sim struct {
 	G   *topology.Graph
 	cfg Config
@@ -95,6 +130,26 @@ type Sim struct {
 	inFlight  int
 	processed uint64
 	onDrop    func(m *msg.Message)
+
+	// Sharded runtime (nil lanes == sequential engine). q doubles as the
+	// driver queue: scenario callbacks and other boundary-crossing timers
+	// live there and always execute serially. seqNext is the global
+	// insertion sequence spanning the driver queue and every lane queue —
+	// assigned in the same program order as the sequential engine's single
+	// queue counter, which is what makes runs bit-identical.
+	lanes     []*Lane
+	laneOf    []int32
+	lane0     *Lane // sequential facade so LaneFor always works
+	seqNext   uint64
+	lookahead vtime.Duration
+	doomDirty bool
+	obs       WindowObserver
+	workCh    chan *Lane
+	winWG     *sync.WaitGroup
+	actLanes  []*Lane
+	logsBuf   []*shard.Log
+	capsBuf   []vtime.Time
+	winDel    []WinDeliver
 }
 
 // dirIndex maps a directed link to its lastArr cell.
@@ -128,6 +183,7 @@ func New(g *topology.Graph, cfg Config) *Sim {
 	for i := range s.linkUp {
 		s.linkUp[i] = true
 	}
+	s.initShards()
 	return s
 }
 
@@ -167,6 +223,7 @@ func (s *Sim) SetLinkState(a, b int, up bool) error {
 		return fmt.Errorf("netsim: no link %d-%d", a, b)
 	}
 	s.linkUp[idx] = up
+	s.doomDirty = s.lanes != nil
 	return nil
 }
 
@@ -179,6 +236,7 @@ func (s *Sim) LinkState(a, b int) bool {
 // SetNodeState marks node n up or down. A down node receives nothing.
 func (s *Sim) SetNodeState(n msg.NodeID, up bool) {
 	s.nodeUp[n] = up
+	s.doomDirty = s.lanes != nil
 }
 
 // NodeState reports whether node n is up.
@@ -203,7 +261,6 @@ func (s *Sim) Send(m *msg.Message) bool {
 	if idx < 0 {
 		panic(fmt.Sprintf("netsim: send over non-existent link %d-%d", m.From, m.To))
 	}
-	link := s.G.Links[idx]
 	st := &s.stats[m.From]
 	st.Sent++
 	st.ByKindOut[m.Kind]++
@@ -217,6 +274,21 @@ func (s *Sim) Send(m *msg.Message) bool {
 			return false
 		}
 	}
+	at := s.arrivalAt(idx, m, s.now)
+	if s.lanes != nil {
+		s.lanes[s.laneOf[m.To]].q.PushDeliverSeq(at, s.nextSeq(), m.Retain())
+	} else {
+		s.q.PushDeliver(at, m.Retain())
+	}
+	s.inFlight++
+	return true
+}
+
+// arrivalAt draws the wire delay for a packet fired on link idx at fireAt
+// and advances the directed link's FIFO clamp. Driver-only: it consumes
+// the jitter stream and writes lastArr.
+func (s *Sim) arrivalAt(idx int, m *msg.Message, fireAt vtime.Time) vtime.Time {
+	link := s.G.Links[idx]
 	delay := link.Delay
 	if !s.cfg.Deterministic && link.Jitter > 0 {
 		j := vtime.Duration(float64(link.Jitter) * s.cfg.JitterScale * absNorm(s.jitter))
@@ -225,15 +297,20 @@ func (s *Sim) Send(m *msg.Message) bool {
 	if delay < 1 {
 		delay = 1
 	}
-	at := s.now.Add(delay)
+	at := fireAt.Add(delay)
 	di := dirIndex(idx, m.From, m.To)
 	if last := s.lastArr[di]; at <= last {
 		at = last + 1 // FIFO: never overtake the previous packet
 	}
 	s.lastArr[di] = at
-	s.q.PushDeliver(at, m.Retain())
-	s.inFlight++
-	return true
+	return at
+}
+
+// nextSeq hands out the next global insertion sequence (sharded mode).
+func (s *Sim) nextSeq() uint64 {
+	n := s.seqNext
+	s.seqNext++
+	return n
 }
 
 func absNorm(r *rng.Source) float64 {
@@ -251,6 +328,9 @@ func (s *Sim) ScheduleFn(at vtime.Time, fn func()) eventq.Handle {
 	if at < s.now {
 		at = s.now
 	}
+	if s.lanes != nil {
+		return s.q.PushFnSeq(at, s.nextSeq(), fn)
+	}
 	return s.q.PushFn(at, fn)
 }
 
@@ -265,6 +345,9 @@ func (s *Sim) After(d vtime.Duration, fn func()) eventq.Handle {
 func (s *Sim) ScheduleCall(at vtime.Time, c eventq.Caller) eventq.Handle {
 	if at < s.now {
 		at = s.now
+	}
+	if s.lanes != nil {
+		return s.q.PushCallSeq(at, s.nextSeq(), c)
 	}
 	return s.q.PushCall(at, c)
 }
@@ -289,8 +372,18 @@ func (s *Sim) Rearm(h eventq.Handle, at vtime.Time) bool {
 	return s.q.Reschedule(h, at)
 }
 
-// Step processes the next event. It returns false when the queue is empty.
+// Step processes the next event with full sequential semantics. It returns
+// false when no event is pending. In sharded mode it executes the globally
+// minimal event serially (no window), so single-stepping stays exact.
 func (s *Sim) Step() bool {
+	if s.lanes != nil {
+		src, ok := s.minSource()
+		if !ok {
+			return false
+		}
+		s.serialStep(src)
+		return true
+	}
 	ev, ok := s.q.Pop()
 	if !ok {
 		return false
@@ -345,14 +438,18 @@ func (s *Sim) deliver(m *msg.Message) {
 // until; it then advances the clock to until. Returns the number of events
 // processed.
 func (s *Sim) Run(until vtime.Time) int {
-	n := 0
-	for {
-		at := s.q.NextAt()
-		if at == vtime.Never || at > until {
-			break
+	var n int
+	if s.lanes != nil {
+		n, _ = s.runSharded(until, int(^uint(0)>>1))
+	} else {
+		for {
+			at := s.q.NextAt()
+			if at == vtime.Never || at > until {
+				break
+			}
+			s.Step()
+			n++
 		}
-		s.Step()
-		n++
 	}
 	if s.now < until {
 		s.now = until
@@ -362,8 +459,12 @@ func (s *Sim) Run(until vtime.Time) int {
 
 // RunQuiescent processes events until the queue drains or maxEvents is
 // exceeded. It returns the number of events processed and whether the
-// network quiesced (queue empty).
+// network quiesced (queue empty). In sharded mode the budget is checked
+// between windows, so the count may overshoot by up to one window's events.
 func (s *Sim) RunQuiescent(maxEvents int) (int, bool) {
+	if s.lanes != nil {
+		return s.runSharded(vtime.Never, maxEvents)
+	}
 	n := 0
 	for s.q.Len() > 0 {
 		if n >= maxEvents {
@@ -377,7 +478,13 @@ func (s *Sim) RunQuiescent(maxEvents int) (int, bool) {
 
 // Pending reports the number of scheduled events (messages in flight plus
 // timers/functions).
-func (s *Sim) Pending() int { return s.q.Len() }
+func (s *Sim) Pending() int {
+	n := s.q.Len()
+	for _, l := range s.lanes {
+		n += l.q.Len()
+	}
+	return n
+}
 
 // InFlight reports the number of messages currently in flight.
 func (s *Sim) InFlight() int { return s.inFlight }
@@ -388,8 +495,16 @@ func (s *Sim) Processed() uint64 { return s.processed }
 
 // NextAt exposes the timestamp of the next scheduled event (vtime.Never if
 // none), letting engines interleave their own bookkeeping with the event
-// loop.
-func (s *Sim) NextAt() vtime.Time { return s.q.NextAt() }
+// loop. In sharded mode it is the minimum over the driver and lane queues.
+func (s *Sim) NextAt() vtime.Time {
+	at := s.q.NextAt()
+	for _, l := range s.lanes {
+		if la := l.q.NextAt(); la < at {
+			at = la
+		}
+	}
+	return at
+}
 
 // TotalReceived sums received packet counts over all nodes.
 func (s *Sim) TotalReceived() uint64 {

@@ -95,7 +95,7 @@ func (sh *shim) holdFor(k, prev ordering.Key) vtime.Duration {
 // entries flush.
 func (sh *shim) maybeDefer(entry history.Entry) bool {
 	cmp := sh.e.cfg.Ordering
-	now := sh.e.sim.Now()
+	now := sh.lane.Now()
 	// Insertion position in the (small, key-ordered) pending buffer.
 	pos := len(sh.pend)
 	for pos > 0 {
@@ -104,7 +104,7 @@ func (sh *shim) maybeDefer(entry history.Entry) bool {
 			break
 		}
 		if c == 0 {
-			sh.e.stats.Duplicates++
+			sh.stats.Duplicates++
 			return true
 		}
 		pos--
@@ -143,7 +143,7 @@ func (sh *shim) maybeDefer(entry history.Entry) bool {
 // capped successor can no longer wait out — delivering earlier is always
 // safe. It then flushes (front already due) or re-arms the flush event.
 func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
-	now := sh.e.sim.Now()
+	now := sh.lane.Now()
 	capAt := now.Add(sh.e.cfg.DeferMax)
 	if pos > 0 && sh.pend[pos-1].due > due {
 		due = sh.pend[pos-1].due
@@ -181,7 +181,7 @@ func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
 		}
 	}
 	if p.held {
-		sh.e.stats.Deferred++
+		sh.stats.Deferred++
 	}
 	if len(sh.pend) > maxPending {
 		// Bounded buffer: force the front due and drain it.
@@ -198,13 +198,13 @@ func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
 // at, re-arming the live event in place (eventq.Reschedule) rather than
 // scheduling a new one.
 func (sh *shim) armFlush(at vtime.Time) {
-	if !sh.flushH.IsZero() && sh.e.sim.Rearm(sh.flushH, min(at, sh.flushAt)) {
+	if !sh.flushH.IsZero() && sh.lane.Rearm(sh.flushH, min(at, sh.flushAt)) {
 		if at < sh.flushAt {
 			sh.flushAt = at
 		}
 		return
 	}
-	sh.flushH = sh.e.sim.ScheduleFn(at, sh.flushFn)
+	sh.flushH = sh.lane.ScheduleFn(at, sh.flushFn)
 	sh.flushAt = at
 }
 
@@ -221,7 +221,7 @@ func (sh *shim) onFlush() {
 // with later dues whose key sorts below a due entry flush with it (window
 // insertion must stay in key order).
 func (sh *shim) flushPending() {
-	now := sh.e.sim.Now()
+	now := sh.lane.Now()
 	// Dues are non-decreasing in key order, so the due set is a prefix.
 	last := -1
 	for last+1 < len(sh.pend) && !sh.pend[last+1].due.After(now) {
@@ -245,7 +245,7 @@ func (sh *shim) flushPending() {
 		p := &sh.pend[i]
 		heldAny = heldAny || p.held
 		if sh.directSeq > p.seq || maxSeen > p.seq {
-			sh.e.stats.DeferHits++
+			sh.stats.DeferHits++
 		}
 		if p.seq > maxSeen {
 			maxSeen = p.seq
@@ -259,7 +259,7 @@ func (sh *shim) flushPending() {
 		p.entry.Msg.Release()
 	}
 	if heldAny {
-		sh.e.stats.DeferredFlushes++
+		sh.stats.DeferredFlushes++
 	}
 	n := copy(sh.pend, sh.pend[last+1:])
 	clearPending(sh.pend[n:])
@@ -290,7 +290,7 @@ func (sh *shim) annihilatePending(target msg.ID) bool {
 		n := copy(sh.pend[i:], sh.pend[i+1:])
 		clearPending(sh.pend[i+n:])
 		sh.pend = sh.pend[:i+n]
-		sh.e.stats.PendingAnnihilated++
+		sh.stats.PendingAnnihilated++
 		m.Release() // annihilated before delivery: the buffer held the last local reference
 		return true
 	}

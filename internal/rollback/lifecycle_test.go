@@ -31,14 +31,14 @@ func TestPayloadEqualTypedArmsAvoidReflection(t *testing.T) {
 			t.Errorf("payloadEqual(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
 		}
 	}
-	if sh.e.stats.ReflectFallbacks != 0 {
-		t.Fatalf("typed arms fell back to reflection %d times", sh.e.stats.ReflectFallbacks)
+	if sh.stats.ReflectFallbacks != 0 {
+		t.Fatalf("typed arms fell back to reflection %d times", sh.stats.ReflectFallbacks)
 	}
 	if !sh.payloadEqual(oddPayload{1}, oddPayload{1}) || sh.payloadEqual(oddPayload{1}, oddPayload{2}) {
 		t.Fatal("reflection fallback must still compare structurally")
 	}
-	if sh.e.stats.ReflectFallbacks != 2 {
-		t.Fatalf("ReflectFallbacks = %d, want 2 (one per fallback compare)", sh.e.stats.ReflectFallbacks)
+	if sh.stats.ReflectFallbacks != 2 {
+		t.Fatalf("ReflectFallbacks = %d, want 2 (one per fallback compare)", sh.stats.ReflectFallbacks)
 	}
 }
 

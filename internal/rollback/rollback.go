@@ -50,6 +50,24 @@
 // test pins committed orders and routing tables defer-on vs defer-off.
 //
 // Settlement uses an adaptive bound by default: see Config.SettleAfter.
+//
+// # Sharded parallel execution
+//
+// Config.Shards runs the engine on netsim's sharded runtime: each shard
+// owns a contiguous range of nodes and executes their shims concurrently
+// inside conservative windows, with committed orders, stats and routing
+// tables bit-identical to the sequential engine (TestShardGolden pins
+// this for several shard counts). The engine-side rules that make shims
+// window-safe: every shim talks to the simulator through its node's Lane
+// (never the Sim directly), speculation counters and drop logs live per
+// shim and are summed at Stats() time, and the engine-global settle
+// estimator is never touched from inside a window — shims read a bound
+// schedule the driver precomputes per window (BeginWindow), and the
+// estimator catches up at the commit barrier (EndWindow). Everything
+// else a shim owns (history window, checkpoints, sender counters,
+// pending buffer, sent records) is per node and therefore shard-local by
+// construction. The happens-before edges are the window handoff and
+// commit barrier described in the netsim package comment.
 package rollback
 
 import (
@@ -144,6 +162,13 @@ type Config struct {
 	// Violations counter — instead of silently aliasing a recycled
 	// struct. Implies the refcount lifecycle; ignored with NoMessagePool.
 	PoisonMessages bool
+	// Shards runs the engine's simulator on the sharded parallel runtime
+	// with the given number of per-core shards (0 or 1 = sequential).
+	// Committed orders, stats and routing tables are bit-identical for any
+	// value — sharding changes wall-clock time only. Ignored (sequential)
+	// for Baseline runs and when DropProb > 0 (the loss draw consumes its
+	// stream in global send order; netsim enforces the same gate).
+	Shards int
 	// Record, when true, captures the partial recording of external
 	// events (and message-loss events) for later replay.
 	Record bool
@@ -221,6 +246,35 @@ type Stats struct {
 // CommittedDeliveries is the number of deliveries that were never undone.
 func (s Stats) CommittedDeliveries() uint64 { return s.Deliveries - s.RolledBack }
 
+// add accumulates b into s field by field. Speculation counters live
+// per shim (a shard must only touch its own nodes' counters during a
+// parallel window) and are summed into the engine totals at Stats() time;
+// every counter is a commutative sum, so the total is independent of
+// shard count.
+func (s *Stats) add(b *Stats) {
+	s.Deliveries += b.Deliveries
+	s.Rollbacks += b.Rollbacks
+	s.RolledBack += b.RolledBack
+	s.AntiMessages += b.AntiMessages
+	s.Duplicates += b.Duplicates
+	s.LateAnti += b.LateAnti
+	s.TimerBatches += b.TimerBatches
+	s.ExternalEvents += b.ExternalEvents
+	s.DropsRecorded += b.DropsRecorded
+	s.SettleViolations += b.SettleViolations
+	s.LazyReuses += b.LazyReuses
+	s.ReflectFallbacks += b.ReflectFallbacks
+	s.Deferred += b.Deferred
+	s.DeferredFlushes += b.DeferredFlushes
+	s.DeferHits += b.DeferHits
+	s.PendingAnnihilated += b.PendingAnnihilated
+	s.SpuriousRollbacks += b.SpuriousRollbacks
+	s.RollbackDepthSum += b.RollbackDepthSum
+	s.SPFCacheHits += b.SPFCacheHits
+	s.SPFCacheMisses += b.SPFCacheMisses
+	s.RecomputeSkipped += b.RecomputeSkipped
+}
+
 // Engine drives one production network under DEFINED-RB (or bare, when
 // Config.Baseline is set).
 type Engine struct {
@@ -231,14 +285,34 @@ type Engine struct {
 	cost    checkpoint.CostModel
 	shims   []*shim
 	rec     *record.Recording
-	stats   Stats
+	stats   Stats // driver-only counters; speculation counters live per shim
 	skew    []vtime.Duration
 	leader  msg.NodeID
 	deferOn bool
 	est     *settleEstimator // nil when Config.SettleAfter pins a static bound
 
 	scheduledThrough vtime.Time // group ticks scheduled up to here
-	dropLog          map[msg.ID]record.LossEvent
+
+	// winSched is the read-only settle-bound schedule for the parallel
+	// window in flight: the adaptive estimator is engine-global, so shims
+	// executing inside a window must not feed it directly. BeginWindow
+	// simulates the window's observations on a value copy and records the
+	// bound after each one; settleBoundFor answers in-window reads from
+	// the schedule, and EndWindow replays the observations into the real
+	// estimator at the commit barrier. winBase is the bound before the
+	// window's first observation.
+	winSched []estStep
+	winBase  vtime.Duration
+}
+
+// estStep is one scheduled in-window estimator observation: the app
+// delivery's (at, seq) execution label, its straggler margin, and the
+// adaptive bound after observing it.
+type estStep struct {
+	at     vtime.Time
+	seq    uint64
+	margin vtime.Duration
+	bound  vtime.Duration
 }
 
 // New builds an engine over graph g with one application per node
@@ -250,12 +324,11 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 	}
 	cfg.fillDefaults()
 	e := &Engine{
-		G:       g,
-		cfg:     cfg,
-		cost:    checkpoint.ModelFor(cfg.Strategy),
-		skew:    make([]vtime.Duration, g.N),
-		leader:  0,
-		dropLog: map[msg.ID]record.LossEvent{},
+		G:      g,
+		cfg:    cfg,
+		cost:   checkpoint.ModelFor(cfg.Strategy),
+		skew:   make([]vtime.Duration, g.N),
+		leader: 0,
 	}
 	if cfg.Baseline {
 		e.cost = checkpoint.Baseline()
@@ -271,13 +344,21 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 		e.est = newSettleEstimator(iv, settleFloor(g, iv), 2*staticSettle(g, iv))
 		e.cfg.SettleAfter = staticSettle(g, iv) // reported default; live bound comes from est
 	}
+	shards := cfg.Shards
+	if cfg.Baseline {
+		shards = 0 // baseline has no shim layer to shard meaningfully
+	}
 	e.sim = netsim.New(g, netsim.Config{
 		Seed:        cfg.Seed,
 		JitterScale: cfg.JitterScale,
 		DropProb:    cfg.DropProb,
+		Shards:      shards,
 	})
 	if cfg.PoisonMessages && !cfg.NoMessagePool {
-		e.sim.Pool().SetPoison(true)
+		e.sim.SetPoison(true)
+	}
+	if e.sim.Sharded() && e.est != nil {
+		e.sim.SetWindowObserver(e)
 	}
 	if cfg.Record {
 		e.rec = &record.Recording{
@@ -292,18 +373,20 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 	for i := 0; i < g.N; i++ {
 		n := msg.NodeID(i)
 		sh := &shim{
-			e:      e,
-			id:     n,
-			app:    apps[i],
-			win:    history.New(e.cfg.Ordering),
-			sender: annotate.NewSender(n, g, e.cfg.ChainBound, e.procEstimate()),
-			extSeq: map[uint64]uint64{},
+			e:       e,
+			id:      n,
+			lane:    e.sim.LaneFor(n),
+			app:     apps[i],
+			win:     history.New(e.cfg.Ordering),
+			sender:  annotate.NewSender(n, g, e.cfg.ChainBound, e.procEstimate()),
+			extSeq:  map[uint64]uint64{},
+			dropLog: map[msg.ID]record.LossEvent{},
 		}
 		if !cfg.NoMessagePool {
-			// Wire messages come refcounted from the shared pool; the
-			// sentRec (or the baseline send closure) owns the reference
-			// Materialize returns.
-			sh.sender.Pool = e.sim.Pool()
+			// Wire messages come refcounted from the node's lane pool (the
+			// engine-wide pool in sequential mode); the sentRec (or the
+			// baseline send closure) owns the reference Materialize returns.
+			sh.sender.Pool = sh.lane.Pool()
 		}
 		sh.flushFn = sh.onFlush
 		e.shims[i] = sh
@@ -385,6 +468,68 @@ func (e *Engine) settleBound() vtime.Duration {
 	return e.cfg.SettleAfter
 }
 
+// settleBoundFor is settleBound as seen by one shim: outside parallel
+// windows it reads the live estimator; inside one it reads the
+// precomputed window schedule at the shim's current (at, seq) execution
+// point, so every shim observes exactly the bound the sequential engine
+// would have had at that event — without touching the shared estimator.
+func (e *Engine) settleBoundFor(sh *shim) vtime.Duration {
+	if e.est == nil {
+		return e.cfg.SettleAfter
+	}
+	if !sh.lane.InWindow() {
+		return e.est.bound()
+	}
+	at, seq := sh.lane.CurAt(), sh.lane.CurSeq()
+	// Last schedule step at or before the executing event (inclusive: an
+	// arrival's own observation precedes any bound read in the same
+	// event). Schedule seqs were assigned before the window opened, so a
+	// provisional executing seq correctly sorts after all of them.
+	lo, hi := 0, len(e.winSched)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		st := &e.winSched[mid]
+		if st.at < at || (st.at == at && st.seq <= seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return e.winBase
+	}
+	return e.winSched[lo-1].bound
+}
+
+// BeginWindow implements netsim.WindowObserver: before a parallel window
+// opens, simulate the window's estimator observations — every scheduled
+// app delivery, in execution order — on a value copy and record the bound
+// after each, giving in-window settleBoundFor reads an exact, read-only
+// answer. The margin is a pure function of the arrival time and the
+// message's ordering key, so the simulation is exact, not approximate.
+func (e *Engine) BeginWindow(delivers []netsim.WinDeliver) {
+	e.winSched = e.winSched[:0]
+	sim := *e.est
+	e.winBase = sim.bound()
+	iv := e.cfg.BeaconInterval
+	for _, d := range delivers {
+		k := ordering.KeyOf(d.Msg)
+		pred := vtime.GroupStart(k.Group, iv).Add(k.Delay)
+		margin := d.At.Sub(pred)
+		sim.observe(d.At, margin)
+		e.winSched = append(e.winSched, estStep{at: d.At, seq: d.Seq, margin: margin, bound: sim.bound()})
+	}
+}
+
+// EndWindow replays the window's observations into the real estimator at
+// the commit barrier, in the same order the simulation consumed them.
+func (e *Engine) EndWindow() {
+	for i := range e.winSched {
+		e.est.observe(e.winSched[i].at, e.winSched[i].margin)
+	}
+	e.winSched = e.winSched[:0]
+}
+
 // computeSkew sets each node's beacon-propagation skew: the shortest-path
 // delay from the beacon leader. Group numbers at a node lag the leader's
 // wall group by this skew, modeling beacon propagation (paper §2.2).
@@ -404,12 +549,15 @@ func (e *Engine) Sim() *netsim.Sim { return e.sim }
 // App returns node n's application.
 func (e *Engine) App(n msg.NodeID) api.Application { return e.shims[n].app }
 
-// Stats returns a copy of the engine counters, with the route-computation
-// cache counters aggregated from every capable application (deterministic:
-// shims are visited in node order).
+// Stats returns a copy of the engine counters: the driver-only counters
+// plus every shim's speculation counters and the route-computation cache
+// counters aggregated from every capable application (deterministic:
+// shims are visited in node order, and every counter is a commutative
+// sum, so the totals are bit-identical across shard counts).
 func (e *Engine) Stats() Stats {
 	st := e.stats
 	for _, sh := range e.shims {
+		st.add(&sh.stats)
 		if rc, ok := sh.app.(api.RecomputeCached); ok {
 			cs := rc.RouteCacheStats()
 			st.SPFCacheHits += cs.Hits
@@ -434,15 +582,18 @@ func (e *Engine) Recording() *record.Recording {
 	return e.rec
 }
 
-// flushDrops moves surviving drop-log entries into the recording as loss
-// events, sorted for determinism.
+// flushDrops moves every shim's surviving drop-log entries into the
+// recording as loss events, sorted globally for determinism (drop logs
+// are kept per sending shim so workers never touch a shared map).
 func (e *Engine) flushDrops() {
-	if len(e.dropLog) == 0 {
-		return
+	var losses []record.LossEvent
+	for _, sh := range e.shims {
+		for _, le := range sh.dropLog {
+			losses = append(losses, le)
+		}
 	}
-	losses := make([]record.LossEvent, 0, len(e.dropLog))
-	for _, le := range e.dropLog {
-		losses = append(losses, le)
+	if len(losses) == 0 {
+		return
 	}
 	slices.SortFunc(losses, func(a, b record.LossEvent) int {
 		if c := e.cfg.Ordering.Compare(a.Key, b.Key); c != 0 {
@@ -460,7 +611,9 @@ func (e *Engine) flushDrops() {
 		})
 		e.stats.DropsRecorded++
 	}
-	e.dropLog = map[msg.ID]record.LossEvent{}
+	for _, sh := range e.shims {
+		clear(sh.dropLog)
+	}
 }
 
 // Now returns current virtual time.
@@ -512,7 +665,7 @@ func (e *Engine) scheduleGroupTicks(until vtime.Time) {
 			}
 			g := g
 			sh := sh
-			e.sim.ScheduleFn(boundary.Add(e.skew[sh.id]), func() { sh.onTimerBatch(g) })
+			sh.lane.ScheduleFn(boundary.Add(e.skew[sh.id]), func() { sh.onTimerBatch(g) })
 		}
 	}
 	if until > e.scheduledThrough {
@@ -534,7 +687,7 @@ func (e *Engine) scheduleBaselineTimers(until vtime.Time) {
 			}
 			g := g
 			sh := sh
-			e.sim.ScheduleFn(boundary.Add(e.skew[sh.id]), func() { sh.baselineTimer(g) })
+			sh.lane.ScheduleFn(boundary.Add(e.skew[sh.id]), func() { sh.baselineTimer(g) })
 		}
 	}
 	if until > e.scheduledThrough {
@@ -607,12 +760,16 @@ func (e *Engine) WindowLen(n msg.NodeID) int { return e.shims[n].win.Len() }
 // onInFlightDrop records app messages lost in flight so the loss can be
 // replayed (paper footnote 4). The sending shim's record is marked so a
 // later rollback retracts the loss event instead of sending an anti.
+// Delivery-time drops only ever execute on the driver (the sharded
+// runtime serializes doomed arrivals), so writing the sender's shim state
+// from here is safe in both modes.
 func (e *Engine) onInFlightDrop(m *msg.Message) {
 	if m.Kind != msg.KindApp || e.cfg.Baseline {
 		return
 	}
-	e.dropLog[m.ID] = record.LossEvent{Key: ordering.KeyOf(m), To: m.To}
-	if rec := e.shims[m.From].findSent(m.ID); rec != nil {
+	sender := e.shims[m.From]
+	sender.dropLog[m.ID] = record.LossEvent{Key: ordering.KeyOf(m), To: m.To}
+	if rec := sender.findSent(m.ID); rec != nil {
 		rec.dropped = true
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"defined/internal/eventq"
 	"defined/internal/history"
 	"defined/internal/msg"
+	"defined/internal/netsim"
 	"defined/internal/ordering"
 	"defined/internal/record"
 	"defined/internal/routing/api"
@@ -16,11 +17,19 @@ import (
 )
 
 // shim is the per-node DEFINED-RB runtime: it intercepts the node's
-// receives and sends (paper §3, the user-space "shim layer").
+// receives and sends (paper §3, the user-space "shim layer"). All
+// simulator interaction goes through the node's lane so the same code
+// runs sequentially or inside a shard's parallel window; stats and the
+// drop log are per shim for the same reason (summed engine-wide at
+// Stats() / flushDrops time).
 type shim struct {
-	e   *Engine
-	id  msg.NodeID
-	app api.Application
+	e    *Engine
+	id   msg.NodeID
+	lane *netsim.Lane
+	app  api.Application
+
+	stats   Stats
+	dropLog map[msg.ID]record.LossEvent
 
 	// japp is non-nil when the application supports MI undo-journal
 	// checkpointing and the engine's strategy selects it: checkpoints are
@@ -100,14 +109,13 @@ type sentRec struct {
 // (eventq.Caller).
 func (rec *sentRec) Fire() {
 	sh := rec.sh
-	sim := sh.e.sim
-	ok := sim.Send(rec.m)
+	ok := sh.lane.Send(rec.m)
 	rec.ev = eventq.Handle{}
 	rec.wired = ok
-	rec.sentAt = sim.Now()
+	rec.sentAt = sh.lane.Now()
 	if !ok {
 		rec.dropped = true
-		sh.e.dropLog[rec.m.ID] = record.LossEvent{Key: ordering.KeyOf(rec.m), To: rec.m.To}
+		sh.dropLog[rec.m.ID] = record.LossEvent{Key: ordering.KeyOf(rec.m), To: rec.m.To}
 	}
 }
 
@@ -197,7 +205,7 @@ func (sh *shim) onWire(m *msg.Message) {
 		sh.onEntry(history.Entry{
 			Key:       ordering.KeyOf(m),
 			Msg:       m,
-			ArrivedAt: sh.e.sim.Now(),
+			ArrivedAt: sh.lane.Now(),
 		})
 	case msg.KindAnti:
 		sh.onAnti(m)
@@ -209,7 +217,7 @@ func (sh *shim) onWire(m *msg.Message) {
 // baselineDeliver is the unmodified-software path: no ordering, no
 // checkpoints.
 func (sh *shim) baselineDeliver(m *msg.Message) {
-	sh.e.stats.Deliveries++
+	sh.stats.Deliveries++
 	outs := sh.app.HandleMessage(m)
 	sh.sendOuts(outs, m.Ann, false, 0, 0, sh.e.cfg.BaseProcessing)
 }
@@ -219,7 +227,7 @@ func (sh *shim) baselineDeliver(m *msg.Message) {
 func (sh *shim) baselineTimer(group uint64) {
 	now := vtime.GroupStart(group, sh.e.cfg.BeaconInterval)
 	outs := sh.app.HandleTimer(now)
-	sh.e.stats.TimerBatches++
+	sh.stats.TimerBatches++
 	sh.sendOuts(outs, msg.Annotation{}, true, group, sh.e.skew[sh.id], sh.e.cfg.BaseProcessing)
 }
 
@@ -229,7 +237,10 @@ func (sh *shim) baselineTimer(group uint64) {
 // entry in the pending buffer (deterministic arrival deferral), and
 // otherwise inserts it into the history window immediately.
 func (sh *shim) onEntry(entry history.Entry) {
-	if est := sh.e.est; est != nil && entry.Key.Class == ordering.ClassMessage {
+	// Inside a parallel window the engine-global estimator is read-only;
+	// the driver pre-simulated this window's observations (BeginWindow)
+	// and replays them into the real estimator at the commit barrier.
+	if est := sh.e.est; est != nil && entry.Key.Class == ordering.ClassMessage && !sh.lane.InWindow() {
 		pred := vtime.GroupStart(entry.Key.Group, sh.e.cfg.BeaconInterval).Add(entry.Key.Delay)
 		est.observe(entry.ArrivedAt, entry.ArrivedAt.Sub(pred))
 	}
@@ -252,11 +263,11 @@ func (sh *shim) insertNow(entry history.Entry) {
 		// still applied (ordered within the live window), but exact
 		// global order can no longer be guaranteed — surfaced as a
 		// violation counter, never silently.
-		sh.e.stats.SettleViolations++
+		sh.stats.SettleViolations++
 	}
 	pos, dup := sh.win.Insert(entry)
 	if dup {
-		sh.e.stats.Duplicates++
+		sh.stats.Duplicates++
 		return
 	}
 	if pos == sh.win.Len()-1 {
@@ -280,10 +291,10 @@ func (sh *shim) insertNow(entry history.Entry) {
 // onTimerBatch fires the node's virtual-timer batch for group (scheduled
 // at the group boundary plus beacon skew).
 func (sh *shim) onTimerBatch(group uint64) {
-	sh.e.stats.TimerBatches++
+	sh.stats.TimerBatches++
 	sh.onEntry(history.Entry{
 		Key:       ordering.TimerKey(group, sh.id),
-		ArrivedAt: sh.e.sim.Now(),
+		ArrivedAt: sh.lane.Now(),
 	})
 }
 
@@ -293,9 +304,8 @@ func (sh *shim) onTimerBatch(group uint64) {
 // caller then arranges the window (an anti-message removes its target
 // entry) and calls replayFrom.
 func (sh *shim) undoTo(pos int) {
-	e := sh.e
-	e.stats.Rollbacks++
-	e.stats.RollbackDepthSum += uint64(sh.win.Len() - pos)
+	sh.stats.Rollbacks++
+	sh.stats.RollbackDepthSum += uint64(sh.win.Len() - pos)
 	sh.replayFresh = 0
 
 	// Serials of deliveries being undone: every entry at >= pos that has
@@ -307,7 +317,7 @@ func (sh *shim) undoTo(pos int) {
 	for i := pos; i < sh.win.Len(); i++ {
 		if s := sh.win.At(i).Serial; s != 0 {
 			sh.undoneScratch = append(sh.undoneScratch, s)
-			e.stats.RolledBack++
+			sh.stats.RolledBack++
 		}
 	}
 
@@ -348,7 +358,7 @@ func (sh *shim) replayFrom(pos int) {
 	// nothing new changed nothing observable: the rollback was spurious —
 	// pure speculation churn.
 	if len(sh.replayPool) == 0 && sh.replayFresh == 0 {
-		e.stats.SpuriousRollbacks++
+		sh.stats.SpuriousRollbacks++
 	}
 
 	// Whatever the replay did not regenerate is now genuinely unsent.
@@ -393,7 +403,7 @@ func (sh *shim) deliverAt(i int, procDelay vtime.Duration) {
 	sh.serial++
 	serial := sh.serial
 	sh.win.SetSerial(i, serial)
-	e.stats.Deliveries++
+	sh.stats.Deliveries++
 
 	entry := sh.win.At(i)
 	var outs []msg.Out
@@ -458,7 +468,7 @@ func (sh *shim) adoptFromPool(to msg.NodeID, key ordering.Key, payload any) *sen
 			continue
 		}
 		sh.replayPool = append(sh.replayPool[:i], sh.replayPool[i+1:]...)
-		sh.e.stats.LazyReuses++
+		sh.stats.LazyReuses++
 		return rec
 	}
 	return nil
@@ -500,7 +510,7 @@ func (sh *shim) payloadEqual(a, b any) bool {
 		bv, ok := b.(bool)
 		return ok && av == bv
 	}
-	sh.e.stats.ReflectFallbacks++
+	sh.stats.ReflectFallbacks++
 	return reflect.DeepEqual(a, b)
 }
 
@@ -516,11 +526,11 @@ func (sh *shim) cancelRecs(recs []*sentRec) {
 			// zeroes rec.ev when it fires, so a non-zero handle here is
 			// always live — and even a stale one would be a safe no-op
 			// thanks to the queue's generation counters.
-			sh.e.sim.Cancel(rec.ev)
+			sh.lane.Cancel(rec.ev)
 		case rec.dropped:
 			// Lost (at send time or in flight): retract the recorded
 			// loss event instead of sending an anti.
-			delete(sh.e.dropLog, rec.m.ID)
+			delete(sh.dropLog, rec.m.ID)
 		default:
 			sh.sendAnti(rec.m)
 		}
@@ -537,9 +547,8 @@ func (sh *shim) cancelRecs(recs []*sentRec) {
 // escapes before a failure depends on physical timing — so it is recorded
 // as a loss event for replay (paper footnote 4).
 func (sh *shim) scheduleSend(rec *sentRec, procDelay vtime.Duration) {
-	sim := sh.e.sim
-	rec.ev = sim.AfterCall(procDelay, rec)
-	rec.sentAt = sim.Now()
+	rec.ev = sh.lane.AfterCall(procDelay, rec)
+	rec.sentAt = sh.lane.Now()
 }
 
 // scheduleBaselineSend queues an untracked transmission (baseline mode:
@@ -561,18 +570,20 @@ type antiPayload struct {
 // sendAnti emits the "unsend" notification chasing message m on its link.
 // FIFO links guarantee the anti arrives after the original.
 func (sh *shim) sendAnti(orig *msg.Message) {
-	sh.e.stats.AntiMessages++
+	sh.stats.AntiMessages++
 	sh.sender.MsgSeq++
 	// Anti-messages are transient control traffic: the simulator recycles
 	// the struct through its pool right after the receiver's handler
 	// returns, so steady-state rollback traffic stops allocating wrappers.
-	anti := sh.e.sim.Pool().Get()
+	// The lane pool keeps that true across shard boundaries (the receiving
+	// shard's release goes back to this shard's concurrent pool).
+	anti := sh.lane.Pool().Get()
 	anti.ID = msg.ID{Sender: sh.id, Seq: sh.sender.MsgSeq}
 	anti.From = sh.id
 	anti.To = orig.To
 	anti.Kind = msg.KindAnti
 	anti.Payload = antiPayload{Target: orig.ID}
-	sh.e.sim.Send(anti)
+	sh.lane.Send(anti)
 	anti.Release() // the simulator's in-flight reference carries it from here
 }
 
@@ -589,7 +600,7 @@ func (sh *shim) onAnti(m *msg.Message) {
 			return
 		}
 		// Already settled or never arrived (e.g. dropped in flight).
-		sh.e.stats.LateAnti++
+		sh.stats.LateAnti++
 		return
 	}
 	sh.undoTo(pos)
@@ -615,12 +626,12 @@ func (sh *shim) findSent(id msg.ID) *sentRec {
 // exactly once: the scan feeds the settled log and the last-retired key as
 // it goes, then Retire commits it.
 func (sh *shim) maybeSettle() {
-	now := sh.e.sim.Now()
+	now := sh.lane.Now()
 	if now.Sub(sh.lastSettle) < sh.e.cfg.BeaconInterval {
 		return
 	}
 	sh.lastSettle = now
-	cutoff := now.Add(-sh.e.settleBound())
+	cutoff := now.Add(-sh.e.settleBoundFor(sh))
 	if cutoff <= 0 {
 		return
 	}

@@ -1,0 +1,240 @@
+// Package shard provides the deterministic machinery the sharded
+// simulator runtime is built from: per-shard window logs, provisional
+// event sequences, the commit-barrier merge that resolves them into one
+// global insertion order, and the conservative window-horizon rule.
+//
+// # Execution model
+//
+// The sharded engine partitions nodes across N shards ("lanes"), each
+// owning its nodes' event queue. Execution alternates between two phases:
+//
+//   - Serial phase: the driver goroutine executes one globally minimal
+//     event at a time with full sequential semantics. Anything that
+//     touches cross-shard state — scenario callbacks, link/node state
+//     changes, delivery-time drops — runs here.
+//   - Window phase: given the global frontier T, every event in
+//     [T, WindowEnd) is causally closed per shard (a message sent at or
+//     after T cannot arrive before T + the minimum link delay), so each
+//     lane's worker executes its own slice concurrently. Cross-shard
+//     effects (wire sends) and freshly scheduled local events are not
+//     applied immediately: they are recorded in the lane's Log, and
+//     local pushes enter the lane queue under provisional sequences.
+//
+// At the window's commit barrier the driver merges the lanes' logs in
+// (timestamp, sequence) order — exactly the order the sequential engine
+// would have executed those events in — and replays each logged action
+// against the shared state, assigning the global insertion sequences the
+// sequential engine would have assigned. Provisional sequences resolve to
+// real ones in place. The result is that every event carries the same
+// (at, seq) label in sequential and sharded runs, which is what makes
+// committed orders, stats and routing tables bit-identical for any shard
+// count (and any GOMAXPROCS).
+//
+// # Happens-before edges
+//
+// Workers only touch their own lane during a window; all shared state
+// (jitter stream, FIFO clamps, link/node state, the global sequence
+// counter) is read or written exclusively by the driver, in serial phases
+// and at commit barriers. The synchronization chain is
+// driver → work handoff → worker → barrier wait → driver, so a message
+// built on one shard is fully published before the shard that receives
+// it in a later window can observe it.
+package shard
+
+import (
+	"fmt"
+
+	"defined/internal/eventq"
+	"defined/internal/msg"
+	"defined/internal/vtime"
+)
+
+// ProvBase is the floor of the provisional sequence space. Real sequences
+// are assigned from 0 by the driver; window-phase pushes take sequences
+// at or above ProvBase so they sort after every already-committed event
+// at the same timestamp — which matches their true order, since any
+// sequence committed later is larger than every sequence committed
+// earlier.
+const ProvBase uint64 = 1 << 63
+
+// provLaneShift carves the provisional space into per-lane ranges so
+// provisional sequences are globally unique (they are never compared
+// against each other by construction, but uniqueness keeps the merge's
+// tie detection meaningful).
+const provLaneShift = 40
+
+// ProvSeq returns the provisional sequence for the n-th window-phase push
+// of the given lane.
+func ProvSeq(lane int, n uint64) uint64 {
+	return ProvBase | uint64(lane)<<provLaneShift | n
+}
+
+// IsProv reports whether seq is provisional.
+func IsProv(seq uint64) bool { return seq >= ProvBase }
+
+// ActionKind discriminates logged window-phase actions.
+type ActionKind uint8
+
+const (
+	// ActionLocalPush is an event pushed into the executing lane's own
+	// queue (a rescheduled send callback, a deferral flush) under a
+	// provisional sequence. Commit resolves the sequence in place.
+	ActionLocalPush ActionKind = iota
+	// ActionSend is a wire transmission whose cross-shard half (jitter
+	// draw, FIFO clamp, destination push) is deferred to commit. The
+	// action owns one reference on Msg, which commit transfers to the
+	// destination queue as the in-flight reference.
+	ActionSend
+)
+
+// Action is one deferred effect of a window-phase event.
+type Action struct {
+	Kind ActionKind
+	// H and Prov identify a local push: the provisional event's queue
+	// handle (stale if it already fired or was cancelled) and its
+	// provisional sequence.
+	H    eventq.Handle
+	Prov uint64
+	// Msg and Link describe a send: the retained message and the index of
+	// the link it fires on.
+	Msg  *msg.Message
+	Link int32
+}
+
+// Exec is one window-phase event that logged at least one action,
+// labelled with the (at, seq) the lane executed it under. Seq may be
+// provisional at first; the merge resolves it before the record can reach
+// the merge frontier (its pusher commits at a strictly earlier
+// timestamp).
+type Exec struct {
+	At  vtime.Time
+	Seq uint64
+	N   int32 // number of actions, contiguous in Log.Actions
+}
+
+// Log is one lane's window log. It records, in execution order, every
+// deferred effect of the lane's window slice. Buffers are reused across
+// windows.
+type Log struct {
+	Execs   []Exec
+	Actions []Action
+
+	// provExec maps a provisional sequence to the index in Execs of the
+	// event that ran under it (only events that logged actions need
+	// resolving).
+	provExec map[uint64]int32
+
+	curAt  vtime.Time
+	curSeq uint64
+	open   bool
+}
+
+// BeginExec marks the start of one event's execution; subsequent Add
+// calls attach to it. Events that add nothing leave no trace.
+func (lg *Log) BeginExec(at vtime.Time, seq uint64) {
+	lg.curAt, lg.curSeq = at, seq
+	lg.open = false
+}
+
+// Add appends one action for the current event.
+func (lg *Log) Add(a Action) {
+	if !lg.open {
+		if IsProv(lg.curSeq) {
+			if lg.provExec == nil {
+				lg.provExec = make(map[uint64]int32)
+			}
+			lg.provExec[lg.curSeq] = int32(len(lg.Execs))
+		}
+		lg.Execs = append(lg.Execs, Exec{At: lg.curAt, Seq: lg.curSeq})
+		lg.open = true
+	}
+	lg.Actions = append(lg.Actions, a)
+	lg.Execs[len(lg.Execs)-1].N++
+}
+
+// Reset clears the log for the next window, keeping capacity.
+func (lg *Log) Reset() {
+	lg.Execs = lg.Execs[:0]
+	for i := range lg.Actions {
+		lg.Actions[i] = Action{}
+	}
+	lg.Actions = lg.Actions[:0]
+	clear(lg.provExec)
+	lg.open = false
+}
+
+// Merge drains the lanes' window logs in global (at, seq) order — the
+// order the sequential engine executed the same events in — assigning
+// each logged action the next global sequence from *next and handing it
+// to apply. When a local push's target itself executed in this window,
+// its Exec record's provisional sequence is resolved before the merge
+// frontier reaches it: the pusher always commits at a strictly earlier
+// timestamp (send callbacks carry a processing delay, deferral flushes a
+// positive hold), so ties between still-provisional records cannot occur;
+// Merge panics if that invariant is ever violated rather than silently
+// diverging from the sequential order.
+func Merge(logs []*Log, next *uint64, apply func(lane int, e *Exec, a *Action, seq uint64)) {
+	heads := make([]int, len(logs))
+	acts := make([]int, len(logs))
+	for {
+		best := -1
+		var bAt vtime.Time
+		var bSeq uint64
+		for li, lg := range logs {
+			h := heads[li]
+			if lg == nil || h >= len(lg.Execs) {
+				continue
+			}
+			e := &lg.Execs[h]
+			if best < 0 || e.At < bAt || (e.At == bAt && e.Seq < bSeq) {
+				if best >= 0 && e.At == bAt && (IsProv(e.Seq) || IsProv(bSeq)) {
+					panic(fmt.Sprintf("shard: merge tie at %v with unresolved sequence", e.At))
+				}
+				best, bAt, bSeq = li, e.At, e.Seq
+			} else if e.At == bAt && (IsProv(e.Seq) || IsProv(bSeq)) {
+				panic(fmt.Sprintf("shard: merge tie at %v with unresolved sequence", e.At))
+			}
+		}
+		if best < 0 {
+			return
+		}
+		lg := logs[best]
+		e := &lg.Execs[heads[best]]
+		for n := int32(0); n < e.N; n++ {
+			a := &lg.Actions[acts[best]]
+			acts[best]++
+			seq := *next
+			*next++
+			if a.Kind == ActionLocalPush {
+				if idx, ok := lg.provExec[a.Prov]; ok {
+					lg.Execs[idx].Seq = seq
+				}
+			}
+			apply(best, e, a, seq)
+		}
+		heads[best]++
+	}
+}
+
+// WindowEnd computes the conservative parallel-window horizon for a
+// frontier event at time frontier: one lookahead (the minimum link
+// delay — no event executed in the window can cause an arrival earlier
+// than that) past the frontier, clamped to every cap. Caps are the
+// stall conditions of the horizon protocol: the driver queue's next
+// event (must run serially between windows), each shard's earliest
+// doomed arrival (its delivery-time drop mutates cross-shard state), and
+// the run bound. A cap at or before the frontier stalls the window
+// entirely (End <= frontier) and the driver falls back to one serial
+// step; executing that event releases the stall.
+func WindowEnd(frontier vtime.Time, lookahead vtime.Duration, caps ...vtime.Time) vtime.Time {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	end := frontier.Add(lookahead)
+	for _, c := range caps {
+		if c < end {
+			end = c
+		}
+	}
+	return end
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"testing"
+
+	"defined/internal/vtime"
+)
+
+type applied struct {
+	lane int
+	at   vtime.Time
+	seq  uint64 // the exec's (possibly resolved) sequence at apply time
+	gseq uint64 // the global sequence assigned to the action
+}
+
+func mergeAll(t *testing.T, logs []*Log, start uint64) []applied {
+	t.Helper()
+	var got []applied
+	next := start
+	Merge(logs, &next, func(lane int, e *Exec, a *Action, seq uint64) {
+		got = append(got, applied{lane: lane, at: e.At, seq: e.Seq, gseq: seq})
+	})
+	if want := start + uint64(len(got)); next != want {
+		t.Fatalf("next = %d after %d actions from %d, want %d", next, len(got), start, want)
+	}
+	return got
+}
+
+// Merge must drain lanes in global (at, seq) order — interleaving lanes
+// exactly as the sequential engine would have executed their events — and
+// hand out consecutive global sequences in that order.
+func TestMergeGlobalOrder(t *testing.T) {
+	la, lb := &Log{}, &Log{}
+	push := func(lg *Log, at vtime.Time, seq uint64, n int) {
+		lg.BeginExec(at, seq)
+		for i := 0; i < n; i++ {
+			lg.Add(Action{Kind: ActionSend, Link: int32(i)})
+		}
+	}
+	push(la, 10, 0, 1)
+	push(la, 30, 4, 2)
+	push(lb, 20, 2, 1)
+	push(lb, 30, 3, 1) // same timestamp as la's 30/4: lb's lower seq wins
+
+	got := mergeAll(t, []*Log{la, lb, nil}, 100)
+	want := []applied{
+		{lane: 0, at: 10, seq: 0, gseq: 100},
+		{lane: 1, at: 20, seq: 2, gseq: 101},
+		{lane: 1, at: 30, seq: 3, gseq: 102},
+		{lane: 0, at: 30, seq: 4, gseq: 103},
+		{lane: 0, at: 30, seq: 4, gseq: 104},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("applied %d actions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("apply[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// An ActionLocalPush whose target executed later in the same window must
+// see its Exec record's provisional sequence resolved to the push's
+// assigned global sequence before the merge frontier reaches it.
+func TestMergeResolvesProvisional(t *testing.T) {
+	lg := &Log{}
+	prov := ProvSeq(3, 0)
+	lg.BeginExec(10, 5)
+	lg.Add(Action{Kind: ActionLocalPush, Prov: prov})
+	lg.BeginExec(20, prov) // the pushed event, executed later in-window
+	lg.Add(Action{Kind: ActionSend})
+
+	got := mergeAll(t, []*Log{lg}, 0)
+	if len(got) != 2 {
+		t.Fatalf("applied %d actions, want 2", len(got))
+	}
+	if got[0].gseq != 0 {
+		t.Fatalf("push assigned gseq %d, want 0", got[0].gseq)
+	}
+	if got[1].seq != got[0].gseq {
+		t.Fatalf("pushed event applied under seq %d, want resolved to %d", got[1].seq, got[0].gseq)
+	}
+	if IsProv(got[1].seq) {
+		t.Fatalf("pushed event's sequence still provisional: %d", got[1].seq)
+	}
+}
+
+// A timestamp tie involving a still-provisional sequence is a protocol
+// violation (the pusher must have committed at a strictly earlier
+// timestamp); Merge must panic rather than pick an arbitrary order.
+func TestMergeTiePanics(t *testing.T) {
+	la, lb := &Log{}, &Log{}
+	la.BeginExec(10, 1)
+	la.Add(Action{Kind: ActionSend})
+	lb.BeginExec(10, ProvSeq(1, 0))
+	lb.Add(Action{Kind: ActionSend})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge of a provisional timestamp tie did not panic")
+		}
+	}()
+	var next uint64
+	Merge([]*Log{la, lb}, &next, func(int, *Exec, *Action, uint64) {})
+}
+
+// ProvSeq must be above ProvBase, unique per (lane, n), and ordered by n
+// within a lane (later pushes sort after earlier ones at equal
+// timestamps).
+func TestProvSeqSpace(t *testing.T) {
+	seen := map[uint64]bool{}
+	for lane := 0; lane < 8; lane++ {
+		var prev uint64
+		for n := uint64(0); n < 4; n++ {
+			s := ProvSeq(lane, n)
+			if !IsProv(s) {
+				t.Fatalf("ProvSeq(%d, %d) = %d below ProvBase", lane, n, s)
+			}
+			if seen[s] {
+				t.Fatalf("ProvSeq(%d, %d) = %d collides", lane, n, s)
+			}
+			seen[s] = true
+			if n > 0 && s <= prev {
+				t.Fatalf("ProvSeq(%d, %d) = %d not above ProvSeq(%d, %d) = %d", lane, n, s, lane, n-1, prev)
+			}
+			prev = s
+		}
+	}
+	if IsProv(ProvBase - 1) {
+		t.Fatal("real sequence classified provisional")
+	}
+}
+
+// Reset must keep the log reusable: a second window over a reset log sees
+// none of the first window's records, and provisional resolution still
+// works.
+func TestLogReset(t *testing.T) {
+	lg := &Log{}
+	lg.BeginExec(10, ProvSeq(0, 0))
+	lg.Add(Action{Kind: ActionSend})
+	lg.Reset()
+	if len(lg.Execs) != 0 || len(lg.Actions) != 0 || len(lg.provExec) != 0 {
+		t.Fatalf("reset left records: %d execs, %d actions, %d prov entries",
+			len(lg.Execs), len(lg.Actions), len(lg.provExec))
+	}
+	lg.BeginExec(20, 7)
+	lg.Add(Action{Kind: ActionSend})
+	got := mergeAll(t, []*Log{lg}, 0)
+	if len(got) != 1 || got[0].at != 20 {
+		t.Fatalf("post-reset merge applied %+v, want one action at 20", got)
+	}
+}
+
+// Events that log no actions must leave no Exec records — the merge never
+// sees them, so pure-local execution costs nothing at the barrier.
+func TestBeginExecWithoutAddLeavesNoTrace(t *testing.T) {
+	lg := &Log{}
+	lg.BeginExec(10, 1)
+	lg.BeginExec(20, 2)
+	lg.Add(Action{Kind: ActionSend})
+	lg.BeginExec(30, 3)
+	if len(lg.Execs) != 1 || lg.Execs[0].At != 20 {
+		t.Fatalf("execs = %+v, want exactly the event at 20", lg.Execs)
+	}
+}
+
+func TestWindowEnd(t *testing.T) {
+	cases := []struct {
+		name      string
+		frontier  vtime.Time
+		lookahead vtime.Duration
+		caps      []vtime.Time
+		want      vtime.Time
+	}{
+		{"lookahead only", 100, 50, nil, 150},
+		{"cap clamps", 100, 50, []vtime.Time{120}, 120},
+		{"min cap wins", 100, 50, []vtime.Time{140, 110, 130}, 110},
+		{"cap at frontier stalls", 100, 50, []vtime.Time{100}, 100},
+		{"cap before frontier stalls", 100, 50, []vtime.Time{90}, 90},
+		{"zero lookahead floors to 1", 100, 0, nil, 101},
+	}
+	for _, tc := range cases {
+		if got := WindowEnd(tc.frontier, tc.lookahead, tc.caps...); got != tc.want {
+			t.Errorf("%s: WindowEnd = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -116,6 +116,27 @@ func WithMessagePoison() Option {
 	return func(c *rollback.Config) { c.PoisonMessages = true }
 }
 
+// WithShards runs the rollback engine's simulator on n parallel per-core
+// shards. Routers are partitioned across shards, each shard executing its
+// nodes' deliveries and timers on its own goroutine inside conservative
+// lookahead windows; cross-shard sends are merged at a commit barrier in
+// deterministic order. Committed delivery orders, statistics and routing
+// tables are bit-identical to the sequential engine for any n (proved by
+// TestShardGolden) — sharding changes wall-clock speed only, never
+// execution. n <= 1 keeps the sequential engine; sharding is ignored
+// under WithBaseline (no rollback layer to shard) and
+// WithDropProbability (loss draws need the global send order).
+func WithShards(n int) Option {
+	return func(c *rollback.Config) { c.Shards = n }
+}
+
+// WithoutSharding pins the sequential single-goroutine engine — the
+// default, kept selectable so callers composing option lists can
+// explicitly override an earlier WithShards.
+func WithoutSharding() Option {
+	return func(c *rollback.Config) { c.Shards = 0 }
+}
+
 // NewNetwork builds a production network over g with one application per
 // node (len(apps) == g.N).
 func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
@@ -168,6 +189,11 @@ func (n *Network) Stats() rollback.Stats { return n.eng.Stats() }
 // MessagePool exposes the wire-message pool (lifecycle tests read its
 // violation, quarantine and live counters).
 func (n *Network) MessagePool() *msg.Pool { return n.eng.Sim().Pool() }
+
+// PoolViolations sums lifecycle-violation counts across every message
+// pool in the simulator — the driver pool plus, under WithShards, each
+// shard's lane pool.
+func (n *Network) PoolViolations() uint64 { return n.eng.Sim().PoolViolations() }
 
 // CommittedOrder returns node id's committed delivery sequence rendered as
 // strings (requires WithDeliveryLog for the settled prefix).
