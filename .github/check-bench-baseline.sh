@@ -10,6 +10,13 @@
 #     PR (see .github/workflows/ci.yml "results json" for the awk).
 #   - ns_per_op: noisy on shared runners, so a >10 % regression only
 #     annotates a non-blocking ::warning::.
+#   - rb_per_committed / defer_hit_rate / exact_flush_rate: virtual-time
+#     deterministic like allocs/op, but they measure speculation quality,
+#     which a PR may legitimately trade (e.g. a workload change) — so a
+#     >10 % regression (rate rising, or a hit rate dropping) warns
+#     without blocking. rb_per_committed going the wrong way is the
+#     headline the per-link lookahead work drove below 0.1; treat the
+#     warning as a prompt to look, not a gate.
 #
 # New benchmarks absent from the baseline are ignored (they enter the
 # gate when the baseline is next regenerated). The reverse is NOT
@@ -40,6 +47,22 @@ diff_metric() {
   ' "$results"
 }
 
+# diff_metric_drop warns when a higher-is-better metric falls >10 % below
+# the baseline (the mirror image of diff_metric).
+diff_metric_drop() {
+  local metric="$1" severity="$2" title="$3"
+  jq -r --slurpfile base "$baseline" --arg metric "$metric" \
+     --arg severity "$severity" --arg title "$title" '
+    to_entries[]
+    | .key as $name
+    | ($base[0][$name] // empty) as $b
+    | (.value[$metric]) as $new
+    | ($b[$metric]) as $old
+    | select($old != null and $new != null and $old > 0 and $new < $old * 0.90)
+    | "::\($severity) title=\($title)::\($name) \($metric): \($old) -> \($new) (\(($new / $old - 1) * 100 | floor)%)"
+  ' "$results"
+}
+
 # Coverage check: every baseline benchmark must still be present in the
 # results, or the blocking gate no longer covers it.
 missing=$(jq -r --slurpfile base "$baseline" '
@@ -56,6 +79,9 @@ if [ -n "$missing" ]; then
 fi
 
 diff_metric ns_per_op warning "bench regression"
+diff_metric rb_per_committed warning "speculation regression"
+diff_metric_drop defer_hit_rate warning "speculation regression"
+diff_metric_drop exact_flush_rate warning "speculation regression"
 
 alloc_regressions=$(diff_metric allocs_per_op error "alloc regression")
 if [ -n "$alloc_regressions" ]; then

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N] [-shards N]
+//	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N] [-shards N] [-lookahead]
 //
 // Without -fig, every figure is regenerated. -quick runs the reduced
 // workloads used by CI; the full workloads replay the paper's sample sizes
@@ -11,7 +11,12 @@
 // the experiment engines on N parallel shards — the figures themselves are
 // bit-identical for any shard count (sharding changes wall-clock speed,
 // never execution), so the flag only makes regeneration faster on
-// multi-core machines.
+// multi-core machines. -lookahead instead runs the engines with arrival
+// deferral and per-link lookahead (the engine-best speculation
+// configuration): committed orders and routing tables stay identical, but
+// the virtual-time series may shift versus the pinned default, and every
+// summary line reports rb/committed plus the hold counters so the on/off
+// speculation comparison is one command each way.
 package main
 
 import (
@@ -29,9 +34,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	shards := flag.Int("shards", 0, "parallel engine shards (0 = sequential; figures are bit-identical for any value)")
+	lookahead := flag.Bool("lookahead", false, "run engines with deferral + per-link lookahead (engine-best speculation; time series may shift)")
 	flag.Parse()
-
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards}
 
 	var ids []string
 	if *fig != "" {
@@ -41,16 +45,29 @@ func main() {
 			"fig8a", "fig8b", "fig8c", "fig8d"}
 	}
 	for _, id := range ids {
+		// A fresh accumulator per figure keeps the speculation summary
+		// attributable to the figure it prints under.
+		spec := &experiments.SpecStats{}
+		opt := experiments.Options{
+			Quick: *quick, Seed: *seed, Shards: *shards,
+			Lookahead: *lookahead, Spec: spec,
+		}
 		start := time.Now()
 		f, err := experiments.ByID(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "defined-bench: %v\n", err)
 			os.Exit(1)
 		}
+		rollbacks, committed, holds, exact := spec.Summary()
+		summary := fmt.Sprintf("lookahead=%v", *lookahead)
+		if committed > 0 {
+			summary += fmt.Sprintf(" rb/committed=%.4f", float64(rollbacks)/float64(committed))
+		}
+		summary += fmt.Sprintf(" holds=%d exact-flushes=%d", holds, exact)
 		if *csv {
-			fmt.Printf("# %s — %s\n%s\n", f.ID, f.Title, f.CSV())
+			fmt.Printf("# %s — %s\n# %s\n%s\n", f.ID, f.Title, summary, f.CSV())
 		} else {
-			fmt.Printf("%s(regenerated in %.1fs)\n\n", f.Table(), time.Since(start).Seconds())
+			fmt.Printf("%s(regenerated in %.1fs; %s)\n\n", f.Table(), time.Since(start).Seconds(), summary)
 		}
 	}
 }

@@ -259,6 +259,72 @@ func TestRouteCacheGolden(t *testing.T) {
 	}
 }
 
+// TestLookaheadGolden runs the golden cross-mode workload (three seeds,
+// both evaluation topology families) with per-link lookahead on and off,
+// sequential and 4-shard, and requires:
+//
+//  1. lookahead invisibility — committed delivery orders and final
+//     routing tables are bit-identical in all four combinations. The
+//     exact hold and the per-link window rule may only move speculation
+//     dynamics and barrier placement (Theorem 1), so speculation counters
+//     are allowed to differ but committed execution is not;
+//  2. shard invariance at fixed lookahead — the lookahead-on sequential
+//     and lookahead-on 4-shard runs agree on the full Stats string (the
+//     same discipline TestShardGolden applies at lookahead-off);
+//  3. the mechanism actually fires — the lookahead-on runs record exact
+//     holds, and some holds run to their exact release;
+//  4. the settle bound holds under lookahead (SettleViolations == 0).
+func TestLookaheadGolden(t *testing.T) {
+	mi := checkpoint.Strategy{Timing: checkpoint.TM, Mode: checkpoint.MI}
+	topos := []struct {
+		name string
+		mk   func(seed uint64) *defined.Topology
+	}{
+		{"sprintlink", func(uint64) *defined.Topology { return defined.Sprintlink() }},
+		{"brite20", func(seed uint64) *defined.Topology { return defined.Brite(20, 2, 9000+seed) }},
+	}
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	var holds, exactFlushes uint64
+	for _, tp := range topos {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", tp.name, seed), func(t *testing.T) {
+				offOrders, _, offTables, _ := goldenRun(tp.mk(seed), seed, mi, false)
+
+				onOrders, onStats, onTables, onNet := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithLookahead())
+				diffOrders(t, "lookahead-on vs off", onOrders, offOrders)
+				diffTables(t, "lookahead-on vs off", onTables, offTables)
+				if !strings.Contains(onStats, "SettleViolations:0") {
+					t.Fatalf("settle bound violated under lookahead: %s", onStats)
+				}
+				s := onNet.Stats()
+				holds += s.LookaheadHolds
+				exactFlushes += s.LookaheadExactFlushes
+
+				shOrders, shStats, shTables, shNet := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithLookahead(), defined.WithShards(4))
+				diffOrders(t, "lookahead 4-shard vs sequential", shOrders, onOrders)
+				diffTables(t, "lookahead 4-shard vs sequential", shTables, onTables)
+				if shStats != onStats {
+					t.Fatalf("lookahead 4-shard vs sequential stats differ:\n%s\n%s", shStats, onStats)
+				}
+				if v := shNet.PoolViolations(); v != 0 {
+					t.Fatalf("lookahead 4-shard run: %d pool violations, want 0", v)
+				}
+			})
+		}
+	}
+	if holds == 0 {
+		t.Fatal("lookahead-on runs never took an exact hold — the mechanism is inert")
+	}
+	if exactFlushes == 0 {
+		t.Fatal("no exact hold ever ran to its release — every hold was clipped")
+	}
+}
+
 // TestFigureMetricsGolden pins the headline metrics of the two figure
 // reproductions the CI bench smoke tracks. The figure pipeline pins the
 // seed tree's speculation dynamics (TF/FK cost point, deferral off,

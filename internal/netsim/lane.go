@@ -409,6 +409,7 @@ func (s *Sim) serialStep(src int) {
 	if !ok {
 		panic("netsim: serialStep with no pending event")
 	}
+	s.serialSteps++
 	s.now = ev.At
 	s.processed++
 	switch ev.Kind {
@@ -502,7 +503,7 @@ func (s *Sim) runSharded(until vtime.Time, maxEvents int) (int, bool) {
 			caps = append(caps, until.Add(1))
 		}
 		s.capsBuf = caps[:0]
-		wEnd := shard.WindowEnd(mkAt, s.lookahead, caps...)
+		wEnd := shard.WindowEnd(mkAt, s.winHorizon(mkAt), caps...)
 		active := 0
 		if wEnd > mkAt {
 			for _, l := range s.lanes {
@@ -520,12 +521,66 @@ func (s *Sim) runSharded(until vtime.Time, maxEvents int) (int, bool) {
 	}
 }
 
+// winHorizon computes the conservative horizon for a window whose
+// frontier event is at mkAt: the earliest timestamp at which any event
+// executed in the window could still create a new arrival. Without
+// Config.Lookahead this is the PR 6 bound, one global minimum link delay
+// past the frontier. With it, the bound is per directed link: a send on
+// u→v fires no earlier than u's lane's next event time, arrives no
+// earlier than that plus the link's static delay, and the FIFO clamp
+// forbids landing at or before the direction's frontier (lastArr) — so
+// each direction contributes max(laneNext(u) + delay, frontier(u→v) + 1)
+// and the horizon is the minimum over all directions. Lanes with empty
+// queues cannot fire anything this window and constrain nothing; down
+// links still constrain (control traffic ignores link state). The result
+// is always at least mkAt + min delay, so lookahead windows are never
+// narrower than the global bound — only barrier placement moves, never
+// what executes, which keeps committed orders bit-identical.
+func (s *Sim) winHorizon(mkAt vtime.Time) vtime.Time {
+	if !s.cfg.Lookahead {
+		return mkAt.Add(s.lookahead)
+	}
+	ln := s.laneNextBuf[:0]
+	for _, l := range s.lanes {
+		ln = append(ln, l.q.NextAt())
+	}
+	s.laneNextBuf = ln[:0]
+	horizon := vtime.Never
+	for idx := range s.G.Links {
+		lk := &s.G.Links[idx]
+		d := lk.Delay
+		if d < 1 {
+			d = 1
+		}
+		if na := ln[s.laneOf[lk.A]]; na != vtime.Never {
+			b := na.Add(d)
+			if f := s.lastArr[dirIndex(idx, msg.NodeID(lk.A), msg.NodeID(lk.B))].Add(1); f > b {
+				b = f
+			}
+			if b < horizon {
+				horizon = b
+			}
+		}
+		if nb := ln[s.laneOf[lk.B]]; nb != vtime.Never {
+			b := nb.Add(d)
+			if f := s.lastArr[dirIndex(idx, msg.NodeID(lk.B), msg.NodeID(lk.A))].Add(1); f > b {
+				b = f
+			}
+			if b < horizon {
+				horizon = b
+			}
+		}
+	}
+	return horizon
+}
+
 // execWindow runs one parallel window [frontier, wEnd) across every lane
 // with events in range, then commits: worker logs are merged in global
 // (at, seq) order, deferred sends fire, provisional sequences resolve, and
 // the engine's window bracket closes. Returns the number of events the
 // window executed.
 func (s *Sim) execWindow(wEnd vtime.Time) int {
+	s.windows++
 	act := s.actLanes[:0]
 	for _, l := range s.lanes {
 		if at := l.q.NextAt(); at < wEnd {

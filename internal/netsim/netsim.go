@@ -32,22 +32,35 @@
 // enables the sharded runtime: nodes are partitioned across per-core
 // shards (Lane), each owning its nodes' event queue, message pool and
 // delivery handlers, and execution alternates between serial steps on the
-// driver and parallel windows bounded by the minimum link delay (see the
-// shard package comment for the model and its determinism argument).
+// driver and parallel windows (see the shard package comment for the model
+// and its determinism argument).
+//
+// Windows are bounded by lookahead, conservative-PDES style. The default
+// bound is the global minimum link delay past the frontier event; with
+// Config.Lookahead the driver instead computes a per-directed-link
+// horizon — for each link direction u→v, the earliest arrival it can
+// still produce is the sending lane's next event time plus the link's
+// static delay, FIFO-clamped to one past the direction's frontier
+// (lastArr) — and the window runs to the minimum over all directions.
+// Both bounds are computed by the driver between windows from state only
+// the driver writes, so the choice moves barrier placement and nothing
+// else. Down links still constrain the per-link horizon: DEFINED's
+// control traffic (anti-messages) rides them regardless of link state.
 //
 // Shard-local, touchable from a lane's worker during a window: the lane's
 // own queue (scheduling, cancelling and re-arming events for its own
 // nodes), its pool, per-node traffic stats of its own nodes, and
 // everything the attached handlers own. Boundary-crossing, driver-only:
-// wire transmission (jitter stream, FIFO clamps, destination queues —
-// window-phase Sends are logged as intents and applied at the commit
-// barrier), link/node state, the drop callback, and the global event
-// sequence. The happens-before edges are the window handoff and the
-// commit barrier: state the driver wrote before a window is visible to
-// every worker, and everything a worker wrote is visible to the driver —
-// and to every later window — after the barrier. Events execute in the
-// same (timestamp, sequence) order as the sequential engine, so results
-// are bit-identical for any shard count and any GOMAXPROCS.
+// wire transmission (jitter stream, FIFO clamps and link frontiers,
+// destination queues — window-phase Sends are logged as intents and
+// applied at the commit barrier), link/node state, the drop callback, the
+// global event sequence, and the window-horizon computation itself. The
+// happens-before edges are the window handoff and the commit barrier:
+// state the driver wrote before a window is visible to every worker, and
+// everything a worker wrote is visible to the driver — and to every later
+// window — after the barrier. Events execute in the same (timestamp,
+// sequence) order as the sequential engine, so results are bit-identical
+// for any shard count, any GOMAXPROCS, and lookahead on or off.
 package netsim
 
 import (
@@ -85,6 +98,17 @@ type Config struct {
 	// when DropProb > 0: the loss draw consumes the loss stream in global
 	// send order, which window-phase sends do not preserve.
 	Shards int
+	// Lookahead enables per-directed-link window horizons in the sharded
+	// runtime: instead of one global minimum link delay past the frontier,
+	// the window end is the minimum over directed links of the earliest
+	// arrival that link can still produce (the sending lane's next event
+	// time plus the link's static delay, FIFO-clamped past the link
+	// frontier). Windows get strictly wider — fewer commit barriers for
+	// the same committed execution — and stay bit-identical to the
+	// sequential engine (the horizon only moves where barriers fall, never
+	// what executes between them). Off by default so existing goldens pin
+	// the PR 6 window placement; no effect on the sequential engine.
+	Lookahead bool
 }
 
 // NodeStats counts per-node traffic, the raw material of the control
@@ -150,6 +174,14 @@ type Sim struct {
 	logsBuf   []*shard.Log
 	capsBuf   []vtime.Time
 	winDel    []WinDeliver
+
+	// Per-link lookahead state (Config.Lookahead): laneNextBuf caches each
+	// lane's next event time while the driver computes the per-link window
+	// horizon; windows/serialSteps count how execution split between
+	// parallel windows (one commit barrier each) and serial fallback steps.
+	laneNextBuf []vtime.Time
+	windows     uint64
+	serialSteps uint64
 }
 
 // dirIndex maps a directed link to its lastArr cell.
@@ -492,6 +524,58 @@ func (s *Sim) InFlight() int { return s.inFlight }
 // Processed reports the total number of events executed since creation
 // (the throughput benchmarks' numerator).
 func (s *Sim) Processed() uint64 { return s.processed }
+
+// Windows reports how many parallel windows the sharded runtime has
+// committed (each one costs exactly one commit barrier); always zero on
+// the sequential engine.
+func (s *Sim) Windows() uint64 { return s.windows }
+
+// SerialSteps reports how many events the sharded runtime executed as
+// serial fallback steps (driver events, doomed deliveries, windows with
+// fewer than two active lanes); always zero on the sequential engine.
+func (s *Sim) SerialSteps() uint64 { return s.serialSteps }
+
+// LinkFrontier returns the directed from→to link frontier: the last
+// scheduled arrival on that direction (zero before any packet is sent).
+// The FIFO clamp makes scheduled arrivals strictly increasing per
+// direction, so no packet can ever land at or before this point — it is
+// the in-flight half of the per-link lookahead bound.
+func (s *Sim) LinkFrontier(from, to msg.NodeID) vtime.Time {
+	idx := s.G.LinkIndex(int(from), int(to))
+	if idx < 0 {
+		return 0
+	}
+	return s.lastArr[dirIndex(idx, from, to)]
+}
+
+// NodeHorizon returns node n's application-traffic lookahead horizon
+// H(n): the minimum over up in-links of the earliest future app arrival
+// that link can still produce — the link frontier (FIFO clamp) and the
+// static link delay past now, whichever is later. No app message can
+// newly arrive at n before H(n). Down links are excluded (app sends on
+// them fail at send time and in-flight packets drop at delivery); a node
+// with no up in-links has an unbounded horizon (vtime.Never). Driver-only.
+func (s *Sim) NodeHorizon(n msg.NodeID) vtime.Time {
+	h := vtime.Never
+	for _, nb := range s.G.Neighbors(int(n)) {
+		idx := s.G.LinkIndex(nb, int(n))
+		if idx < 0 || !s.linkUp[idx] || !s.nodeUp[nb] {
+			continue
+		}
+		d := s.G.Links[idx].Delay
+		if d < 1 {
+			d = 1
+		}
+		b := s.now.Add(d)
+		if f := s.lastArr[dirIndex(idx, msg.NodeID(nb), n)]; f.Add(1) > b {
+			b = f.Add(1)
+		}
+		if b < h {
+			h = b
+		}
+	}
+	return h
+}
 
 // NextAt exposes the timestamp of the next scheduled event (vtime.Never if
 // none), letting engines interleave their own bookkeeping with the event

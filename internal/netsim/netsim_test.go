@@ -473,3 +473,89 @@ func TestRearmSlidesScheduledFn(t *testing.T) {
 		t.Fatalf("fired = %v, want clamped fire at now (20)", fired)
 	}
 }
+
+// TestLinkFrontierMonotonic checks the in-flight half of the per-link
+// lookahead bound: the directed link frontier is the last scheduled
+// arrival, so it must advance strictly monotonically under the FIFO clamp
+// (even with heavy jitter trying to reorder packets) and must stay
+// per-direction — traffic one way never moves the reverse frontier.
+func TestLinkFrontierMonotonic(t *testing.T) {
+	g := topology.Line(2, 5*vtime.Millisecond)
+	s := New(g, Config{Seed: 99, JitterScale: 10})
+	s.Attach(1, func(m *msg.Message) {})
+	if f := s.LinkFrontier(0, 1); f != 0 {
+		t.Fatalf("frontier before any send = %v, want 0", f)
+	}
+	prev := vtime.Time(0)
+	for i := uint64(0); i < 50; i++ {
+		s.Send(mkMsg(0, 1, i))
+		f := s.LinkFrontier(0, 1)
+		if f <= prev {
+			t.Fatalf("send %d: frontier %v did not advance past %v", i, f, prev)
+		}
+		prev = f
+	}
+	if f := s.LinkFrontier(1, 0); f != 0 {
+		t.Fatalf("reverse frontier moved to %v on forward traffic", f)
+	}
+	// Delivery drains the link but never rewinds the frontier: it remains
+	// the last scheduled arrival, a permanent lower bound for new sends.
+	s.RunQuiescent(1000)
+	if f := s.LinkFrontier(0, 1); f != prev {
+		t.Fatalf("frontier after drain = %v, want %v (last scheduled arrival)", f, prev)
+	}
+}
+
+// TestNodeHorizonUnderFailure checks H(n) bookkeeping across link failure
+// and repair: the horizon is the min over up in-links of (frontier, static
+// delay) past now; failing the constraining link widens it to the next
+// in-link, failing every in-link makes it unbounded, and repair restores
+// the static-delay bound.
+func TestNodeHorizonUnderFailure(t *testing.T) {
+	// Star hub 0 with three spokes; give the spokes distinct delays by
+	// editing the graph before building the sim.
+	g := topology.Star(4, 5*vtime.Millisecond)
+	for i := range g.Links {
+		g.Links[i].Delay = vtime.Duration(5+5*i) * vtime.Millisecond
+	}
+	s := New(g, Config{Deterministic: true})
+	s.Attach(0, func(m *msg.Message) {})
+
+	// Quiet network: H(0) = now + min static delay = 5ms (link 0-1).
+	if h := s.NodeHorizon(0); h != vtime.Time(5*vtime.Millisecond) {
+		t.Fatalf("quiet horizon = %v, want 5ms", h)
+	}
+	// Fail the constraining link: the 10ms spoke now binds.
+	if err := s.SetLinkState(0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.NodeHorizon(0); h != vtime.Time(10*vtime.Millisecond) {
+		t.Fatalf("horizon after 0-1 down = %v, want 10ms", h)
+	}
+	// Down node is as good as a down link for its in-link.
+	s.SetNodeState(2, false)
+	if h := s.NodeHorizon(0); h != vtime.Time(15*vtime.Millisecond) {
+		t.Fatalf("horizon after node 2 down = %v, want 15ms", h)
+	}
+	// No up in-links: unbounded.
+	if err := s.SetLinkState(0, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.NodeHorizon(0); h != vtime.Never {
+		t.Fatalf("horizon with all in-links down = %v, want Never", h)
+	}
+	// Repair 0-1: the 5ms bound returns.
+	if err := s.SetLinkState(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.NodeHorizon(0); h != vtime.Time(5*vtime.Millisecond) {
+		t.Fatalf("horizon after repair = %v, want 5ms", h)
+	}
+	// In-flight traffic pushes the bound past the static delay: the
+	// frontier (plus one tick) binds once it exceeds now + delay.
+	s.Send(mkMsg(1, 0, 1))
+	f := s.LinkFrontier(1, 0)
+	if h := s.NodeHorizon(0); h != f.Add(1) {
+		t.Fatalf("horizon with in-flight packet = %v, want frontier+1 = %v", h, f.Add(1))
+	}
+}

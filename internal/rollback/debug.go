@@ -15,6 +15,17 @@ type RollbackObservation struct {
 	TriggerArrive int64
 	Displaced     []ordering.Key
 	DispArrive    []int64
+	// LookRelease is the shim's per-link lookahead release for the trigger
+	// key at trigger time (zero when lookahead is off): a value in the
+	// future means coverage would have held the trigger's displaced
+	// successors had they still been pending.
+	LookRelease int64
+	// PrevPromise is the trigger link's promise just before the trigger's
+	// own arrival observation (zero when lookahead is off). A value above
+	// the trigger's prediction means the trigger was an unannounced run
+	// boundary: it dipped under its own link's promise with no anti ahead
+	// of it.
+	PrevPromise int64
 }
 
 // SetRollbackDebug installs a diagnostic observer invoked on every
@@ -30,6 +41,10 @@ func SetRollbackDebug(fn func(ob RollbackObservation)) {
 			Node:          int32(sh.id),
 			Trigger:       entry.Key,
 			TriggerArrive: int64(entry.ArrivedAt),
+		}
+		if sh.look != nil {
+			ob.LookRelease = int64(sh.lookRelease(entry.Key, sh.lane.Now()))
+			ob.PrevPromise = int64(sh.dbgPrevPromise)
 		}
 		for i := pos + 1; i < sh.win.Len(); i++ {
 			ob.Displaced = append(ob.Displaced, sh.win.At(i).Key)

@@ -7,6 +7,8 @@ package rollback
 // external events.
 
 import (
+	"slices"
+
 	"defined/internal/eventq"
 	"defined/internal/history"
 	"defined/internal/msg"
@@ -31,6 +33,13 @@ import (
 const (
 	defaultDeferSlack = 8 * vtime.Millisecond
 	defaultDeferMax   = 100 * vtime.Millisecond
+	// lookBudgetMult widens the per-arrival hold budget when per-link
+	// lookahead is on: coverage releases through upstream hold chains run
+	// later than the heuristic dues the 100 ms default was sized for, and
+	// clipping them forfeits the exact hold's whole point. 2× is where the
+	// rollback reduction saturates on the link-flap workload (3× and 4×
+	// are bit-identical — the budget is a safety net, not a release path).
+	lookBudgetMult = 2
 	// maxPending bounds the per-shim pending buffer; overflow flushes the
 	// oldest keys immediately, so the buffer can never grow with load.
 	maxPending = 128
@@ -47,12 +56,18 @@ const (
 // meaning the deferral avoided a rollback (Stats.DeferHits). held records
 // whether the entry ever actually waited (a zero-length hold that only
 // queued for key order is not a deferral in the Stats sense).
+// laHeld marks an entry the flush loop has held past its heuristic due for
+// per-link frontier coverage (the lookahead hold, counted once per entry in
+// Stats.LookaheadHolds); when such an entry eventually flushes covered —
+// rather than forced out by its DeferMax budget or buffer overflow — it
+// counts toward Stats.LookaheadExactFlushes.
 type pendingArrival struct {
-	entry history.Entry
-	capAt vtime.Time
-	due   vtime.Time
-	seq   uint64
-	held  bool
+	entry  history.Entry
+	capAt  vtime.Time
+	due    vtime.Time
+	seq    uint64
+	held   bool
+	laHeld bool
 }
 
 // holdFor computes how long an arrival should be held given the key it
@@ -109,27 +124,45 @@ func (sh *shim) maybeDefer(entry history.Entry) bool {
 		}
 		pos--
 	}
-	var hold vtime.Duration
+	var due vtime.Time
 	if pos == 0 {
 		// Fronts the pending buffer: its predecessor is the window tail.
-		n := sh.win.Len()
-		if n == 0 {
-			return false // nothing to misorder against yet
-		}
-		tail := sh.win.At(n - 1).Key
-		if cmp.Compare(entry.Key, tail) <= 0 {
-			return false // diverging (or dup): take the rollback now
-		}
-		hold = sh.holdFor(entry.Key, tail)
-		if hold <= 0 && len(sh.pend) == 0 {
-			return false // in order and safely gapped: deliver now
+		if n := sh.win.Len(); n > 0 {
+			tail := sh.win.At(n - 1).Key
+			if cmp.Compare(entry.Key, tail) <= 0 {
+				return false // diverging (or dup): take the rollback now
+			}
+			due = now.Add(sh.holdFor(entry.Key, tail))
+		} else {
+			if !sh.e.lookOn {
+				return false // nothing to misorder against yet
+			}
+			// An empty window has nothing to misorder against, but with
+			// lookahead on an uncovered in-link can still displace the
+			// entry later: fall through to the coverage gate with no
+			// heuristic hold.
+			due = now
 		}
 	} else {
 		// Queues behind a pending predecessor for key order, with its own
 		// hold budget.
-		hold = sh.holdFor(entry.Key, sh.pend[pos-1].entry.Key)
+		due = now.Add(sh.holdFor(entry.Key, sh.pend[pos-1].entry.Key))
 	}
-	sh.pushPending(entry, pos, now.Add(hold))
+	if pos == 0 && due <= now && len(sh.pend) == 0 {
+		// In order and past the heuristic hold. With per-link lookahead on,
+		// immediate delivery additionally requires frontier coverage (see
+		// lookRelease): this is the rollback tail the gap rule cannot see —
+		// cross-wave divergences whose key gap exceeds DeferSlack get no
+		// heuristic hold at all, yet an in-link whose frontier still trails
+		// this entry's prediction may carry exactly such a straggler.
+		// Uncovered entries park in the buffer with their due already
+		// passed; flushPending holds them until a frontier advance or the
+		// idle horizon releases them (or their budget forces them).
+		if !sh.e.lookOn || !sh.lookRelease(entry.Key, now).After(now) {
+			return false
+		}
+	}
+	sh.pushPending(entry, pos, due)
 	return true
 }
 
@@ -144,7 +177,11 @@ func (sh *shim) maybeDefer(entry history.Entry) bool {
 // safe. It then flushes (front already due) or re-arms the flush event.
 func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
 	now := sh.lane.Now()
-	capAt := now.Add(sh.e.cfg.DeferMax)
+	budget := sh.e.cfg.DeferMax
+	if sh.e.lookOn {
+		budget *= lookBudgetMult
+	}
+	capAt := now.Add(budget)
 	if pos > 0 && sh.pend[pos-1].due > due {
 		due = sh.pend[pos-1].due
 	}
@@ -183,11 +220,7 @@ func (sh *shim) pushPending(entry history.Entry, pos int, due vtime.Time) {
 	if p.held {
 		sh.stats.Deferred++
 	}
-	if len(sh.pend) > maxPending {
-		// Bounded buffer: force the front due and drain it.
-		sh.pend[0].due = now
-	}
-	if sh.pend[0].due <= now {
+	if sh.pend[0].due <= now || len(sh.pend) > maxPending {
 		sh.flushPending()
 		return
 	}
@@ -215,57 +248,99 @@ func (sh *shim) onFlush() {
 }
 
 // flushPending delivers every pending arrival up to (and including) the
-// largest due key, in ordering-key order — batched insertion in key order
-// cannot roll anything back, which is the whole point: the hold converted
-// a deliver-then-undo sequence into a single ordered delivery. Entries
-// with later dues whose key sorts below a due entry flush with it (window
-// insertion must stay in key order).
+// largest releasable key, in ordering-key order — batched insertion in key
+// order cannot roll anything back, which is the whole point: the hold
+// converted a deliver-then-undo sequence into a single ordered delivery.
+//
+// An entry is releasable when its heuristic due has passed and (with
+// per-link lookahead on) its lookRelease has too — the flush stops at the
+// first entry still awaiting frontier coverage, marks it lookahead-held,
+// and re-arms at its idle-horizon release, which an intervening frontier
+// advance (onEntry's flush attempt) may beat. Two force rules override
+// coverage, both bounding how long speculation can stall: an entry whose
+// own arrival+DeferMax budget has elapsed flushes regardless (and, dues
+// being non-decreasing in key order and clipped to budgets, so does
+// everything keyed before it), and a buffer past maxPending force-flushes
+// at least its front so the buffer can never grow with load.
 func (sh *shim) flushPending() {
 	now := sh.lane.Now()
-	// Dues are non-decreasing in key order, so the due set is a prefix.
+	force := -1
+	if len(sh.pend) > maxPending {
+		force = 0
+	}
+	for j := range sh.pend {
+		if !sh.pend[j].capAt.After(now) {
+			force = j
+		}
+	}
 	last := -1
-	for last+1 < len(sh.pend) && !sh.pend[last+1].due.After(now) {
+	var wake vtime.Time
+	for last+1 < len(sh.pend) {
+		p := &sh.pend[last+1]
+		if p.due.After(now) {
+			wake = p.due
+			break
+		}
+		if last+1 > force && sh.e.lookOn {
+			if rel := sh.lookRelease(p.entry.Key, now); rel.After(now) {
+				if !p.laHeld {
+					p.laHeld = true
+					sh.stats.LookaheadHolds++
+					if !p.held {
+						p.held = true
+						sh.stats.Deferred++
+					}
+				}
+				// The idle horizon caps the hold, the budget caps the
+				// horizon; both are strictly future (a spent budget would
+				// have put the entry in the force prefix).
+				if rel > p.capAt {
+					rel = p.capAt
+				}
+				wake = rel
+				break
+			}
+		}
 		last++
 	}
-	if last < 0 {
-		if len(sh.pend) > 0 {
-			sh.armFlush(sh.pend[0].due)
+	if last >= 0 {
+		// A hit means something overtook the hold: either a direct window
+		// insertion after the entry was deferred (sh.directSeq advanced past
+		// its seq) or a batch-mate with a smaller key deferred after it
+		// (maxSeen). Both would have been a rollback without the hold. The
+		// flush itself only counts toward DeferredFlushes when it delivers at
+		// least one entry that actually waited.
+		maxSeen := uint64(0)
+		heldAny := false
+		for i := 0; i <= last; i++ {
+			p := &sh.pend[i]
+			heldAny = heldAny || p.held
+			if p.laHeld && i > force {
+				sh.stats.LookaheadExactFlushes++
+			}
+			if sh.directSeq > p.seq || maxSeen > p.seq {
+				sh.stats.DeferHits++
+			}
+			if p.seq > maxSeen {
+				maxSeen = p.seq
+			}
+			// The entry enters the window when it flushes; retirement clocks
+			// start here, so a hold can never age an entry toward a
+			// settle violation. The window takes its own reference on insert,
+			// so the buffer's reference can drop right after.
+			p.entry.ArrivedAt = now
+			sh.insertNow(p.entry)
+			p.entry.Msg.Release()
 		}
-		return
-	}
-	// A hit means something overtook the hold: either a direct window
-	// insertion after the entry was deferred (sh.directSeq advanced past
-	// its seq) or a batch-mate with a smaller key deferred after it
-	// (maxSeen). Both would have been a rollback without the hold. The
-	// flush itself only counts toward DeferredFlushes when it delivers at
-	// least one entry that actually waited.
-	maxSeen := uint64(0)
-	heldAny := false
-	for i := 0; i <= last; i++ {
-		p := &sh.pend[i]
-		heldAny = heldAny || p.held
-		if sh.directSeq > p.seq || maxSeen > p.seq {
-			sh.stats.DeferHits++
+		if heldAny {
+			sh.stats.DeferredFlushes++
 		}
-		if p.seq > maxSeen {
-			maxSeen = p.seq
-		}
-		// The entry enters the window when it flushes; retirement clocks
-		// start here, so a hold can never age an entry toward a
-		// settle violation. The window takes its own reference on insert,
-		// so the buffer's reference can drop right after.
-		p.entry.ArrivedAt = now
-		sh.insertNow(p.entry)
-		p.entry.Msg.Release()
+		n := copy(sh.pend, sh.pend[last+1:])
+		clearPending(sh.pend[n:])
+		sh.pend = sh.pend[:n]
 	}
-	if heldAny {
-		sh.stats.DeferredFlushes++
-	}
-	n := copy(sh.pend, sh.pend[last+1:])
-	clearPending(sh.pend[n:])
-	sh.pend = sh.pend[:n]
 	if len(sh.pend) > 0 {
-		sh.armFlush(sh.pend[0].due)
+		sh.armFlush(wake)
 	}
 }
 
@@ -376,4 +451,114 @@ func (est *settleEstimator) bound() vtime.Duration {
 		b = est.ceil
 	}
 	return b
+}
+
+// ---- per-link lookahead (frontier coverage) ---------------------------------
+
+// linkLook is one in-link's lookahead state: where in the ordering-key
+// domain the link's arrival stream currently is, and when it last moved.
+//
+// The mechanism rests on the shape of a link's traffic. A node processes
+// entries in (speculatively) increasing key order, a child's d_i is its
+// cause's d_i plus a static per-link increment, and links are FIFO — so a
+// sender's wire sequence is a concatenation of *ascending runs* of d_i
+// predictions: each speculative stretch sends in ascending key order, and
+// each sender-side rollback starts a new run (the replay's changed outputs
+// re-enter the wire from the rollback point). Crucially, a run boundary
+// announces itself: the anti-messages unsending the old run's cancelled
+// outputs travel the same FIFO link ahead of the new run's sends.
+//
+// promise is therefore the d_i prediction of the link's *latest* app
+// arrival — the link's position in its current ascending run. Barring a
+// run boundary, every future arrival on the link predicts at or past it,
+// so an arrival whose prediction every in-link's promise has passed has no
+// earlier-keyed message still in flight toward this node and is safe to
+// deliver with no hold at all. An anti arrival resets the promise to zero:
+// the link is about to deliver a new run starting somewhere below, and the
+// run's own head re-establishes the promise the moment it lands.
+//
+// seenAt is the link's last activity (app or anti arrival); hop is the
+// static in-flight estimate (link delay + per-hop processing). A link
+// quiet for hop plus the deferral slack has nothing relevant in flight —
+// this idle rule is what keeps a stale promise from holding arrivals
+// behind links that simply have no traffic (between flood waves, after a
+// failure, or before a node ever transmits), and it is the only clock in
+// the mechanism: every other release is event-driven, which is what makes
+// the holds self-limiting instead of feeding back into the arrival lag
+// they are trying to absorb.
+//
+// The state is shim-local and fed only from the shim's own delivery
+// stream, whose (at, seq) labels are identical in sequential and sharded
+// runs — so it is deterministic and mode-invariant by construction, and
+// safe to read and update inside a parallel window.
+type linkLook struct {
+	promise vtime.Time     // d_i prediction of the latest app arrival
+	seenAt  vtime.Time     // last activity on the link (app or anti)
+	hop     vtime.Duration // static link delay + per-hop processing
+}
+
+// observeLink feeds one delivered message into its in-link's lookahead
+// state: the promise moves to the message's own d_i prediction (its
+// position in the link's current ascending run). Senders that are not
+// graph neighbors (impossible for app traffic, but cheap to guard) are
+// ignored.
+func (sh *shim) observeLink(from msg.NodeID, now, pred vtime.Time) {
+	j, ok := slices.BinarySearch(sh.lookNbr, from)
+	if !ok {
+		return
+	}
+	if debugRollbacks != nil {
+		sh.dbgPrevPromise = sh.look[j].promise
+	}
+	sh.look[j].promise = pred
+	sh.look[j].seenAt = now
+}
+
+// observeAnti marks a run boundary on an in-link: the sender rolled back,
+// and (FIFO) its replacement sends follow this anti. The promise resets so
+// coverage stops trusting the old run; the new run's head re-establishes
+// it. seenAt still advances — an anti is link activity, and the sends it
+// announces are at most a hop behind, so the idle rule keeps waiting for
+// them.
+func (sh *shim) observeAnti(from msg.NodeID, now vtime.Time) {
+	j, ok := slices.BinarySearch(sh.lookNbr, from)
+	if !ok {
+		return
+	}
+	sh.look[j].promise = 0
+	sh.look[j].seenAt = now
+}
+
+// lookRelease returns the per-link release of an arrival: zero (or a time
+// at or before now) when every in-link is past the arrival's d_i
+// prediction — covered by promise, or idle, or never active — and
+// otherwise the latest idle horizon among the links still behind it. A
+// future release means some in-link may still carry an earlier-keyed
+// message toward this node; the hold it induces ends early the moment a
+// covering arrival lands (the event-driven flush attempt in onEntry), and
+// at the returned time the lagging links have all gone conclusively quiet.
+//
+// The promise is speculative — a sender rollback starts a new run below it
+// — so a release can be wrong in both directions: anti-announced run
+// boundaries re-open coverage only after the anti lands, and an upstream
+// whose replay is still in flight can slip under a promise that looked
+// covering. Those residues cost speculation only: by Theorem 1 no release
+// decision, right or wrong, can move the committed order.
+func (sh *shim) lookRelease(k ordering.Key, now vtime.Time) vtime.Time {
+	if k.Class != ordering.ClassMessage {
+		return 0 // timer batches and externals are local events: never held
+	}
+	pk := vtime.GroupStart(k.Group, sh.e.cfg.BeaconInterval).Add(k.Delay)
+	slack := sh.e.cfg.DeferSlack
+	var rel vtime.Time
+	for j := range sh.look {
+		ll := &sh.look[j]
+		if ll.promise >= pk || ll.seenAt == 0 {
+			continue // covered, or never active: nothing relevant in flight
+		}
+		if idleAt := ll.seenAt.Add(ll.hop + 2*slack); idleAt.After(now) && idleAt > rel {
+			rel = idleAt
+		}
+	}
+	return rel
 }

@@ -390,3 +390,145 @@ func TestAdaptiveSettleShrinksQuietWindows(t *testing.T) {
 		}
 	}
 }
+
+// TestLookaheadPromiseAntiResetAndIdle drives the per-link lookahead state
+// machine whitebox: a never-active link is covered, an app arrival moves
+// the promise to its own d_i prediction (covering everything at or below
+// it), an anti resets the promise and re-opens coverage anchored at its
+// own arrival (the run-boundary announcement), and the idle rule expires
+// the hold once the link has been quiet for hop plus twice the slack.
+func TestLookaheadPromiseAntiResetAndIdle(t *testing.T) {
+	ms := vtime.Millisecond
+	g := topology.Line(2, 10*ms)
+	e := New(g, floodApps(2), Config{Seed: 1, Lookahead: true})
+	if !e.lookOn {
+		t.Fatal("Lookahead config did not enable the per-link state")
+	}
+	sh := e.shims[1]
+	hop := sh.look[0].hop
+	if want := 10*ms + e.procEstimate(); hop != want {
+		t.Fatalf("hop = %v, want link delay + processing = %v", hop, want)
+	}
+	slack := e.cfg.DeferSlack
+	pred := func(d vtime.Duration) vtime.Time {
+		return vtime.GroupStart(0, e.cfg.BeaconInterval).Add(d)
+	}
+	key := func(d vtime.Duration) ordering.Key {
+		return ordering.KeyOf(mkMsg(d, 1, 0))
+	}
+
+	// Quiet topology: nothing has ever been in flight, nothing is held.
+	if rel := sh.lookRelease(key(10*ms), 0); rel != 0 {
+		t.Fatalf("never-active link induced a hold: release %v", rel)
+	}
+
+	// An arrival predicts 20 ms: keys at or below are covered, keys above
+	// are held to the link's idle horizon.
+	at := vtime.Time(1 * ms)
+	sh.observeLink(0, at, pred(20*ms))
+	if rel := sh.lookRelease(key(20*ms), at); rel != 0 {
+		t.Fatalf("promise-covered key held: release %v", rel)
+	}
+	idle := at.Add(hop + 2*slack)
+	if rel := sh.lookRelease(key(30*ms), at); rel != idle {
+		t.Fatalf("uncovered key release = %v, want idle horizon %v", rel, idle)
+	}
+
+	// An anti is a run boundary: the promise resets, previously covered
+	// keys re-open, and the horizon re-anchors at the anti's arrival.
+	antiAt := vtime.Time(2 * ms)
+	sh.observeAnti(0, antiAt)
+	idle = antiAt.Add(hop + 2*slack)
+	if rel := sh.lookRelease(key(10*ms), antiAt); rel != idle {
+		t.Fatalf("post-anti release = %v, want re-anchored horizon %v", rel, idle)
+	}
+
+	// Once the link has been quiet past the horizon the hold expires.
+	if rel := sh.lookRelease(key(10*ms), idle); rel != 0 {
+		t.Fatalf("idle link still holding: release %v", rel)
+	}
+
+	// Timer batches are local events and never wait on links.
+	if rel := sh.lookRelease(ordering.TimerKey(0, 1), antiAt); rel != 0 {
+		t.Fatalf("timer key held: release %v", rel)
+	}
+}
+
+// TestLookaheadHoldReleasedByCoveringArrival is the exact-hold contract at
+// the shim level. An arrival always covers its own in-link (its delivery
+// advances that promise before the defer decision), so holds come from
+// *other* in-links whose promises still trail the arrival's prediction.
+// On the middle node of a line: an in-order arrival whose key gap exceeds
+// DeferSlack (so the heuristic rule would deliver it eagerly) parks while
+// the far link's promise trails it, the hold releases the moment the far
+// link's covering arrival lands (event-driven, well before the idle
+// bound), and a hold whose lagging link simply goes quiet releases at the
+// idle horizon — every delivery in key order, zero rollbacks.
+func TestLookaheadHoldReleasedByCoveringArrival(t *testing.T) {
+	ms := vtime.Millisecond
+	g := topology.Line(3, 10*ms)
+	e := New(g, floodApps(3), Config{Seed: 1, Lookahead: true})
+	sh := e.shims[1]
+	pred := func(d vtime.Duration) vtime.Time {
+		return vtime.GroupStart(0, e.cfg.BeaconInterval).Add(d)
+	}
+
+	base := mkMsgFrom(0, 10*ms, 1, 100)
+	sh.onEntry(entryOf(base, vtime.Time(1*ms)))
+	if sh.win.Len() != 1 {
+		t.Fatalf("base entry not delivered: window len %d", sh.win.Len())
+	}
+	// Stage the 2→1 link as active with a 20 ms promise (as if an arrival
+	// predicting 20 ms had just landed on it).
+	sh.observeLink(2, vtime.Time(1*ms), pred(20*ms))
+
+	// Gap 40 ms >= DeferSlack: no heuristic hold, but the 2→1 promise
+	// (20 ms) trails this key's prediction (50 ms) — the arrival parks as
+	// a lookahead hold instead of delivering into a possible rollback.
+	far := mkMsgFrom(0, 50*ms, 2, 101)
+	sh.onEntry(entryOf(far, vtime.Time(1*ms)))
+	if sh.win.Len() != 1 || len(sh.pend) != 1 {
+		t.Fatalf("far entry not held: window %d pending %d", sh.win.Len(), len(sh.pend))
+	}
+	if !sh.pend[0].laHeld {
+		t.Fatal("hold not marked as a lookahead hold")
+	}
+	if st := e.Stats(); st.LookaheadHolds != 1 || st.Deferred != 1 {
+		t.Fatalf("hold counters: %+v", st)
+	}
+
+	// The covering arrival on the lagging link releases the hold the
+	// moment it lands; the cover itself now waits on the 0→1 link (its
+	// promise, 50 ms, trails the cover's 60 ms prediction).
+	cover := mkMsgFrom(2, 60*ms, 3, 102)
+	sh.onEntry(entryOf(cover, vtime.Time(2*ms)))
+	if sh.win.Len() != 2 || len(sh.pend) != 1 {
+		t.Fatalf("covering arrival did not release the hold: window %d pending %d",
+			sh.win.Len(), len(sh.pend))
+	}
+	if sh.pend[0].entry.Msg.ID != cover.ID {
+		t.Fatal("cover must now front the pending buffer")
+	}
+
+	// No covering traffic for the cover's own hold: the 0→1 link goes
+	// quiet and the idle rule releases it at the scheduled flush.
+	e.sim.Run(vtime.Time(100 * ms))
+	if len(sh.pend) != 0 {
+		t.Fatalf("idle release did not flush: pending %d", len(sh.pend))
+	}
+	if sh.win.Len() != 3 {
+		t.Fatalf("window len = %d, want 3", sh.win.Len())
+	}
+	for i, want := range []msg.ID{base.ID, far.ID, cover.ID} {
+		if sh.win.At(i).Msg.ID != want {
+			t.Fatalf("window[%d] = %v, want %v", i, sh.win.At(i).Msg.ID, want)
+		}
+	}
+	st := e.Stats()
+	if st.LookaheadHolds != 2 || st.LookaheadExactFlushes != 2 {
+		t.Fatalf("want 2 holds, both flushed at their exact release: %+v", st)
+	}
+	if st.Rollbacks != 0 {
+		t.Fatalf("exact holds failed to avoid rollbacks: %d", st.Rollbacks)
+	}
+}

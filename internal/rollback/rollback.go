@@ -51,6 +51,33 @@
 //
 // Settlement uses an adaptive bound by default: see Config.SettleAfter.
 //
+// # Per-link lookahead: frontier coverage
+//
+// The gap rule is blind to cross-wave divergences whose key gap exceeds
+// DeferSlack. With Config.Lookahead each shim additionally tracks, per
+// in-link, a promise: the d_i prediction of that link's latest arrival.
+// A node processes entries in (speculatively) ascending key order, a
+// child's d_i is its cause's plus a static per-link increment, and links
+// are FIFO — so a link's wire sequence is a concatenation of ascending
+// prediction runs, and barring a run boundary every future arrival on
+// the link predicts at or past its promise. An arrival whose prediction
+// every in-link's promise has passed therefore has no earlier-keyed
+// message still in flight toward the node and delivers with no hold at
+// all; an uncovered arrival parks in the same pending buffer. A run
+// boundary (a sender-side rollback) announces itself: the anti-messages
+// cancelling the old run travel the same FIFO link ahead of the new
+// run's sends, and an anti arrival resets that link's promise until the
+// new run's head re-establishes it. Releases are event-driven — the
+// covering arrival's own delivery flushes the buffer — with one clock
+// as backstop: a link quiet for its hop estimate plus twice the slack
+// has nothing relevant in flight. The clock discipline is deliberate:
+// virtual-time holds delay the application's own downstream sends, so
+// clock-based releases feed the very arrival lag they try to absorb,
+// while event-driven releases are self-limiting. On the link-flap
+// benchmark workload the exact holds cut rollbacks per committed
+// delivery from ~0.46 to under 0.1 (TestLookaheadRollbackRate) at
+// bit-identical committed orders (TestLookaheadGolden).
+//
 // # Sharded parallel execution
 //
 // Config.Shards runs the engine on netsim's sharded runtime: each shard
@@ -169,6 +196,30 @@ type Config struct {
 	// for Baseline runs and when DropProb > 0 (the loss draw consumes its
 	// stream in global send order; netsim enforces the same gate).
 	Shards int
+	// Lookahead enables the per-link lookahead layer in both of its
+	// consumers: the simulator's sharded runtime widens parallel windows
+	// to per-directed-link horizons (netsim.Config.Lookahead), and the
+	// deferral layer adds frontier coverage on top of the heuristic
+	// DeferSlack gap rule — an arrival is held while any in-link's
+	// promise (the d_i prediction of that link's latest arrival; see
+	// linkLook in defer.go) still trails the arrival's own prediction,
+	// releasing the moment a covering arrival lands or the lagging links
+	// go conclusively idle. Both consumers move only speculation dynamics
+	// and barrier placement: committed orders, Stats counters other than
+	// the speculation set, and routing tables are bit-identical
+	// lookahead-on vs off (Theorem 1; pinned by TestLookaheadGolden).
+	// The exact hold requires deferral (d_i-monotone keys); with deferral
+	// disabled only the window widening applies. Off by default.
+	Lookahead bool
+	// WindowLookahead enables only the window-widening consumer (implied
+	// by Lookahead): the sharded runtime computes per-directed-link
+	// window horizons while the deferral layer keeps the heuristic gap
+	// rule. Execution is bit-identical to the same run without it —
+	// window placement moves barriers, never what executes between them —
+	// which is exactly what makes it useful: benchmarks isolate the
+	// barrier-crossing reduction of the horizon rule from the speculation
+	// changes of the exact hold.
+	WindowLookahead bool
 	// Record, when true, captures the partial recording of external
 	// events (and message-loss events) for later replay.
 	Record bool
@@ -231,6 +282,14 @@ type Stats struct {
 	SpuriousRollbacks  uint64 // rollbacks whose replay re-adopted every original send
 	RollbackDepthSum   uint64 // window entries per episode's replay span (trigger included), summed
 
+	// Per-link lookahead counters (PR 7), live only with Config.Lookahead.
+	// LookaheadHolds counts arrivals the exact per-in-link rule held past
+	// their arrival (a subset of Deferred); LookaheadExactFlushes counts
+	// held entries whose flush came at their exact release time — neither
+	// clipped by the DeferMax budget nor forced early by buffer overflow.
+	LookaheadHolds        uint64 // arrivals held by the exact per-link release rule
+	LookaheadExactFlushes uint64 // exact-held entries flushed at their exact release
+
 	// Route-computation cache counters (PR 5), aggregated at Stats() time
 	// from every application implementing api.RecomputeCached.
 	// RecomputeSkipped is the zero-lookup fast path (the daemon's current
@@ -270,6 +329,8 @@ func (s *Stats) add(b *Stats) {
 	s.PendingAnnihilated += b.PendingAnnihilated
 	s.SpuriousRollbacks += b.SpuriousRollbacks
 	s.RollbackDepthSum += b.RollbackDepthSum
+	s.LookaheadHolds += b.LookaheadHolds
+	s.LookaheadExactFlushes += b.LookaheadExactFlushes
 	s.SPFCacheHits += b.SPFCacheHits
 	s.SPFCacheMisses += b.SPFCacheMisses
 	s.RecomputeSkipped += b.RecomputeSkipped
@@ -289,6 +350,7 @@ type Engine struct {
 	skew    []vtime.Duration
 	leader  msg.NodeID
 	deferOn bool
+	lookOn  bool             // exact per-link holds (Lookahead && deferOn)
 	est     *settleEstimator // nil when Config.SettleAfter pins a static bound
 
 	scheduledThrough vtime.Time // group ticks scheduled up to here
@@ -339,6 +401,10 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 	// like RO the gap is meaningless and holds would only add latency.
 	_, delayOrdered := e.cfg.Ordering.(interface{ LSLookahead() bool })
 	e.deferOn = !cfg.Baseline && e.cfg.DeferSlack > 0 && delayOrdered
+	// The exact hold reasons about pred(k) = group start + d_i, so it needs
+	// the same delay-ordered keys the gap rule does; without deferral only
+	// the simulator-side window widening remains.
+	e.lookOn = e.deferOn && cfg.Lookahead
 	if cfg.SettleAfter <= 0 {
 		iv := e.cfg.BeaconInterval
 		e.est = newSettleEstimator(iv, settleFloor(g, iv), 2*staticSettle(g, iv))
@@ -353,6 +419,7 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 		JitterScale: cfg.JitterScale,
 		DropProb:    cfg.DropProb,
 		Shards:      shards,
+		Lookahead:   (cfg.Lookahead || cfg.WindowLookahead) && !cfg.Baseline,
 	})
 	if cfg.PoisonMessages && !cfg.NoMessagePool {
 		e.sim.SetPoison(true)
@@ -394,6 +461,24 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 		for _, nb := range g.Neighbors(i) {
 			l, _ := g.LinkBetween(i, nb)
 			neighbors = append(neighbors, api.Neighbor{ID: msg.NodeID(nb), Cost: api.LinkCost(l.Delay)})
+		}
+		if e.lookOn {
+			// One lookahead frontier per in-link, indexed like the (sorted)
+			// neighbor list; shim-local, so feeding it inside a parallel
+			// window is race-free and mode-invariant (a node's own delivery
+			// stream is identical in both modes). The hop is the link's
+			// static in-flight estimate — the same link delay + per-hop
+			// processing the d_i annotation accumulates — and it sizes the
+			// idle rule: a link quiet that long has nothing relevant in
+			// flight.
+			nbs := g.Neighbors(i)
+			sh.lookNbr = make([]msg.NodeID, len(nbs))
+			sh.look = make([]linkLook, len(nbs))
+			for j, nb := range nbs {
+				sh.lookNbr[j] = msg.NodeID(nb)
+				l, _ := g.LinkBetween(i, nb)
+				sh.look[j].hop = l.Delay + e.procEstimate()
+			}
 		}
 		// The epoch-keyed route-computation cache is on by default inside
 		// capable applications; an opted-out run disables it before Init

@@ -72,6 +72,18 @@ type shim struct {
 	arrSeq    uint64
 	directSeq uint64
 
+	// look is the per-in-link lookahead frontier bank (Config.Lookahead):
+	// look[j] tracks the key-domain promise and idle state of the link
+	// from neighbor lookNbr[j] (sorted) — see linkLook in defer.go for the
+	// coverage reasoning. Shim-local, so feeding it inside a parallel
+	// window is race-free and mode-invariant. Nil unless lookahead+deferral
+	// are both on.
+	look    []linkLook
+	lookNbr []msg.NodeID
+	// dbgPrevPromise is diagnostic-only (SetRollbackDebug): the trigger
+	// link's promise before the trigger's own observe overwrote it.
+	dbgPrevPromise vtime.Time
+
 	// replayFresh counts outputs materialized (not re-adopted) during the
 	// current replay; together with an empty leftover pool it identifies
 	// spurious rollbacks.
@@ -244,6 +256,15 @@ func (sh *shim) onEntry(entry history.Entry) {
 		pred := vtime.GroupStart(entry.Key.Group, sh.e.cfg.BeaconInterval).Add(entry.Key.Delay)
 		est.observe(entry.ArrivedAt, entry.ArrivedAt.Sub(pred))
 	}
+	// The per-link frontier/lag state is shim-local (unlike the
+	// engine-global settle estimator above), so it is fed unconditionally —
+	// in-window too: a node's own delivery stream carries identical
+	// (at, seq) labels in sequential and sharded runs, so the state is
+	// mode-invariant.
+	if sh.look != nil && entry.Key.Class == ordering.ClassMessage {
+		pred := vtime.GroupStart(entry.Key.Group, sh.e.cfg.BeaconInterval).Add(entry.Key.Delay)
+		sh.observeLink(entry.Key.From, entry.ArrivedAt, pred)
+	}
 	if sh.e.deferOn {
 		if sh.maybeDefer(entry) {
 			return
@@ -252,6 +273,14 @@ func (sh *shim) onEntry(entry history.Entry) {
 		sh.directSeq = sh.arrSeq
 	}
 	sh.insertNow(entry)
+	// The arrival advanced its in-link's frontier, which may have released
+	// a lookahead hold at the front of the pending buffer (front due
+	// already passed, coverage was the only blocker) — the event-driven
+	// release that lets held entries flush the moment the straggler they
+	// were waiting for lands, instead of waiting out the idle horizon.
+	if sh.look != nil && len(sh.pend) > 0 && !sh.pend[0].due.After(sh.lane.Now()) {
+		sh.flushPending()
+	}
 }
 
 // insertNow inserts an arrival into the history window and either delivers
@@ -591,6 +620,13 @@ func (sh *shim) sendAnti(orig *msg.Message) {
 // delivered, roll back to just before it, annihilate it, and replay the
 // rest; the rollback cascades through our own unsends.
 func (sh *shim) onAnti(m *msg.Message) {
+	// An anti marks a run boundary on its link: the sender rolled back and
+	// its replacement sends are right behind (FIFO). Reset the link's
+	// lookahead promise before processing, so coverage stops trusting the
+	// retracted run.
+	if sh.look != nil {
+		sh.observeAnti(m.From, sh.lane.Now())
+	}
 	target := m.Payload.(antiPayload).Target
 	pos := sh.win.FindMsg(target)
 	if pos < 0 {

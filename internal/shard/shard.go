@@ -13,9 +13,14 @@
 //     touches cross-shard state — scenario callbacks, link/node state
 //     changes, delivery-time drops — runs here.
 //   - Window phase: given the global frontier T, every event in
-//     [T, WindowEnd) is causally closed per shard (a message sent at or
-//     after T cannot arrive before T + the minimum link delay), so each
-//     lane's worker executes its own slice concurrently. Cross-shard
+//     [T, WindowEnd) is causally closed per shard: no event executed in
+//     the window can create an arrival inside it. The conservative bound
+//     is classic PDES lookahead — by default one global minimum link
+//     delay past T; with per-link lookahead enabled, the minimum over
+//     directed links of (sending lane's next event time + the link's
+//     static delay, FIFO-clamped past the link frontier), which is never
+//     narrower and lets lightly-coupled shards run far wider windows.
+//     Each lane's worker executes its own slice concurrently. Cross-shard
 //     effects (wire sends) and freshly scheduled local events are not
 //     applied immediately: they are recorded in the lane's Log, and
 //     local pushes enter the lane queue under provisional sequences.
@@ -166,38 +171,63 @@ func (lg *Log) Reset() {
 // Merge drains the lanes' window logs in global (at, seq) order — the
 // order the sequential engine executed the same events in — assigning
 // each logged action the next global sequence from *next and handing it
-// to apply. When a local push's target itself executed in this window,
-// its Exec record's provisional sequence is resolved before the merge
-// frontier reaches it: the pusher always commits at a strictly earlier
-// timestamp (send callbacks carry a processing delay, deferral flushes a
-// positive hold), so ties between still-provisional records cannot occur;
-// Merge panics if that invariant is ever violated rather than silently
-// diverging from the sequential order.
+// to apply. Each lane's log is already sorted (it was written in the
+// lane's own execution order), so the drain is a k-way merge over sorted
+// runs: a binary heap of lane indices keyed by each lane's current head,
+// one sift per committed Exec instead of the former per-event scan over
+// every head. The comparator reads heads through the live log, so a
+// provisional sequence resolved mid-merge (its pusher's ActionLocalPush
+// was applied) is seen resolved — and the pusher always commits at a
+// strictly earlier timestamp (send callbacks carry a processing delay,
+// deferral flushes a positive hold), so a head is resolved before it can
+// tie at its timestamp. A comparator tie at equal timestamps with an
+// unresolved sequence on either side is therefore a protocol violation,
+// and Merge panics rather than silently diverging from the sequential
+// order.
 func Merge(logs []*Log, next *uint64, apply func(lane int, e *Exec, a *Action, seq uint64)) {
 	heads := make([]int, len(logs))
 	acts := make([]int, len(logs))
-	for {
-		best := -1
-		var bAt vtime.Time
-		var bSeq uint64
-		for li, lg := range logs {
-			h := heads[li]
-			if lg == nil || h >= len(lg.Execs) {
-				continue
-			}
-			e := &lg.Execs[h]
-			if best < 0 || e.At < bAt || (e.At == bAt && e.Seq < bSeq) {
-				if best >= 0 && e.At == bAt && (IsProv(e.Seq) || IsProv(bSeq)) {
-					panic(fmt.Sprintf("shard: merge tie at %v with unresolved sequence", e.At))
-				}
-				best, bAt, bSeq = li, e.At, e.Seq
-			} else if e.At == bAt && (IsProv(e.Seq) || IsProv(bSeq)) {
-				panic(fmt.Sprintf("shard: merge tie at %v with unresolved sequence", e.At))
-			}
+	head := func(li int) *Exec { return &logs[li].Execs[heads[li]] }
+	less := func(a, b int) bool {
+		ea, eb := head(a), head(b)
+		if ea.At != eb.At {
+			return ea.At < eb.At
 		}
-		if best < 0 {
-			return
+		if IsProv(ea.Seq) || IsProv(eb.Seq) {
+			panic(fmt.Sprintf("shard: merge tie at %v with unresolved sequence", ea.At))
 		}
+		return ea.Seq < eb.Seq
+	}
+	// heap is the lane-index min-heap; sift moves heap[i] down to its
+	// place (keys only grow: a lane's next head is >= the one it replaces,
+	// and every reinsertion happens at the root).
+	heap := make([]int, 0, len(logs))
+	sift := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(heap) {
+				return
+			}
+			if c+1 < len(heap) && less(heap[c+1], heap[c]) {
+				c++
+			}
+			if !less(heap[c], heap[i]) {
+				return
+			}
+			heap[i], heap[c] = heap[c], heap[i]
+			i = c
+		}
+	}
+	for li, lg := range logs {
+		if lg != nil && len(lg.Execs) > 0 {
+			heap = append(heap, li)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		sift(i)
+	}
+	for len(heap) > 0 {
+		best := heap[0]
 		lg := logs[best]
 		e := &lg.Execs[heads[best]]
 		for n := int32(0); n < e.N; n++ {
@@ -213,24 +243,33 @@ func Merge(logs []*Log, next *uint64, apply func(lane int, e *Exec, a *Action, s
 			apply(best, e, a, seq)
 		}
 		heads[best]++
+		if heads[best] >= len(lg.Execs) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		sift(0)
 	}
 }
 
-// WindowEnd computes the conservative parallel-window horizon for a
-// frontier event at time frontier: one lookahead (the minimum link
-// delay — no event executed in the window can cause an arrival earlier
-// than that) past the frontier, clamped to every cap. Caps are the
-// stall conditions of the horizon protocol: the driver queue's next
-// event (must run serially between windows), each shard's earliest
-// doomed arrival (its delivery-time drop mutates cross-shard state), and
-// the run bound. A cap at or before the frontier stalls the window
-// entirely (End <= frontier) and the driver falls back to one serial
-// step; executing that event releases the stall.
-func WindowEnd(frontier vtime.Time, lookahead vtime.Duration, caps ...vtime.Time) vtime.Time {
-	if lookahead < 1 {
-		lookahead = 1
+// WindowEnd clamps a parallel-window horizon to the protocol's stall
+// conditions. The caller computes horizon as the earliest timestamp at
+// which any event executed in the window could still create a new
+// arrival — the global minimum link delay past the frontier in the
+// default mode, or the per-directed-link lookahead bound (per-lane next
+// event time plus static link delay, FIFO-clamped past the link
+// frontier) when lookahead is enabled. WindowEnd floors it to one past
+// the frontier (a window must always be able to run its own frontier
+// event) and then clamps to every cap. Caps are the stall conditions:
+// the driver queue's next event (must run serially between windows),
+// each shard's earliest doomed arrival (its delivery-time drop mutates
+// cross-shard state), and the run bound. A cap at or before the frontier
+// stalls the window entirely (End <= frontier) and the driver falls back
+// to one serial step; executing that event releases the stall.
+func WindowEnd(frontier, horizon vtime.Time, caps ...vtime.Time) vtime.Time {
+	end := horizon
+	if end <= frontier {
+		end = frontier.Add(1)
 	}
-	end := frontier.Add(lookahead)
 	for _, c := range caps {
 		if c < end {
 			end = c

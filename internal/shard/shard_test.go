@@ -166,21 +166,22 @@ func TestBeginExecWithoutAddLeavesNoTrace(t *testing.T) {
 
 func TestWindowEnd(t *testing.T) {
 	cases := []struct {
-		name      string
-		frontier  vtime.Time
-		lookahead vtime.Duration
-		caps      []vtime.Time
-		want      vtime.Time
+		name     string
+		frontier vtime.Time
+		horizon  vtime.Time
+		caps     []vtime.Time
+		want     vtime.Time
 	}{
-		{"lookahead only", 100, 50, nil, 150},
-		{"cap clamps", 100, 50, []vtime.Time{120}, 120},
-		{"min cap wins", 100, 50, []vtime.Time{140, 110, 130}, 110},
-		{"cap at frontier stalls", 100, 50, []vtime.Time{100}, 100},
-		{"cap before frontier stalls", 100, 50, []vtime.Time{90}, 90},
-		{"zero lookahead floors to 1", 100, 0, nil, 101},
+		{"horizon only", 100, 150, nil, 150},
+		{"cap clamps", 100, 150, []vtime.Time{120}, 120},
+		{"min cap wins", 100, 150, []vtime.Time{140, 110, 130}, 110},
+		{"cap at frontier stalls", 100, 150, []vtime.Time{100}, 100},
+		{"cap before frontier stalls", 100, 150, []vtime.Time{90}, 90},
+		{"horizon at frontier floors to 1", 100, 100, nil, 101},
+		{"horizon below frontier floors to 1", 100, 90, nil, 101},
 	}
 	for _, tc := range cases {
-		if got := WindowEnd(tc.frontier, tc.lookahead, tc.caps...); got != tc.want {
+		if got := WindowEnd(tc.frontier, tc.horizon, tc.caps...); got != tc.want {
 			t.Errorf("%s: WindowEnd = %d, want %d", tc.name, got, tc.want)
 		}
 	}

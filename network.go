@@ -137,6 +137,33 @@ func WithoutSharding() Option {
 	return func(c *rollback.Config) { c.Shards = 0 }
 }
 
+// WithLookahead enables per-directed-link lookahead, one mechanism with
+// two consumers. In the simulator, each parallel window's end is computed
+// from per-link bounds (sending lane's next event time plus the link's
+// static delay, FIFO-clamped past the link frontier) instead of one
+// global minimum link delay, so lightly-coupled shards cross far fewer
+// commit barriers. In the rollback engine, arrival deferral switches from
+// the heuristic slack rule to an exact per-in-link release — hold a
+// message until every predicted earlier message could have arrived given
+// each link's observed straggler lag — which removes the rollback tail
+// the fixed slack cannot see. Both consumers change only speculation
+// dynamics and barrier placement: committed orders, statistics and
+// routing tables stay bit-identical to a lookahead-off run (proved by
+// TestLookaheadGolden). The exact hold requires deferral (it is inert
+// under WithoutDeferral or WithBaseline); the window consumer requires
+// WithShards.
+func WithLookahead() Option {
+	return func(c *rollback.Config) { c.Lookahead = true }
+}
+
+// WithoutLookahead pins the global-lookahead window rule and the
+// heuristic deferral slack — the default, kept selectable so callers
+// composing option lists can explicitly override an earlier
+// WithLookahead.
+func WithoutLookahead() Option {
+	return func(c *rollback.Config) { c.Lookahead = false }
+}
+
 // NewNetwork builds a production network over g with one application per
 // node (len(apps) == g.N).
 func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
@@ -194,6 +221,17 @@ func (n *Network) MessagePool() *msg.Pool { return n.eng.Sim().Pool() }
 // pool in the simulator — the driver pool plus, under WithShards, each
 // shard's lane pool.
 func (n *Network) PoolViolations() uint64 { return n.eng.Sim().PoolViolations() }
+
+// WindowStats reports the parallel engine's phase counters: windows is
+// how many parallel windows ran (each ends at one commit barrier),
+// serialSteps how many events fell back to one-at-a-time serial
+// execution. Both are zero on the sequential engine. Fewer windows for
+// the same workload means wider windows — fewer barrier crossings — which
+// is the quantity per-link lookahead (WithLookahead) exists to shrink.
+func (n *Network) WindowStats() (windows, serialSteps uint64) {
+	s := n.eng.Sim()
+	return s.Windows(), s.SerialSteps()
+}
 
 // CommittedOrder returns node id's committed delivery sequence rendered as
 // strings (requires WithDeliveryLog for the settled prefix).

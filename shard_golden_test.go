@@ -56,6 +56,25 @@ func TestShardGolden(t *testing.T) {
 						t.Fatalf("%s: %d message-pool lifecycle violations", what, v)
 					}
 				}
+				// Lookahead-on rows: per-lane window horizons must preserve
+				// the same contract at shard counts TestLookaheadGolden does
+				// not cover (it pins 4). Committed execution must also match
+				// the lookahead-off rows above — lookahead may move
+				// speculation and barrier placement only.
+				laOrders, laStats, laTables, _ := goldenRun(tp.mk(seed), seed, mi, false,
+					defined.WithLookahead())
+				diffOrders(t, "lookahead-on vs off (sequential)", laOrders, seqOrders)
+				diffTables(t, "lookahead-on vs off (sequential)", laTables, seqTables)
+				for _, n := range []int{2, 7} {
+					shOrders, shStats, shTables, _ := goldenRun(tp.mk(seed), seed, mi, false,
+						defined.WithLookahead(), defined.WithShards(n))
+					what := fmt.Sprintf("lookahead shards=%d vs sequential", n)
+					diffOrders(t, what, laOrders, shOrders)
+					diffTables(t, what, laTables, shTables)
+					if shStats != laStats {
+						t.Fatalf("%s: stats differ:\n%s\nvs\n%s", what, shStats, laStats)
+					}
+				}
 			})
 		}
 	}
