@@ -1,0 +1,161 @@
+package main
+
+// The -faults chaos campaign: seeded-random fault plans over OSPF
+// networks, run through the public defined API on both the sequential and
+// the sharded engine, with the fault-invariant pass and a cross-engine
+// determinism comparison at the end. This is the command-line twin of
+// TestFaultPlanGolden, sized for a CI smoke step.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"time"
+
+	"defined"
+	"defined/internal/faults"
+	"defined/internal/routing/ospf"
+)
+
+// chaosLoss / chaosDup are the per-link packet-fate probabilities the
+// campaign composes with its plan faults. Kept low enough that flooding
+// redundancy re-converges routing after the heal; which packets die is
+// still a pure function of the seed.
+const (
+	chaosLoss = 0.002
+	chaosDup  = 0.002
+)
+
+func runFaults(quick bool, seed uint64) int {
+	topos := []*defined.Topology{defined.Sprintlink()}
+	if !quick {
+		topos = append(topos, defined.Brite(40, 2, seed))
+	}
+	fail := 0
+	for _, g := range topos {
+		plan := faults.Random(g, seed, faults.RandomConfig{
+			Start: defined.Seconds(1), End: defined.Seconds(4),
+		})
+		horizon := plan.Horizon().Add(faults.ConvergenceSlack(g))
+		fmt.Printf("%s: %d plan events, horizon %.1fs, loss %.3f, dup %.3f\n",
+			g.Name, plan.Len(), float64(horizon)/float64(defined.Second), chaosLoss, chaosDup)
+
+		// Loss-free pass first: with every surviving packet delivered the
+		// routing tables must re-converge to shortest paths on the healed
+		// topology, so this run carries the route-coherence check. The
+		// lossy matrix below checks engine invariants only — OSPF floods
+		// without retransmit, so a loss draw on a heal-time LSA can
+		// legitimately strand a stale route.
+		{
+			start := time.Now()
+			_, rep, stats := chaosRun(g, plan, seed, 4, false)
+			status := "ok"
+			if !rep.Ok() {
+				status = "FAIL"
+				fail++
+				fmt.Fprintf(os.Stderr, "defined-bench: %v\n", rep.Err())
+			}
+			fmt.Printf("  loss-free  %-4s  crashes=%d restarts=%d routes re-converged  (%.1fs)\n",
+				status, stats.NodeCrashes, stats.NodeRestarts, time.Since(start).Seconds())
+		}
+
+		var fingerprints []uint64
+		for _, shards := range []int{0, 4} {
+			start := time.Now()
+			fp, rep, stats := chaosRun(g, plan, seed, shards, true)
+			fingerprints = append(fingerprints, fp)
+			status := "ok"
+			if !rep.Ok() {
+				status = "FAIL"
+				fail++
+				fmt.Fprintf(os.Stderr, "defined-bench: %v\n", rep.Err())
+			}
+			fmt.Printf("  shards=%d  %-4s  crashes=%d restarts=%d drops(quarantine)=%d "+
+				"winHW=%d poolLive=%d fingerprint=%016x  (%.1fs)\n",
+				shards, status, stats.NodeCrashes, stats.NodeRestarts,
+				stats.QuarantinedDrops, rep.WindowHighWater, rep.PoolLive, fp,
+				time.Since(start).Seconds())
+		}
+		for _, fp := range fingerprints[1:] {
+			if fp != fingerprints[0] {
+				fail++
+				fmt.Fprintf(os.Stderr,
+					"defined-bench: %s: committed execution diverged across shard counts under faults\n", g.Name)
+			}
+		}
+	}
+	if fail > 0 {
+		return 1
+	}
+	fmt.Println("chaos campaign passed: invariants held, executions bit-identical across engines")
+	return 0
+}
+
+// chaosRun executes one faulted run and returns a fingerprint of its
+// committed execution (delivery orders, routing tables, engine counters),
+// the invariant report and the engine stats. Route coherence is asserted
+// only when lossy is false — see runFaults.
+func chaosRun(g *defined.Topology, plan *faults.Plan, seed uint64, shards int, lossy bool) (uint64, *faults.Report, defined.Stats) {
+	apps := make([]defined.Application, g.N)
+	for i := range apps {
+		apps[i] = ospf.New(ospf.Config{})
+	}
+	opts := []defined.Option{
+		defined.WithSeed(seed),
+		defined.WithDeliveryLog(),
+		defined.WithFaultPlan(plan),
+		defined.WithShards(shards),
+		defined.WithLookahead(),
+	}
+	if lossy {
+		opts = append(opts,
+			defined.WithPerLinkLoss(chaosLoss),
+			defined.WithDuplication(chaosDup))
+	}
+	net := defined.NewNetwork(g, apps, opts...)
+	net.Run(plan.Horizon().Add(faults.ConvergenceSlack(g)))
+	net.Drain()
+
+	cfg := faults.CheckConfig{}
+	if !lossy {
+		cfg.Routes = ospfRoutes(net)
+	}
+	rep := net.CheckFaults(cfg)
+	h := fnv.New64a()
+	for i := 0; i < g.N; i++ {
+		for _, k := range net.CommittedOrder(defined.NodeID(i)) {
+			fmt.Fprintln(h, k)
+		}
+		fmt.Fprintln(h, routingTableString(net, defined.NodeID(i)))
+	}
+	stats := net.Stats()
+	fmt.Fprintf(h, "%+v", stats)
+	return h.Sum64(), rep, stats
+}
+
+// ospfRoutes adapts the network's OSPF daemons to the checker's
+// RouteReader.
+func ospfRoutes(net *defined.Network) faults.RouteReader {
+	return func(src, dst defined.NodeID) (int64, bool) {
+		r, ok := net.App(src).(*ospf.Daemon).RoutingTable()[dst]
+		return int64(r.Cost), ok
+	}
+}
+
+// routingTableString renders node id's routing table in sorted
+// destination order (fingerprint input).
+func routingTableString(net *defined.Network, id defined.NodeID) string {
+	table := net.App(id).(*ospf.Daemon).RoutingTable()
+	dsts := make([]int, 0, len(table))
+	for d := range table {
+		dsts = append(dsts, int(d))
+	}
+	sort.Ints(dsts)
+	s := fmt.Sprintf("n%d:", id)
+	for _, d := range dsts {
+		r := table[defined.NodeID(d)]
+		s += fmt.Sprintf(" %d->%d/%d", d, r.NextHop, r.Cost)
+	}
+	return s
+}

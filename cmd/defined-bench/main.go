@@ -4,6 +4,7 @@
 // Usage:
 //
 //	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N] [-shards N] [-lookahead]
+//	defined-bench -faults [-quick] [-seed N]
 //
 // Without -fig, every figure is regenerated. -quick runs the reduced
 // workloads used by CI; the full workloads replay the paper's sample sizes
@@ -17,6 +18,14 @@
 // the virtual-time series may shift versus the pinned default, and every
 // summary line reports rb/committed plus the hold counters so the on/off
 // speculation comparison is one command each way.
+//
+// -faults runs the chaos campaign instead of figures: a seeded-random
+// fault plan (node crashes/restarts, link flaps, a partition and heal)
+// plus per-link loss and duplication over OSPF networks, executed on the
+// sequential and the sharded engine. Each run ends with the
+// fault-invariant pass (settle/pool violations, message-reference leaks,
+// window bounds, post-heal route coherence) and the campaign fails if any
+// invariant breaks or the two engines' committed executions diverge.
 package main
 
 import (
@@ -35,7 +44,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	shards := flag.Int("shards", 0, "parallel engine shards (0 = sequential; figures are bit-identical for any value)")
 	lookahead := flag.Bool("lookahead", false, "run engines with deferral + per-link lookahead (engine-best speculation; time series may shift)")
+	faultsRun := flag.Bool("faults", false, "run the fault-injection chaos campaign instead of figures")
 	flag.Parse()
+
+	if *faultsRun {
+		os.Exit(runFaults(*quick, *seed))
+	}
 
 	var ids []string
 	if *fig != "" {

@@ -75,6 +75,11 @@ type ExternalEvent = api.ExternalEvent
 // LinkChange is the built-in external event for link failures/repairs.
 type LinkChange = api.LinkChange
 
+// PeerRestart is the built-in external event the substrate delivers to a
+// restarted node's live neighbors after a crash fault heals, so protocols
+// can re-push state the fresh daemon cannot quickly recover on its own.
+type PeerRestart = api.PeerRestart
+
 // Out is a message emitted by an application.
 type Out = msg.Out
 

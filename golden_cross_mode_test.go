@@ -18,6 +18,7 @@ import (
 	"defined"
 	"defined/internal/checkpoint"
 	"defined/internal/experiments"
+	"defined/internal/faults"
 	"defined/internal/metrics"
 	"defined/internal/routing/api"
 	"defined/internal/routing/ospf"
@@ -311,8 +312,8 @@ func TestLookaheadGolden(t *testing.T) {
 				if shStats != onStats {
 					t.Fatalf("lookahead 4-shard vs sequential stats differ:\n%s\n%s", shStats, onStats)
 				}
-				if v := shNet.PoolViolations(); v != 0 {
-					t.Fatalf("lookahead 4-shard run: %d pool violations, want 0", v)
+				if rep := shNet.CheckFaults(faults.CheckConfig{}); !rep.Ok() {
+					t.Fatalf("lookahead 4-shard run: fault invariants on a fault-free run: %v", rep.Err())
 				}
 			})
 		}

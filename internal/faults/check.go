@@ -1,0 +1,197 @@
+package faults
+
+// The invariant checker: the pass a fault campaign runs after its plan has
+// executed (and the network has had time to re-converge) to prove the run
+// degraded gracefully instead of silently corrupting state.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"defined/internal/msg"
+	"defined/internal/rollback"
+	"defined/internal/routing/api"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// defaultMaxWindow bounds the per-node history-window high-water mark when
+// CheckConfig.MaxWindow is zero. Healthy windows on the evaluation
+// topologies peak in the tens of entries; a wedged lookahead hold or a
+// settle bound that stopped retiring shows up as growth far past that
+// long before memory notices.
+const defaultMaxWindow = 4096
+
+// RouteReader reports node src's routing cost to dst (ok=false: no
+// route). The OSPF experiments satisfy it with RoutingTable(); other
+// protocols plug in their own view.
+type RouteReader func(src, dst msg.NodeID) (cost int64, ok bool)
+
+// CheckConfig tunes Check.
+type CheckConfig struct {
+	// MaxWindow bounds the window high-water mark (0 = 4096).
+	MaxWindow int
+	// Routes, when non-nil, enables the post-heal route-coherence pass:
+	// every live node's cost to every reachable destination is compared
+	// against Dijkstra ground truth over the engine's current link state.
+	Routes RouteReader
+}
+
+// Report is Check's result: the measured invariants plus one Problems
+// line per violation (empty = healthy).
+type Report struct {
+	SettleViolations uint64
+	PoolViolations   uint64
+	PoolLive         int
+	HeldMessages     int
+	WindowHighWater  int
+	CrashedNodes     []msg.NodeID // still-quarantined nodes (skipped by route checks)
+	RouteMismatches  int
+
+	Problems []string
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Problems) == 0 }
+
+// Err returns nil for a healthy report, or one error joining every
+// violation line.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return errors.New("faults: invariants violated:\n  " + strings.Join(r.Problems, "\n  "))
+}
+
+// Check runs the invariant pass over a (typically quiescent) engine:
+//
+//   - SettleViolations == 0: no straggler ever arrived after its window
+//     slot retired — determinism's safety criterion survived the faults.
+//   - Zero pool lifecycle violations, and (pooled, quiescent runs) no
+//     leaked references: every live pooled message is accounted for by an
+//     engine structure (window, pending buffer, sent record). A crash
+//     path that dropped a Release without freeing, or freed without
+//     releasing, breaks the equality from one side or the other.
+//   - Window high-water bound: speculation stayed prunable throughout —
+//     no hold, promise or settle stall wedged a window into unbounded
+//     growth.
+//   - Optional route coherence (CheckConfig.Routes): after the plan's
+//     heals, every live node's routing costs match shortest paths over
+//     the current topology. Crashed (unrestarted) nodes are skipped as
+//     sources and expected unreachable as destinations.
+func Check(e *rollback.Engine, g *topology.Graph, cfg CheckConfig) *Report {
+	r := &Report{}
+	st := e.Stats()
+	r.SettleViolations = st.SettleViolations
+	if r.SettleViolations != 0 {
+		r.Problems = append(r.Problems, fmt.Sprintf("SettleViolations = %d (want 0)", r.SettleViolations))
+	}
+	r.PoolViolations = e.Sim().PoolViolations()
+	if r.PoolViolations != 0 {
+		r.Problems = append(r.Problems, fmt.Sprintf("pool lifecycle violations = %d (want 0)", r.PoolViolations))
+	}
+	r.PoolLive = e.PoolLive()
+	r.HeldMessages = e.HeldMessages()
+	if e.Pooled() && e.Sim().InFlight() == 0 && r.PoolLive != r.HeldMessages {
+		r.Problems = append(r.Problems, fmt.Sprintf(
+			"pool leak: %d live pooled messages but only %d referenced by engine structures", r.PoolLive, r.HeldMessages))
+	}
+	maxWin := cfg.MaxWindow
+	if maxWin <= 0 {
+		maxWin = defaultMaxWindow
+	}
+	r.WindowHighWater = e.WindowHighWater()
+	if r.WindowHighWater > maxWin {
+		r.Problems = append(r.Problems, fmt.Sprintf("window high-water %d exceeds bound %d (wedged speculation?)", r.WindowHighWater, maxWin))
+	}
+	for i := 0; i < g.N; i++ {
+		if e.Crashed(msg.NodeID(i)) {
+			r.CrashedNodes = append(r.CrashedNodes, msg.NodeID(i))
+		}
+	}
+	if cfg.Routes != nil {
+		r.checkRoutes(e, g, cfg.Routes)
+	}
+	return r
+}
+
+// checkRoutes compares every live node's routing view against Dijkstra
+// over the engine's current link and node state.
+func (r *Report) checkRoutes(e *rollback.Engine, g *topology.Graph, routes RouteReader) {
+	crashed := make([]bool, g.N)
+	for _, n := range r.CrashedNodes {
+		crashed[n] = true
+	}
+	for src := 0; src < g.N; src++ {
+		if crashed[src] {
+			continue
+		}
+		want := expectedCosts(e, g, src, crashed)
+		for dst := 0; dst < g.N; dst++ {
+			if dst == src {
+				continue
+			}
+			cost, have := routes(msg.NodeID(src), msg.NodeID(dst))
+			reachable := want[dst] >= 0
+			switch {
+			case reachable != have:
+				r.RouteMismatches++
+				r.Problems = append(r.Problems, fmt.Sprintf(
+					"route %d->%d: reachable=%v but daemon has-route=%v", src, dst, reachable, have))
+			case have && cost != want[dst]:
+				r.RouteMismatches++
+				r.Problems = append(r.Problems, fmt.Sprintf(
+					"route %d->%d: cost %d, shortest path %d", src, dst, cost, want[dst]))
+			}
+		}
+	}
+}
+
+// expectedCosts is Dijkstra ground truth from src over the links the
+// engine currently has up, excluding crashed nodes (a quarantined node
+// forwards nothing). Unreachable destinations are -1.
+func expectedCosts(e *rollback.Engine, g *topology.Graph, src int, crashed []bool) []int64 {
+	const inf = int64(1) << 62
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	visited := make([]bool, g.N)
+	for {
+		u, best := -1, inf
+		for i, d := range dist {
+			if !visited[i] && d < best {
+				u, best = i, d
+			}
+		}
+		if u == -1 {
+			break
+		}
+		visited[u] = true
+		for _, v := range g.Neighbors(u) {
+			if crashed[v] || !e.Sim().LinkState(u, v) {
+				continue
+			}
+			l, _ := g.LinkBetween(u, v)
+			if nd := dist[u] + int64(api.LinkCost(l.Delay)); nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+	for i, d := range dist {
+		if d == inf {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// ConvergenceSlack is the post-heal settling margin campaigns should run
+// past Plan.Horizon before calling Check: two beacon-propagation sweeps
+// (failure detection, re-flood, SPF) plus a hello/dead-interval cycle for
+// adjacency resurrection.
+func ConvergenceSlack(g *topology.Graph) vtime.Duration {
+	return 2*rollback.StaticSettle(g) + 4*vtime.Second
+}

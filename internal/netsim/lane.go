@@ -108,15 +108,30 @@ func (l *Lane) Send(m *msg.Message) bool {
 	st := &s.stats[m.From]
 	st.Sent++
 	st.ByKindOut[m.Kind]++
+	var dup bool
 	if m.Kind == msg.KindApp {
 		if !s.linkUp[idx] || !s.nodeUp[m.From] || !s.nodeUp[m.To] {
 			st.DroppedTx++
 			return false
 		}
-		// DropProb > 0 forces the sequential engine (see Config.Shards),
-		// so no loss draw happens here.
+		// The loss/duplication fate is a per-directed-link counter draw
+		// (see Config.DropProb): the counter cell belongs to this lane
+		// like the sender's stats, and advances in the same per-link send
+		// order as the sequential engine, so the fate is identical.
+		var drop bool
+		drop, dup = s.wireFate(m, idx)
+		if drop {
+			st.DroppedTx++
+			return false
+		}
 	}
 	l.log.Add(shard.Action{Kind: shard.ActionSend, Msg: m.Retain(), Link: int32(idx)})
+	if dup {
+		// The duplicate is a second logged send: at the barrier it draws
+		// its own wire delay right after the original, exactly as the
+		// sequential engine's adjacent pushArrival pair does.
+		l.log.Add(shard.Action{Kind: shard.ActionSend, Msg: m.Retain(), Link: int32(idx)})
+	}
 	return true
 }
 
@@ -316,6 +331,17 @@ func (s *Sim) PoolViolations() uint64 {
 	return v
 }
 
+// PoolLive sums checked-out (live) messages across the simulator's pool
+// and every lane pool. At quiescence it is the leak oracle's left-hand
+// side: every live message must be referenced by some engine structure.
+func (s *Sim) PoolLive() int {
+	n := s.pool.Live()
+	for _, l := range s.lanes {
+		n += l.pool.Live()
+	}
+	return n
+}
+
 // initShards builds the sharded runtime when Config.Shards asks for it.
 // Nodes are partitioned contiguously (node IDs are dense, and neighbours
 // in generated topologies tend to be ID-close, which keeps some traffic
@@ -324,9 +350,6 @@ func (s *Sim) PoolViolations() uint64 {
 // the Sim is collected, so idle engines do not leak goroutines.
 func (s *Sim) initShards() {
 	nsh := s.cfg.Shards
-	if s.cfg.DropProb > 0 {
-		nsh = 0 // loss draws need the global send order; see Config.Shards
-	}
 	if nsh > s.G.N {
 		nsh = s.G.N
 	}

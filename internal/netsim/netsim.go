@@ -49,8 +49,10 @@
 //
 // Shard-local, touchable from a lane's worker during a window: the lane's
 // own queue (scheduling, cancelling and re-arming events for its own
-// nodes), its pool, per-node traffic stats of its own nodes, and
-// everything the attached handlers own. Boundary-crossing, driver-only:
+// nodes), its pool, per-node traffic stats of its own nodes, the
+// wire-sequence loss/duplication counters of the link directions its
+// nodes send on (each directed link has exactly one sending node, hence
+// exactly one owning lane), and everything the attached handlers own. Boundary-crossing, driver-only:
 // wire transmission (jitter stream, FIFO clamps and link frontiers,
 // destination queues — window-phase Sends are logged as intents and
 // applied at the commit barrier), link/node state, the drop callback, the
@@ -88,15 +90,23 @@ type Config struct {
 	// Deterministic disables delay jitter (used by DEFINED-LS debugging
 	// networks, where delays are mechanistic).
 	Deterministic bool
-	// DropProb is an optional uniform packet-loss probability applied to
-	// app messages (not control traffic); used by loss-injection tests.
+	// DropProb is an optional per-packet loss probability applied to app
+	// messages (not control traffic). The loss fate of the n-th packet
+	// fired on a directed link is a counter-seeded hash of (Seed, link
+	// direction, n) rather than a draw from a shared stream, so it is
+	// independent of global send order — which is what lets loss compose
+	// with Shards (see the concurrency contract).
 	DropProb float64
+	// DupProb is an optional per-packet duplication probability applied to
+	// app messages that survive the loss draw: the packet is scheduled
+	// twice, the copy drawing its own wire delay and FIFO-clamped after
+	// the original, so the duplicate always trails it on the link. Keyed
+	// like DropProb, so duplication composes with Shards too.
+	DupProb float64
 	// Shards enables the sharded parallel runtime with the given number of
 	// per-core shards (clamped to the node count). 0 or 1 selects the
 	// sequential engine. Results are bit-identical across shard counts; see
-	// the package comment's concurrency contract. Ignored (sequential)
-	// when DropProb > 0: the loss draw consumes the loss stream in global
-	// send order, which window-phase sends do not preserve.
+	// the package comment's concurrency contract.
 	Shards int
 	// Lookahead enables per-directed-link window horizons in the sharded
 	// runtime: instead of one global minimum link delay past the frontier,
@@ -146,9 +156,16 @@ type Sim struct {
 	// lastArr is the FIFO clamp: last scheduled arrival per directed
 	// link, indexed 2*linkIdx (+1 for the high→low direction). Arrivals
 	// are always > 0, so zero means "no packet sent yet".
-	lastArr   []vtime.Time
-	jitter    *rng.Source
-	loss      *rng.Source
+	lastArr []vtime.Time
+	jitter  *rng.Source
+	// lossKey seeds the per-directed-link loss/duplication draws; wireSeq
+	// counts app packets fired per directed link (same indexing as
+	// lastArr). A cell is written only by the sender's owner — its lane's
+	// worker during a window, the driver otherwise — exactly like the
+	// sender's stats, so the counters advance in per-link send order in
+	// both modes and the draws are bit-identical for any shard count.
+	lossKey   uint64
+	wireSeq   []uint64
 	stats     []NodeStats
 	pool      msg.Pool
 	inFlight  int
@@ -206,7 +223,8 @@ func New(g *topology.Graph, cfg Config) *Sim {
 		linkUp:   make([]bool, len(g.Links)),
 		lastArr:  make([]vtime.Time, 2*len(g.Links)),
 		jitter:   rng.New(cfg.Seed).Derive("netsim-jitter"),
-		loss:     rng.New(cfg.Seed).Derive("netsim-loss"),
+		lossKey:  rng.New(cfg.Seed).Derive("netsim-loss").Uint64(),
+		wireSeq:  make([]uint64, 2*len(g.Links)),
 		stats:    make([]NodeStats, g.N),
 	}
 	for i := range s.nodeUp {
@@ -296,16 +314,30 @@ func (s *Sim) Send(m *msg.Message) bool {
 	st := &s.stats[m.From]
 	st.Sent++
 	st.ByKindOut[m.Kind]++
+	var dup bool
 	if m.Kind == msg.KindApp {
 		if !s.linkUp[idx] || !s.nodeUp[m.From] || !s.nodeUp[m.To] {
 			st.DroppedTx++
 			return false
 		}
-		if s.cfg.DropProb > 0 && s.loss.Float64() < s.cfg.DropProb {
+		var drop bool
+		drop, dup = s.wireFate(m, idx)
+		if drop {
 			st.DroppedTx++
 			return false
 		}
 	}
+	s.pushArrival(idx, m)
+	if dup {
+		s.pushArrival(idx, m)
+	}
+	return true
+}
+
+// pushArrival draws a wire delay for m on link idx and schedules the
+// delivery, retaining the in-flight reference. Driver-only (window-phase
+// sends log an intent instead and reach here via applyAction).
+func (s *Sim) pushArrival(idx int, m *msg.Message) {
 	at := s.arrivalAt(idx, m, s.now)
 	if s.lanes != nil {
 		s.lanes[s.laneOf[m.To]].q.PushDeliverSeq(at, s.nextSeq(), m.Retain())
@@ -313,7 +345,34 @@ func (s *Sim) Send(m *msg.Message) bool {
 		s.q.PushDeliver(at, m.Retain())
 	}
 	s.inFlight++
-	return true
+}
+
+// wireFate draws the loss and duplication fate for an app packet about to
+// fire on link idx, advancing the directed link's wire-sequence counter.
+// The fate is a pure function of (Seed, direction, counter), so it does
+// not depend on what any other link — or any other lane — is doing; the
+// counter cell is owned by the sender's lane like the sender's stats.
+func (s *Sim) wireFate(m *msg.Message, idx int) (drop, dup bool) {
+	if s.cfg.DropProb <= 0 && s.cfg.DupProb <= 0 {
+		return false, false
+	}
+	di := dirIndex(idx, m.From, m.To)
+	n := s.wireSeq[di]
+	s.wireSeq[di]++
+	if s.cfg.DropProb > 0 && wireDraw(s.lossKey, di, n, 0) < s.cfg.DropProb {
+		return true, false
+	}
+	if s.cfg.DupProb > 0 && wireDraw(s.lossKey, di, n, 1) < s.cfg.DupProb {
+		return false, true
+	}
+	return false, false
+}
+
+// wireDraw maps (key, directed link, wire sequence, salt) to a uniform
+// [0,1) variate; salt 0 is the loss draw, 1 the duplication draw.
+func wireDraw(key uint64, di int, n, salt uint64) float64 {
+	h := rng.Hash64(key ^ rng.Hash64(n^(salt<<56)^(uint64(di)<<32)))
+	return float64(h>>11) / float64(1<<53)
 }
 
 // arrivalAt draws the wire delay for a packet fired on link idx at fireAt

@@ -244,6 +244,9 @@ func (sh *shim) armFlush(at vtime.Time) {
 // onFlush is the scheduled flush callback (bound once per shim).
 func (sh *shim) onFlush() {
 	sh.flushH = eventq.Handle{}
+	if sh.crashed {
+		return // quarantine emptied the buffer; a stale flush is a no-op
+	}
 	sh.flushPending()
 }
 

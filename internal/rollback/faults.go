@@ -1,0 +1,205 @@
+package rollback
+
+// Crash-fault primitives: CrashNode/RestartNode are the engine half of the
+// fault-injection subsystem (internal/faults drives them through plans).
+// A crash models fail-stop process death with total state loss — the
+// paper's determinism claim (Theorem 1) extends to it because the crash
+// executes as an ordinary driver-serial event: given the same plan, the
+// quarantine tears down the same state at the same point of the committed
+// order under any shard count, and everything it mutates is shim- or
+// lane-local, which is also what lets a recovered handler panic apply the
+// same quarantine from inside a parallel window.
+
+import (
+	"defined/internal/eventq"
+	"defined/internal/msg"
+	"defined/internal/routing/api"
+)
+
+// quarantine severs the shim from the run, modeling a crash's state loss:
+// the history window, checkpoints, deferred arrivals and send tracking
+// are torn down and every message reference they held is released.
+// In-flight traffic is untouched — packets this node already transmitted
+// left before the crash and still deliver; packets toward it are dropped
+// by whoever owns that decision (netsim's doomed path for a real crash,
+// this shim's own entry guards for a panic quarantine). Deliberately
+// kept: the drop log (recorded losses happened), the settled log and
+// last-settled key (the committed prefix is history, not node state), and
+// the external-sequence counters (key uniqueness must span incarnations).
+// No anti-messages are sent — a crash is not a rollback; what was on the
+// wire stays sent. Every mutation below is shim- or lane-local, so
+// quarantining is legal inside a parallel window (panic recovery) as well
+// as from the driver (CrashNode).
+func (sh *shim) quarantine() {
+	sh.crashed = true
+	// The pending flush event dies with the deferral buffer.
+	if !sh.flushH.IsZero() {
+		sh.lane.Cancel(sh.flushH)
+		sh.flushH = eventq.Handle{}
+		sh.flushAt = 0
+	}
+	for i := range sh.pend {
+		if m := sh.pend[i].entry.Msg; m != nil {
+			m.Release()
+		}
+	}
+	clearPending(sh.pend)
+	sh.pend = sh.pend[:0]
+	// Unsent messages die in the crash (silent cancel); wired ones were
+	// really transmitted and stand. freeRec releases each record's
+	// message reference.
+	for _, rec := range sh.sent {
+		if !rec.ev.IsZero() {
+			sh.lane.Cancel(rec.ev)
+		}
+		sh.freeRec(rec)
+	}
+	sh.sent = sh.sent[:0]
+	for _, rec := range sh.replayPool {
+		if !rec.ev.IsZero() {
+			sh.lane.Cancel(rec.ev)
+		}
+		sh.freeRec(rec)
+	}
+	sh.replayPool = sh.replayPool[:0]
+	// The speculative suffix is lost state: window entries release their
+	// messages and the checkpoint stack empties with them.
+	sh.win.Retire(sh.win.Len())
+	sh.ckpts.TruncateFrom(0)
+	// With no checkpoints left nothing can rewind: the undo journals
+	// compact to their heads.
+	if sh.japp != nil {
+		sh.japp.JournalCompact(sh.japp.JournalMark())
+		sh.sender.JournalCompact(sh.sender.JournalMark())
+	}
+	// Per-link lookahead promises describe a pre-crash world.
+	for i := range sh.look {
+		sh.look[i] = linkLook{hop: sh.look[i].hop}
+	}
+}
+
+// CrashNode applies a crash fault to node n: the shim is quarantined and
+// the simulator marks the node down, so in-flight arrivals toward it
+// become delivery-time drops (recorded against their senders, exactly
+// like link-loss drops) and new sends to or from it fail at send time.
+// Driver-only — fault plans schedule crashes through the driver queue, so
+// in sharded mode the crash lands between windows at the same point of
+// the committed order as in the sequential engine. Idempotent; no-op for
+// Baseline engines (no shim layer to quarantine).
+func (e *Engine) CrashNode(n msg.NodeID) {
+	sh := e.shims[n]
+	if e.cfg.Baseline || sh.crashed {
+		return
+	}
+	e.stats.NodeCrashes++
+	sh.quarantine()
+	e.sim.SetNodeState(n, false)
+}
+
+// RestartNode revives a crashed node: the simulator marks it up and the
+// application re-Inits from scratch — nothing from before the crash
+// survives in the daemon, which is the point of a crash fault. The undo
+// journals compact after Init (boot-time mutations precede every
+// checkpoint of the new incarnation, the same discipline New applies),
+// and the substrate re-syncs the neighborhood: the fresh daemon is told
+// which adjacent links are currently down (Init assumes them all up),
+// then every reachable neighbor receives a PeerRestart external so
+// protocols can push back state the restarted node cannot quickly
+// recover on its own (e.g. its own stale LSA sequence number). Sender
+// counters deliberately survive: wire IDs and ordering keys must stay
+// unique and monotone across incarnations for the ordering function and
+// the anti-message protocol to keep working. Driver-only, like
+// CrashNode; no-op unless the node is crashed. Works for both crash
+// kinds — a panic quarantine leaves the node up at the simulator, and
+// SetNodeState(up) is then idempotent.
+func (e *Engine) RestartNode(n msg.NodeID) {
+	sh := e.shims[n]
+	if e.cfg.Baseline || !sh.crashed {
+		return
+	}
+	e.stats.NodeRestarts++
+	e.sim.SetNodeState(n, true)
+	sh.crashed = false
+	var neighbors []api.Neighbor
+	for _, nb := range e.G.Neighbors(int(n)) {
+		l, _ := e.G.LinkBetween(int(n), nb)
+		neighbors = append(neighbors, api.Neighbor{ID: msg.NodeID(nb), Cost: api.LinkCost(l.Delay)})
+	}
+	sh.app.Init(n, neighbors)
+	if sh.japp != nil {
+		sh.japp.JournalCompact(sh.japp.JournalMark())
+		sh.sender.JournalCompact(sh.sender.JournalMark())
+	}
+	// Neighbor re-sync, in sorted neighbor order for determinism: first
+	// the restarted node learns its dead adjacent links, then live
+	// neighbors learn about the restart. Both are ordinary externals —
+	// recorded, ordered, rollback-capable like any other.
+	for _, nb := range e.G.Neighbors(int(n)) {
+		if !e.sim.LinkState(int(n), nb) {
+			e.InjectExternal(n, api.LinkChange{Peer: msg.NodeID(nb), Up: false})
+		}
+	}
+	for _, nb := range e.G.Neighbors(int(n)) {
+		if e.sim.LinkState(int(n), nb) && !e.shims[nb].crashed {
+			e.InjectExternal(msg.NodeID(nb), api.PeerRestart{Peer: n})
+		}
+	}
+}
+
+// Crashed reports whether node n is currently crash-quarantined.
+func (e *Engine) Crashed(n msg.NodeID) bool { return e.shims[n].crashed }
+
+// WindowHighWater returns the largest history window any shim ever held —
+// the fault checker's wedge detector (a hold or promise that never
+// releases shows up as an unbounded window long before it ODs on memory).
+func (e *Engine) WindowHighWater() int {
+	hw := 0
+	for _, sh := range e.shims {
+		if sh.winHW > hw {
+			hw = sh.winHW
+		}
+	}
+	return hw
+}
+
+// HeldMessages counts the distinct wire messages the engine's own
+// structures still reference: history-window entries, deferred arrivals
+// and live sent records. At quiescence (nothing in flight) every live
+// pooled message must be accounted for here — PoolLive() exceeding it
+// means a reference leaked (e.g. a crash path that forgot a Release).
+func (e *Engine) HeldMessages() int {
+	seen := map[msg.ID]struct{}{}
+	for _, sh := range e.shims {
+		for i := 0; i < sh.win.Len(); i++ {
+			if m := sh.win.At(i).Msg; m != nil {
+				seen[m.ID] = struct{}{}
+			}
+		}
+		for i := range sh.pend {
+			if m := sh.pend[i].entry.Msg; m != nil {
+				seen[m.ID] = struct{}{}
+			}
+		}
+		for _, rec := range sh.sent {
+			if rec.m != nil {
+				seen[rec.m.ID] = struct{}{}
+			}
+		}
+		for _, rec := range sh.replayPool {
+			if rec.m != nil {
+				seen[rec.m.ID] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// PoolLive sums checked-out messages across the simulator's pools — the
+// other half of the leak oracle (see HeldMessages).
+func (e *Engine) PoolLive() int { return e.sim.PoolLive() }
+
+// Pooled reports whether wire messages are pool-refcounted in this run —
+// the precondition for the PoolLive/HeldMessages leak comparison
+// (NoMessagePool makes every Retain/Release a no-op, so the pool sees
+// nothing).
+func (e *Engine) Pooled() bool { return !e.cfg.NoMessagePool && !e.cfg.Baseline }

@@ -169,8 +169,17 @@ type Config struct {
 	Seed uint64
 	// JitterScale scales link jitter (1.0 default).
 	JitterScale float64
-	// DropProb injects uniform app-message loss (tests).
+	// DropProb injects app-message loss: each directed link draws
+	// per-packet from its own counter-seeded hash stream (netsim's wire
+	// fate), so loss composes with Shards and with fault plans — the draw
+	// for a packet depends only on (seed, link direction, wire sequence),
+	// never on global send interleavings.
 	DropProb float64
+	// DupProb injects app-message duplication from the same per-link
+	// streams: a duplicated packet is enqueued twice at the sender (the
+	// copy trails the original on the FIFO link) and the receiver shim
+	// drops the second arrival as a window duplicate.
+	DupProb float64
 	// NoMessagePool disables refcounted wire-message pooling: senders
 	// heap-allocate unmanaged messages and every Retain/Release is a
 	// no-op. The pre-refcount behaviour, kept selectable so golden tests
@@ -193,8 +202,8 @@ type Config struct {
 	// with the given number of per-core shards (0 or 1 = sequential).
 	// Committed orders, stats and routing tables are bit-identical for any
 	// value — sharding changes wall-clock time only. Ignored (sequential)
-	// for Baseline runs and when DropProb > 0 (the loss draw consumes its
-	// stream in global send order; netsim enforces the same gate).
+	// for Baseline runs. Loss and duplication compose with sharding: the
+	// per-link wire-fate streams advance in lane-local send order.
 	Shards int
 	// Lookahead enables the per-link lookahead layer in both of its
 	// consumers: the simulator's sharded runtime widens parallel windows
@@ -290,6 +299,17 @@ type Stats struct {
 	LookaheadHolds        uint64 // arrivals held by the exact per-link release rule
 	LookaheadExactFlushes uint64 // exact-held entries flushed at their exact release
 
+	// Fault-injection counters (PR 8). NodeCrashes/NodeRestarts count
+	// applied crash/restart faults (driver-side); PanicCrashes counts
+	// application-handler panics recovered into crash quarantines (the node
+	// is severed deterministically instead of killing the process);
+	// QuarantinedDrops counts arrivals, antis, timer batches and externals
+	// a quarantined shim discarded.
+	NodeCrashes      uint64 // crash faults applied
+	NodeRestarts     uint64 // restart faults applied
+	PanicCrashes     uint64 // handler panics recovered into crash quarantines
+	QuarantinedDrops uint64 // events discarded by quarantined shims
+
 	// Route-computation cache counters (PR 5), aggregated at Stats() time
 	// from every application implementing api.RecomputeCached.
 	// RecomputeSkipped is the zero-lookup fast path (the daemon's current
@@ -331,6 +351,10 @@ func (s *Stats) add(b *Stats) {
 	s.RollbackDepthSum += b.RollbackDepthSum
 	s.LookaheadHolds += b.LookaheadHolds
 	s.LookaheadExactFlushes += b.LookaheadExactFlushes
+	s.NodeCrashes += b.NodeCrashes
+	s.NodeRestarts += b.NodeRestarts
+	s.PanicCrashes += b.PanicCrashes
+	s.QuarantinedDrops += b.QuarantinedDrops
 	s.SPFCacheHits += b.SPFCacheHits
 	s.SPFCacheMisses += b.SPFCacheMisses
 	s.RecomputeSkipped += b.RecomputeSkipped
@@ -418,6 +442,7 @@ func New(g *topology.Graph, apps []api.Application, cfg Config) *Engine {
 		Seed:        cfg.Seed,
 		JitterScale: cfg.JitterScale,
 		DropProb:    cfg.DropProb,
+		DupProb:     cfg.DupProb,
 		Shards:      shards,
 		Lookahead:   (cfg.Lookahead || cfg.WindowLookahead) && !cfg.Baseline,
 	})
@@ -786,6 +811,12 @@ func (e *Engine) scheduleBaselineTimers(until vtime.Time) {
 // late messages later displace it.
 func (e *Engine) InjectExternal(n msg.NodeID, ev api.ExternalEvent) {
 	sh := e.shims[n]
+	if sh.crashed {
+		// A crashed node observes nothing: the event is neither recorded
+		// nor delivered (it never reached the process), only counted.
+		sh.stats.QuarantinedDrops++
+		return
+	}
 	now := e.sim.Now()
 	group := e.groupAt(n, now)
 	// The event's offset from the group boundary anchors the d_i of the

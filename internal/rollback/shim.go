@@ -102,6 +102,16 @@ type shim struct {
 	lastSettle     vtime.Time
 	lastSettledKey ordering.Key // largest key ever retired
 	hasSettled     bool
+
+	// crashed marks a quarantined shim (see quarantine in faults.go): a
+	// crash fault or a recovered handler panic severed the node from the
+	// run. Every entry point discards while set; RestartNode clears it.
+	crashed bool
+
+	// winHW is the history window's high-water mark — the bound the fault
+	// invariant checker compares against (a wedged window grows without
+	// bound; a healthy one is pruned by settlement).
+	winHW int
 }
 
 // sentRec tracks one transmitted message for potential unsending. Records
@@ -256,6 +266,17 @@ func (sh *shim) onEntry(entry history.Entry) {
 		pred := vtime.GroupStart(entry.Key.Group, sh.e.cfg.BeaconInterval).Add(entry.Key.Delay)
 		est.observe(entry.ArrivedAt, entry.ArrivedAt.Sub(pred))
 	}
+	// The quarantine guard sits after the estimator feed on purpose:
+	// BeginWindow pre-simulates every scheduled app delivery of a parallel
+	// window without knowing about quarantines, so the sequential path must
+	// observe the same arrivals for the estimator streams to stay
+	// mode-invariant. A panic-quarantined node stays up at the simulator
+	// (downing it mid-window would shift sequential-vs-sharded drop stats),
+	// so its arrivals reach here and are discarded.
+	if sh.crashed {
+		sh.stats.QuarantinedDrops++
+		return
+	}
 	// The per-link frontier/lag state is shim-local (unlike the
 	// engine-global settle estimator above), so it is fed unconditionally —
 	// in-window too: a node's own delivery stream carries identical
@@ -299,6 +320,9 @@ func (sh *shim) insertNow(entry history.Entry) {
 		sh.stats.Duplicates++
 		return
 	}
+	if n := sh.win.Len(); n > sh.winHW {
+		sh.winHW = n
+	}
 	if pos == sh.win.Len()-1 {
 		// Arrival matches the pseudorandom sequence: speculative
 		// delivery (paper: "If the order is the same as the
@@ -320,6 +344,10 @@ func (sh *shim) insertNow(entry history.Entry) {
 // onTimerBatch fires the node's virtual-timer batch for group (scheduled
 // at the group boundary plus beacon skew).
 func (sh *shim) onTimerBatch(group uint64) {
+	if sh.crashed {
+		sh.stats.QuarantinedDrops++
+		return
+	}
 	sh.stats.TimerBatches++
 	sh.onEntry(history.Entry{
 		Key:       ordering.TimerKey(group, sh.id),
@@ -382,6 +410,12 @@ func (sh *shim) replayFrom(pos int) {
 		sh.deliverAt(i, delay)
 	}
 	sh.inReplay = false
+	if sh.crashed {
+		// A replayed delivery panicked: quarantine already drained the
+		// window, the replay pool and the sent records — nothing to cancel,
+		// and a crash is not a spurious rollback.
+		return
+	}
 
 	// A replay that re-adopted every original send and materialized
 	// nothing new changed nothing observable: the rollback was spurious —
@@ -424,7 +458,6 @@ func serialsContain(sorted []uint64, s uint64) bool {
 // entry at position i to the application; outputs are transmitted after
 // procDelay of virtual time.
 func (sh *shim) deliverAt(i int, procDelay vtime.Duration) {
-	e := sh.e
 	if sh.ckpts.Len() != i {
 		panic("rollback: checkpoint stack misaligned with window")
 	}
@@ -435,18 +468,50 @@ func (sh *shim) deliverAt(i int, procDelay vtime.Duration) {
 	sh.stats.Deliveries++
 
 	entry := sh.win.At(i)
-	var outs []msg.Out
+	outs, ok := sh.handleEntry(entry)
+	if !ok {
+		// The handler panicked: the node is quarantined (see recoverPanic),
+		// its outputs died with it — exactly as if the process crashed
+		// mid-handler before transmitting anything.
+		return
+	}
 	switch {
 	case entry.Key.IsTimer():
-		now := vtime.GroupStart(entry.Key.Group, e.cfg.BeaconInterval)
-		outs = sh.app.HandleTimer(now)
 		sh.sendOutsTracked(outs, msg.Annotation{}, true, entry.Key.Group, sh.e.skew[sh.id], procDelay, serial)
 	case entry.Key.IsExternal():
-		outs = sh.app.HandleExternal(entry.Ext.(api.ExternalEvent))
 		sh.sendOutsTracked(outs, msg.Annotation{}, true, entry.Key.Group, entry.ExtOffset, procDelay, serial)
 	default:
-		outs = sh.app.HandleMessage(entry.Msg)
 		sh.sendOutsTracked(outs, entry.Msg.Ann, false, entry.Key.Group, 0, procDelay, serial)
+	}
+}
+
+// handleEntry runs the application handler for one window entry,
+// recovering a handler panic into a deterministic crash fault: the shim is
+// quarantined (state, speculation and unsent messages lost) and the run
+// continues without the node, instead of the panic killing the process.
+// ok is false when the handler panicked. Determinism: a panic is a
+// function of the application state and the delivered entry, both of
+// which are bit-identical across shard counts, so the quarantine lands at
+// the same point of the committed order in every mode.
+func (sh *shim) handleEntry(entry history.Entry) (outs []msg.Out, ok bool) {
+	defer sh.recoverPanic()
+	switch {
+	case entry.Key.IsTimer():
+		now := vtime.GroupStart(entry.Key.Group, sh.e.cfg.BeaconInterval)
+		return sh.app.HandleTimer(now), true
+	case entry.Key.IsExternal():
+		return sh.app.HandleExternal(entry.Ext.(api.ExternalEvent)), true
+	default:
+		return sh.app.HandleMessage(entry.Msg), true
+	}
+}
+
+// recoverPanic is handleEntry's deferred recovery hook (a method value so
+// the hot path defers without allocating a closure).
+func (sh *shim) recoverPanic() {
+	if r := recover(); r != nil {
+		sh.stats.PanicCrashes++
+		sh.quarantine()
 	}
 }
 
@@ -620,6 +685,13 @@ func (sh *shim) sendAnti(orig *msg.Message) {
 // delivered, roll back to just before it, annihilate it, and replay the
 // rest; the rollback cascades through our own unsends.
 func (sh *shim) onAnti(m *msg.Message) {
+	// Anti-messages are control traffic the simulator delivers regardless
+	// of node state, so a quarantined shim sees them too — and discards
+	// them: its window is gone, there is nothing left to annihilate.
+	if sh.crashed {
+		sh.stats.QuarantinedDrops++
+		return
+	}
 	// An anti marks a run boundary on its link: the sender rolled back and
 	// its replacement sends are right behind (FIFO). Reset the link's
 	// lookahead promise before processing, so coverage stops trusting the
@@ -662,6 +734,9 @@ func (sh *shim) findSent(id msg.ID) *sentRec {
 // exactly once: the scan feeds the settled log and the last-retired key as
 // it goes, then Retire commits it.
 func (sh *shim) maybeSettle() {
+	if sh.crashed {
+		return // reached when a delivery panicked mid-insert: nothing to settle
+	}
 	now := sh.lane.Now()
 	if now.Sub(sh.lastSettle) < sh.e.cfg.BeaconInterval {
 		return

@@ -36,7 +36,11 @@ type State interface {
 // DEFINED (or bare, for the unmodified baseline).
 type Application interface {
 	// Init installs the node identity and adjacent links. It is called
-	// exactly once before any other method.
+	// once before any other method — and again, from scratch, when a
+	// crash fault restarts the node: implementations must fully reset
+	// their state (a restarted daemon remembers nothing). Init assumes
+	// every adjacent link up; the substrate follows a restart-time Init
+	// with LinkChange events for links that are currently down.
 	Init(self msg.NodeID, neighbors []Neighbor)
 
 	// HandleMessage processes one delivered message and returns the
@@ -94,10 +98,11 @@ type Application interface {
 // rewind will ever target a mark older than m (its checkpoint settled), so
 // the journal prefix can be discarded.
 type Journaled interface {
-	// JournalEnable turns on undo recording. Called at most once, after
-	// Init and before any handler runs. Engines that never roll back
-	// (baseline, lockstep) simply never call it, so the journal stays
-	// empty.
+	// JournalEnable turns on undo recording. Called after Init and before
+	// any handler runs; enabling is idempotent and one-way. A crash-fault
+	// restart re-runs Init with the journal still enabled — the substrate
+	// compacts the boot-time entries away afterward, exactly as it does
+	// for the first boot.
 	JournalEnable()
 	// JournalMark returns the current undo-journal position.
 	JournalMark() journal.Mark
@@ -156,6 +161,20 @@ type LinkChange struct {
 
 // ExternalKind implements ExternalEvent.
 func (LinkChange) ExternalKind() string { return "link-change" }
+
+// PeerRestart tells the receiving node that neighbor Peer crashed and came
+// back with empty state. The substrate delivers one to every live neighbor
+// of a restarted node (after the node itself re-Inits), so protocols can
+// re-sync state the fresh daemon cannot quickly recover on its own — OSPF
+// pushes its link-state database (including the restarted node's own stale
+// LSA, whose sequence number the new incarnation must outrun), RIP
+// re-announces its vectors.
+type PeerRestart struct {
+	Peer msg.NodeID `json:"peer"`
+}
+
+// ExternalKind implements ExternalEvent.
+func (PeerRestart) ExternalKind() string { return "peer-restart" }
 
 // LinkCost derives the routing metric of a link from its propagation
 // delay: one cost unit per 100 µs, with a floor of 1. Both engines use it

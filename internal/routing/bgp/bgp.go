@@ -419,13 +419,43 @@ func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
 func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out { return nil }
 
 // HandleExternal implements api.Application: eBGP announcements arrive at
-// border routers as recorded external events.
+// border routers as recorded external events; a neighbor restart
+// re-advertises our current best paths to it (route-refresh on session
+// re-establishment — the fresh speaker's RIB is empty).
 func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	if pr, ok := ev.(api.PeerRestart); ok {
+		return d.refreshPeer(pr.Peer)
+	}
 	a, ok := ev.(Announce)
 	if !ok {
 		return nil
 	}
 	return d.learn(a.Path, msg.None)
+}
+
+// refreshPeer re-sends every selected best path to one neighbor, in
+// deterministic prefix order.
+func (d *Daemon) refreshPeer(peer msg.NodeID) []msg.Out {
+	known := false
+	for _, nb := range d.neighbors {
+		if nb.ID == peer {
+			known = true
+			break
+		}
+	}
+	if !known || len(d.st.best) == 0 {
+		return nil
+	}
+	prefixes := make([]string, 0, len(d.st.best))
+	for p := range d.st.best {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	var outs []msg.Out
+	for _, p := range prefixes {
+		outs = append(outs, msg.Out{To: peer, Payload: update{Path: d.st.best[p]}})
+	}
+	return outs
 }
 
 // State implements api.Application.

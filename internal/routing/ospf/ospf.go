@@ -454,6 +454,32 @@ func (d *Daemon) originate() *LSA {
 	return lsa
 }
 
+// ownLinks returns the adjacency list of the LSA the daemon currently
+// advertises for itself, or nil before the first origination.
+func (d *Daemon) ownLinks() []Adj {
+	if int(d.self) < len(d.st.lsdb) {
+		if own := d.st.lsdb[d.self]; own != nil {
+			return own.Links
+		}
+	}
+	return nil
+}
+
+// sameLinks reports whether two adjacency lists advertise the same
+// neighbors at the same costs. Both sides are built in sorted neighbor
+// order, so element-wise comparison suffices.
+func sameLinks(a, b []Adj) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // appendFlood appends the messages that flood lsa to all up adjacencies
 // except exclude.
 func (d *Daemon) appendFlood(outs []msg.Out, lsa *LSA, exclude msg.NodeID) []msg.Out {
@@ -504,6 +530,32 @@ func (d *Daemon) appendDatabase(outs []msg.Out, to msg.NodeID) []msg.Out {
 
 // onLSA applies a received LSA: newer sequence wins; newer LSAs flood on.
 func (d *Daemon) onLSA(lsa *LSA, from msg.NodeID) []msg.Out {
+	if lsa.Origin == d.self {
+		// A neighbor returned one of our own LSAs. A fresh incarnation
+		// after a crash-restart boots with sequence 1, below the pre-crash
+		// sequence still stored network-wide; installing the returned copy
+		// would advertise dead adjacencies in our name. Outrun it instead
+		// (OSPF's rule for receiving a stale self-originated LSA): jump the
+		// sequence past the copy and flood a fresh origination. The
+		// equal-sequence case matters too: the restarted incarnation's
+		// counter can catch back up to exactly the pre-crash sequence via
+		// its own re-originations, leaving two different LSAs in the network
+		// under the same (origin, seq) — neighbors then reject our fresh LSA
+		// as "not newer". Outrun when the equal-sequence copy's content
+		// differs from what we currently advertise. Fault-free this branch
+		// never fires: every circulating self-LSA carries a sequence we
+		// issued with exactly the content we issued it with, so the strict >
+		// cannot hold and the equal-sequence copy is content-identical.
+		if lsa.Seq > d.st.seq || (lsa.Seq == d.st.seq && !sameLinks(lsa.Links, d.ownLinks())) {
+			d.setSeq(lsa.Seq) // originate bumps one past the stale copy
+			fresh := d.originate()
+			d.runSPF()
+			outs := d.appendFlood(d.outBuf[:0], fresh, msg.None)
+			d.outBuf = outs[:0]
+			return outs
+		}
+		return nil
+	}
 	if int(lsa.Origin) < len(d.st.lsdb) {
 		if cur := d.st.lsdb[lsa.Origin]; cur != nil && cur.Seq >= lsa.Seq {
 			return nil // stale or duplicate
@@ -588,8 +640,12 @@ func (d *Daemon) holdMatured(now vtime.Time) bool {
 }
 
 // HandleExternal implements api.Application: interface state changes from
-// the substrate (failure detection in the paper's testbed).
+// the substrate (failure detection in the paper's testbed), and neighbor
+// restart notifications from the crash-fault layer.
 func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	if pr, ok := ev.(api.PeerRestart); ok {
+		return d.onPeerRestart(pr.Peer)
+	}
 	lc, ok := ev.(api.LinkChange)
 	if !ok {
 		return nil
@@ -611,6 +667,33 @@ func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
 	}
 	d.outBuf = outs[:0]
 	d.runSPF()
+	return outs
+}
+
+// onPeerRestart re-syncs a neighbor that rebooted with empty state: push
+// the full LSDB immediately (the fresh daemon cannot know what it missed,
+// and the copy of its own pre-crash LSA is what lets it outrun its stale
+// sequence number — see onLSA) instead of waiting for its hellos to
+// resurrect the adjacency a hello interval later. If the dead interval
+// already expired the adjacency, this is the same resurrection the hello
+// path performs; if the restart was fast enough that it never expired,
+// only the database push is needed.
+func (d *Daemon) onPeerRestart(peer msg.NodeID) []msg.Out {
+	if _, known := d.nbrCost[peer]; !known {
+		return nil
+	}
+	d.setLastHello(peer, d.st.now)
+	if !d.st.adjUp[peer] {
+		d.setAdjUp(peer, true)
+		lsa := d.originate()
+		outs := d.appendFlood(d.outBuf[:0], lsa, msg.None)
+		outs = d.appendDatabase(outs, peer)
+		d.outBuf = outs[:0]
+		d.runSPF()
+		return outs
+	}
+	outs := d.appendDatabase(d.outBuf[:0], peer)
+	d.outBuf = outs[:0]
 	return outs
 }
 
@@ -779,6 +862,24 @@ func (d *Daemon) LSDBSize() int {
 		}
 	}
 	return n
+}
+
+// DumpLSDB renders the link-state database — origin, sequence number and
+// advertised adjacencies per stored LSA, in origin order (debugger; the
+// fault campaigns use it to localize stale post-heal state).
+func (d *Daemon) DumpLSDB() string {
+	out := ""
+	for _, lsa := range d.st.lsdb {
+		if lsa == nil {
+			continue
+		}
+		out += fmt.Sprintf("origin %d seq %d links", lsa.Origin, lsa.Seq)
+		for _, adj := range lsa.Links {
+			out += fmt.Sprintf(" %d/%d", adj.To, adj.Cost)
+		}
+		out += "\n"
+	}
+	return out
 }
 
 // SPFRuns reports the number of SPF computations (experiments).

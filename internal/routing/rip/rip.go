@@ -493,6 +493,15 @@ func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
 	case Crash:
 		d.setCrashed(true)
 		return nil
+	case api.PeerRestart:
+		// The peer rebooted with an empty table: re-announce immediately so
+		// it relearns our routes without waiting out an update interval.
+		// RIP needs no sequence-number repair (announcements are stateless
+		// refreshes), and a crashed daemon stays silent like everywhere else.
+		if d.st.crashed {
+			return nil
+		}
+		return d.announceOuts()
 	case api.LinkChange:
 		// RIP learns topology only through announcements and timeouts;
 		// interface events are ignored (that is what makes the Figure 5

@@ -2,6 +2,7 @@ package defined
 
 import (
 	"defined/internal/checkpoint"
+	"defined/internal/faults"
 	"defined/internal/msg"
 	"defined/internal/ordering"
 	"defined/internal/rollback"
@@ -16,57 +17,102 @@ type Network struct {
 	g   *Topology
 }
 
+// netConfig is the Network-level configuration options write through: the
+// engine config plus the pieces that live above the engine (the fault
+// plan, which must be scheduled against the built engine rather than
+// carried inside rollback.Config — the faults package sits on top of
+// rollback, not under it).
+type netConfig struct {
+	rollback.Config
+	plan *faults.Plan
+}
+
 // Option configures a Network.
-type Option func(*rollback.Config)
+type Option func(*netConfig)
 
 // WithSeed sets the physical-jitter seed (different seeds = different
 // arrival interleavings; committed orders stay identical under DEFINED).
 func WithSeed(seed uint64) Option {
-	return func(c *rollback.Config) { c.Seed = seed }
+	return func(c *netConfig) { c.Seed = seed }
 }
 
 // WithJitterScale scales link jitter (stress knob; default 1.0).
 func WithJitterScale(scale float64) Option {
-	return func(c *rollback.Config) { c.JitterScale = scale }
+	return func(c *netConfig) { c.JitterScale = scale }
 }
 
 // WithOrdering overrides the pseudorandom ordering function (default OO).
 func WithOrdering(f ordering.Func) Option {
-	return func(c *rollback.Config) { c.Ordering = f }
+	return func(c *netConfig) { c.Ordering = f }
 }
 
 // WithBaseline disables the DEFINED substrate entirely — the unmodified
 // software baseline of the evaluation.
 func WithBaseline() Option {
-	return func(c *rollback.Config) { c.Baseline = true }
+	return func(c *netConfig) { c.Baseline = true }
 }
 
 // WithRecording captures the partial recording of external events.
 func WithRecording() Option {
-	return func(c *rollback.Config) { c.Record = true }
+	return func(c *netConfig) { c.Record = true }
 }
 
 // WithDeliveryLog retains committed delivery sequences (determinism
 // verification).
 func WithDeliveryLog() Option {
-	return func(c *rollback.Config) { c.LogDeliveries = true }
+	return func(c *netConfig) { c.LogDeliveries = true }
 }
 
 // WithStrategy selects checkpoint timing and rollback copy mode
 // (including the zero-valued TF/FK strategy, which a bare Config would
 // replace with the TM/MI default).
 func WithStrategy(s checkpoint.Strategy) Option {
-	return func(c *rollback.Config) { c.Strategy, c.StrategySet = s, true }
+	return func(c *netConfig) { c.Strategy, c.StrategySet = s, true }
 }
 
 // WithChainBound caps causal chain length per timestep.
 func WithChainBound(n int) Option {
-	return func(c *rollback.Config) { c.ChainBound = n }
+	return func(c *netConfig) { c.ChainBound = n }
 }
 
-// WithDropProbability injects uniform application-message loss.
+// WithDropProbability injects application-message loss with probability p
+// per transmission. Loss draws are per-directed-link counter-seeded
+// (keyed by seed, link direction and the link's wire sequence number), so
+// which packets die is a pure function of the run's inputs — independent
+// of shard count, lookahead and event interleaving — and composes with
+// every other option. WithPerLinkLoss is an alias with the fault-model
+// name.
 func WithDropProbability(p float64) Option {
-	return func(c *rollback.Config) { c.DropProb = p }
+	return func(c *netConfig) { c.DropProb = p }
+}
+
+// WithPerLinkLoss injects per-directed-link deterministic message loss
+// with probability p — the fault-injection subsystem's loss knob (an
+// alias for WithDropProbability; see that option for the determinism
+// contract).
+func WithPerLinkLoss(p float64) Option {
+	return func(c *netConfig) { c.DropProb = p }
+}
+
+// WithDuplication injects deterministic message duplication: each
+// application transmission is duplicated with probability p, the copy
+// enqueued immediately behind the original on the same link (FIFO keeps
+// it adjacent). Draws come from the same per-directed-link counter-seeded
+// streams as loss, so duplication composes with sharding and lookahead
+// bit-identically.
+func WithDuplication(p float64) Option {
+	return func(c *netConfig) { c.DupProb = p }
+}
+
+// WithFaultPlan schedules a fault-injection plan (node crashes and
+// restarts, link cuts and heals, partitions — see internal/faults) to
+// execute during the run. Every plan event fires on the driver queue as
+// an ordinary external event: recorded, ordered and rollback-capable, so
+// a faulted run commits bit-identical orders under any shard count
+// (proved by TestFaultPlanGolden). Under WithBaseline crash faults are
+// no-ops (there is no substrate to quarantine); link events still apply.
+func WithFaultPlan(p *faults.Plan) Option {
+	return func(c *netConfig) { c.plan = p }
 }
 
 // WithDeferral tunes the rollback-avoidance arrival deferral: slack is the
@@ -74,21 +120,21 @@ func WithDropProbability(p float64) Option {
 // predicted predecessors, max caps any single hold (see
 // rollback.Config.DeferSlack/DeferMax). Committed orders are unaffected.
 func WithDeferral(slack, max Duration) Option {
-	return func(c *rollback.Config) { c.DeferSlack, c.DeferMax = slack, max }
+	return func(c *netConfig) { c.DeferSlack, c.DeferMax = slack, max }
 }
 
 // WithoutDeferral disables arrival deferral, restoring the eager
 // deliver-then-rollback speculation dynamics (committed orders are
 // bit-identical either way; only rollback counts and virtual timing move).
 func WithoutDeferral() Option {
-	return func(c *rollback.Config) { c.DeferSlack = -1 }
+	return func(c *netConfig) { c.DeferSlack = -1 }
 }
 
 // WithSettleBound pins a static history retirement bound in place of the
 // default adaptive straggler-margin estimator; rollback.StaticSettle
 // reproduces the paper's footnote-3 rule for a topology.
 func WithSettleBound(d Duration) Option {
-	return func(c *rollback.Config) { c.SettleAfter = d }
+	return func(c *netConfig) { c.SettleAfter = d }
 }
 
 // WithoutRouteCache disables the daemons' epoch-keyed route-computation
@@ -97,14 +143,14 @@ func WithSettleBound(d Duration) Option {
 // tests can prove the cache never changes execution (committed orders,
 // stats and routing tables are bit-identical either way).
 func WithoutRouteCache() Option {
-	return func(c *rollback.Config) { c.NoRouteCache = true }
+	return func(c *netConfig) { c.NoRouteCache = true }
 }
 
 // WithoutMessagePool disables refcounted wire-message pooling (unmanaged
 // heap-allocated messages — the pre-refcount behaviour, kept selectable so
 // golden tests can prove the lifecycle never changes execution).
 func WithoutMessagePool() Option {
-	return func(c *rollback.Config) { c.NoMessagePool = true }
+	return func(c *netConfig) { c.NoMessagePool = true }
 }
 
 // WithMessagePoison enables the message pool's debug poison mode: released
@@ -113,7 +159,7 @@ func WithoutMessagePool() Option {
 // calls tally in the pool's Violations counter — instead of silently
 // aliasing a recycled struct.
 func WithMessagePoison() Option {
-	return func(c *rollback.Config) { c.PoisonMessages = true }
+	return func(c *netConfig) { c.PoisonMessages = true }
 }
 
 // WithShards runs the rollback engine's simulator on n parallel per-core
@@ -124,17 +170,19 @@ func WithMessagePoison() Option {
 // tables are bit-identical to the sequential engine for any n (proved by
 // TestShardGolden) — sharding changes wall-clock speed only, never
 // execution. n <= 1 keeps the sequential engine; sharding is ignored
-// under WithBaseline (no rollback layer to shard) and
-// WithDropProbability (loss draws need the global send order).
+// under WithBaseline (no rollback layer to shard). Loss, duplication and
+// fault plans compose with sharding: per-packet fates are per-link
+// counter-seeded draws and plan events run driver-serial between windows,
+// so neither depends on a global send order.
 func WithShards(n int) Option {
-	return func(c *rollback.Config) { c.Shards = n }
+	return func(c *netConfig) { c.Shards = n }
 }
 
 // WithoutSharding pins the sequential single-goroutine engine — the
 // default, kept selectable so callers composing option lists can
 // explicitly override an earlier WithShards.
 func WithoutSharding() Option {
-	return func(c *rollback.Config) { c.Shards = 0 }
+	return func(c *netConfig) { c.Shards = 0 }
 }
 
 // WithLookahead enables per-directed-link lookahead, one mechanism with
@@ -153,7 +201,7 @@ func WithoutSharding() Option {
 // under WithoutDeferral or WithBaseline); the window consumer requires
 // WithShards.
 func WithLookahead() Option {
-	return func(c *rollback.Config) { c.Lookahead = true }
+	return func(c *netConfig) { c.Lookahead = true }
 }
 
 // WithoutLookahead pins the global-lookahead window rule and the
@@ -161,17 +209,21 @@ func WithLookahead() Option {
 // composing option lists can explicitly override an earlier
 // WithLookahead.
 func WithoutLookahead() Option {
-	return func(c *rollback.Config) { c.Lookahead = false }
+	return func(c *netConfig) { c.Lookahead = false }
 }
 
 // NewNetwork builds a production network over g with one application per
 // node (len(apps) == g.N).
 func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
-	var cfg rollback.Config
+	var cfg netConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Network{eng: rollback.New(g, apps, cfg), g: g}
+	net := &Network{eng: rollback.New(g, apps, cfg.Config), g: g}
+	if cfg.plan != nil {
+		cfg.plan.Schedule(net.eng, net.At)
+	}
+	return net
 }
 
 // Run advances the network to virtual time until.
@@ -210,8 +262,12 @@ func (n *Network) App(id NodeID) Application { return n.eng.App(id) }
 // WithRecording was set).
 func (n *Network) Recording() *Recording { return n.eng.Recording() }
 
+// Stats is the engine's counter block (rollbacks, anti-messages, crash
+// faults, ...).
+type Stats = rollback.Stats
+
 // Stats returns engine counters (rollbacks, anti-messages, ...).
-func (n *Network) Stats() rollback.Stats { return n.eng.Stats() }
+func (n *Network) Stats() Stats { return n.eng.Stats() }
 
 // MessagePool exposes the wire-message pool (lifecycle tests read its
 // violation, quarantine and live counters).
@@ -252,6 +308,19 @@ func (n *Network) PacketsReceived(id NodeID) uint64 {
 // ResetPacketCounters zeroes traffic counters (per-event overhead
 // measurements).
 func (n *Network) ResetPacketCounters() { n.eng.Sim().ResetStats() }
+
+// Crashed reports whether node id is currently crash-quarantined (crashed
+// by a fault plan or a recovered handler panic, and not yet restarted).
+func (n *Network) Crashed(id NodeID) bool { return n.eng.Crashed(id) }
+
+// CheckFaults runs the fault-injection invariant pass over the (typically
+// quiescent) network: settle-violation and pool-lifecycle counters,
+// message-reference leak accounting, history-window high-water bounds and
+// — when cfg.Routes is set — post-heal route coherence against shortest
+// paths over the current topology state. See faults.Check.
+func (n *Network) CheckFaults(cfg faults.CheckConfig) *faults.Report {
+	return faults.Check(n.eng, n.g, cfg)
+}
 
 // Millisecond re-exports the virtual millisecond for option values.
 const Millisecond = vtime.Millisecond

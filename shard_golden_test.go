@@ -17,6 +17,7 @@ import (
 
 	"defined"
 	"defined/internal/checkpoint"
+	"defined/internal/faults"
 )
 
 // TestShardGolden checks that the sharded engine commits bit-identical
@@ -52,8 +53,8 @@ func TestShardGolden(t *testing.T) {
 					if shStats != seqStats {
 						t.Fatalf("%s: stats differ:\n%s\nvs\n%s", what, shStats, seqStats)
 					}
-					if v := net.PoolViolations(); v != 0 {
-						t.Fatalf("%s: %d message-pool lifecycle violations", what, v)
+					if rep := net.CheckFaults(faults.CheckConfig{}); !rep.Ok() {
+						t.Fatalf("%s: fault invariants on a fault-free run: %v", what, rep.Err())
 					}
 				}
 				// Lookahead-on rows: per-lane window horizons must preserve
