@@ -1,0 +1,55 @@
+// Command detlint runs the determinism-invariant analyzer suite
+// (internal/analysis/detlint) over the given package patterns and exits
+// nonzero on any unsuppressed diagnostic. CI runs it as a blocking job:
+//
+//	go run ./cmd/detlint ./...
+//
+// Suppressions are inline //detlint:<verb> <justification> comments; see
+// the analyzer package docs for the verbs and the policy (a justification
+// is mandatory — an empty one is itself a diagnostic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"defined/internal/analysis/detlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range detlint.All() {
+			fmt.Printf("%-14s //detlint:%-10s %s\n", a.Name, a.Verb, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := detlint.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	diags, err := detlint.Run(pkgs, detlint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

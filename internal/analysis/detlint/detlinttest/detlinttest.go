@@ -1,0 +1,165 @@
+// Package detlinttest is an analysistest-style fixture runner for the
+// detlint analyzers. A fixture is a package under
+// <testdata>/src/<importpath>/ whose source carries `// want "regexp"`
+// comments on the lines where diagnostics are expected; the runner parses
+// and type-checks the fixture under its declared import path (so
+// path-gated analyzers see the package they would see in the real tree —
+// fixtures impersonate engine packages by living at e.g.
+// src/defined/internal/netsim), runs one analyzer, and fails the test on
+// any mismatch in either direction.
+//
+// Fixture imports resolve exactly like the driver's: stdlib and real
+// in-module packages (fixtures may import defined/internal/msg or
+// defined/internal/journal to exercise type-identity checks) load from
+// `go list -export` export data, which works offline.
+package detlinttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"defined/internal/analysis/detlint"
+)
+
+// wantRE extracts the expectation comments: // want "rx" ["rx" ...]
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE extracts each quoted regexp from a want comment's payload.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one expected diagnostic.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// Run loads the fixture package at <testdata>/src/<pkgPath>, applies a,
+// and checks the produced diagnostics against the fixture's want comments.
+func Run(t *testing.T, testdata string, a *detlint.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []expectation
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	imp, err := fixtureImporter(fset, imports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := detlint.Check(fset, pkgPath, files, imp)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", pkgPath, err)
+	}
+	diags, err := detlint.Run([]*detlint.Package{{Fset: fset, Files: files, Pkg: pkg, Info: info}},
+		[]*detlint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i], ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// parseWants collects the expectations of one fixture file.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+			if len(qs) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, q := range qs {
+				rx, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				wants = append(wants, expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureImporter resolves the fixture's imports (and their transitive
+// dependencies) through `go list -export` export data. The go command runs
+// in this test's working directory, which is inside the module, so real
+// in-module import paths resolve too.
+func fixtureImporter(fset *token.FileSet, imports map[string]bool) (types.Importer, error) {
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return detlint.NewExportImporter(fset, nil), nil
+	}
+	exports, err := detlint.ExportData(".", paths)
+	if err != nil {
+		return nil, err
+	}
+	return detlint.NewExportImporter(fset, exports), nil
+}

@@ -1,0 +1,52 @@
+package detlint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// DetrandAnalyzer forbids importing math/rand, math/rand/v2 or crypto/rand
+// anywhere in the module outside internal/rng. That package exists
+// precisely so every random stream the reproduction consumes (link jitter,
+// workload synthesis, topology generation, the RO ordering) is a
+// xoshiro256** stream stable across Go releases; a stray math/rand import
+// reintroduces sequences that shift whenever the toolchain's generator
+// changes, breaking golden tests and recorded-run replay alike.
+var DetrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Verb: "detrand",
+	Doc: "forbid math/rand and crypto/rand outside internal/rng; randomness must come " +
+		"from the release-stable deterministic generator",
+	Run: runDetrand,
+}
+
+// detrandForbidden are the standard-library randomness sources.
+var detrandForbidden = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runDetrand(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path != ModulePath && !strings.HasPrefix(path, ModulePath+"/") {
+		return nil // not this module's code
+	}
+	if path == ModulePath+"/internal/rng" {
+		return nil // the one home randomness is allowed to live in
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if detrandForbidden[p] {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/rng: use the deterministic internal/rng streams, "+
+						"which are stable across Go releases", p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// JournalbypassAnalyzer machine-checks the MI undo-journal contract: every
+// post-Init mutation of a daemon's checkpointable state must go through a
+// journaling setter, so a rollback can rewind it. A direct field write
+// bypasses the journal and silently corrupts every checkpoint taken before
+// it — the bug class PR 2 eliminated by convention, now enforced.
+//
+// The checkpointable state is declared, not guessed: a struct type whose
+// doc comment contains a `//detlint:checkpointable` marker. Within the
+// declaring package, any write to a field of that struct (including
+// element writes through a field, like `d.st.lsdb[i] = lsa`) is flagged
+// unless the enclosing function is
+//
+//   - a journaling setter — it records an undo entry via
+//     internal/journal's Log.Record somewhere in its body;
+//   - a method of the state type itself (the applyUndo/Clone rewind and
+//     snapshot machinery, which by construction runs outside speculation);
+//   - an Init (boot-time writes precede journal enablement and every
+//     checkpoint).
+//
+// Anything else needs an inline `//detlint:journaled <why>` justification.
+var JournalbypassAnalyzer = &Analyzer{
+	Name: "journalbypass",
+	Verb: "journaled",
+	Doc: "flag direct writes to //detlint:checkpointable struct fields from functions " +
+		"that do not record an undo-journal entry",
+	Run: runJournalbypass,
+}
+
+// journalPkg is where the undo journal lives; a call to its Log.Record is
+// what qualifies a function as a journaling setter.
+const journalPkg = ModulePath + "/internal/journal"
+
+func runJournalbypass(pass *Pass) error {
+	marked := markedStructs(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "Init" || recvIsMarked(pass, fd, marked) || recordsUndo(pass, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkWrite(pass, lhs, marked, fd.Name.Name)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, n.X, marked, fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// markedStructs collects the named types carrying a
+// //detlint:checkpointable marker in their type declaration's comments.
+func markedStructs(pass *Pass) map[*types.Named]bool {
+	marked := make(map[*types.Named]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(gd.Doc) && !hasMarker(ts.Doc) && !hasMarker(ts.Comment) {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					if n, ok := obj.Type().(*types.Named); ok {
+						marked[n.Origin()] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, "//detlint:checkpointable") {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsMarked reports whether fd is a method on one of the marked types.
+func recvIsMarked(pass *Pass, fd *ast.FuncDecl, marked map[*types.Named]bool) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	n := namedOf(recv.Type())
+	return n != nil && marked[n]
+}
+
+// recordsUndo reports whether body calls internal/journal's Log.Record —
+// the signature of a journaling setter.
+func recordsUndo(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == journalPkg && fn.Name() == "Record" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkWrite flags lhs when it writes a field (or an element reached
+// through a field) of a marked struct.
+func checkWrite(pass *Pass, lhs ast.Expr, marked map[*types.Named]bool, fn string) {
+	lhs = ast.Unparen(lhs)
+	// Element writes through a state field mutate checkpointable state
+	// just as much as reassigning the field: unwrap to the selector.
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = ast.Unparen(e.X)
+			continue
+		case *ast.StarExpr:
+			lhs = ast.Unparen(e.X)
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	n := namedOf(selection.Recv())
+	if n == nil || !marked[n] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"direct write to checkpointable field %s.%s in %s, which records no undo entry: "+
+			"route the mutation through a journaling setter so MI rollback can rewind it, "+
+			"or justify with //detlint:journaled <why>",
+		n.Obj().Name(), sel.Sel.Name, fn)
+}

@@ -1,0 +1,288 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaprangeAnalyzer flags `range` over a map inside the engine packages.
+// Go randomizes map iteration order per run, so any map range whose body
+// is order-sensitive injects nondeterminism straight into whatever it
+// feeds — committed order, stats, replay schedules. A range is accepted
+// without annotation only when the analyzer can prove the loop is
+// order-insensitive:
+//
+//   - every statement in the body is a commutative accumulation: compound
+//     assignment with a commutative operator (+=, -=, *=, |=, ^=, &=),
+//     x++/x--, a store into a map element (set/copy builds), delete, or a
+//     min/max fold (`if v > best { best = v }`);
+//   - or the body only collects keys/values into slices that are sorted
+//     (sort.* or slices.Sort*) later in the same statement list before
+//     anything else can observe their order;
+//   - `continue` (conditional filtering) is always order-insensitive.
+//
+// Anything else needs an inline `//detlint:ordered <why>` justification,
+// which the analyzer verifies is non-empty.
+var MaprangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Verb: "ordered",
+	Doc: "flag range over a map in engine packages unless the body is provably " +
+		"order-insensitive or the collected keys are sorted before use",
+	Run: runMaprange,
+}
+
+func runMaprange(pass *Pass) error {
+	if !IsEnginePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for _, s := range list {
+				if ls, ok := s.(*ast.LabeledStmt); ok {
+					s = ls.Stmt
+				}
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				mr := &maprangeCheck{pass: pass}
+				bodyOK := mr.stmtsOK(rs.Body.List)
+				if bodyOK {
+					// Collected slices must be sorted before use, later in
+					// the enclosing function (the collection loop may sit
+					// inside another loop, as in rollback.flushDrops).
+					unsorted := ""
+					fd := funcOf(f, rs.Pos())
+					for _, obj := range mr.appendTargets {
+						if fd == nil || !sortsTargetAfter(pass, fd.Body, rs.End(), obj) {
+							unsorted = obj.Name()
+							break
+						}
+					}
+					if unsorted == "" {
+						continue
+					}
+					pass.Reportf(rs.Pos(),
+						"map iteration collects into %q, which is never sorted in the same block: "+
+							"map order is random per run; sort it before use or justify with //detlint:ordered <why>",
+						unsorted)
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"iteration over map %s has an order-sensitive body: map order is random per run; "+
+						"sort the keys first, restructure into a commutative fold, or justify with //detlint:ordered <why>",
+					types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// maprangeCheck classifies one map-range body, accumulating the slices the
+// body appends to (legal only if sorted afterwards).
+type maprangeCheck struct {
+	pass          *Pass
+	appendTargets []types.Object
+}
+
+// commutativeOps are the compound-assignment operators whose repeated
+// application is order-insensitive (integer/bitwise folds).
+var commutativeOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.AND_ASSIGN: true,
+}
+
+func (c *maprangeCheck) stmtsOK(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *maprangeCheck) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.ExprStmt:
+		// Only the delete builtin: arbitrary calls may observe order.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		return c.ifOK(s)
+	case *ast.EmptyStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *maprangeCheck) assignOK(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	if commutativeOps[s.Tok] {
+		return true
+	}
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return false
+	}
+	// Set insert / map copy: m2[k] = v.
+	if idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok {
+		if tv, ok := c.pass.TypesInfo.Types[idx.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+		return false
+	}
+	// Key collection: xs = append(xs, ...) — legal iff xs is sorted later.
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[lhs]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[lhs]
+	}
+	if obj == nil {
+		return false
+	}
+	c.appendTargets = append(c.appendTargets, obj)
+	return true
+}
+
+// ifOK accepts conditional filtering (`if ... { continue }`, recursively
+// allowed bodies) and min/max folds (`if v > best { best = v }`), whose
+// results are order-insensitive.
+func (c *maprangeCheck) ifOK(s *ast.IfStmt) bool {
+	if s.Init != nil {
+		return false
+	}
+	if !c.branchOK(s.Cond, s.Body.List) {
+		return false
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		return c.branchOK(s.Cond, e.List)
+	case *ast.IfStmt:
+		return c.ifOK(e)
+	default:
+		return false
+	}
+}
+
+func (c *maprangeCheck) branchOK(cond ast.Expr, body []ast.Stmt) bool {
+	for _, s := range body {
+		if c.stmtOK(s) {
+			continue
+		}
+		if isMinMaxAssign(cond, s) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// isMinMaxAssign reports whether s is `a = b` guarded by a comparison of
+// exactly a and b — the order-insensitive min/max fold.
+func isMinMaxAssign(cond ast.Expr, s ast.Stmt) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	l, r := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+	x, y := types.ExprString(bin.X), types.ExprString(bin.Y)
+	return (l == x && r == y) || (l == y && r == x)
+}
+
+// sortsTargetAfter reports whether body contains, after position `after`, a
+// sort.*/slices.Sort* call whose first argument is obj.
+func sortsTargetAfter(pass *Pass, body *ast.BlockStmt, after token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[arg] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,224 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolpairAnalyzer is a per-function heuristic over the refcounted
+// wire-message lifecycle (PR 4): every reference minted by msg.Pool.Get or
+// msg.Message.Retain must either be released in the same function, stored
+// into a tracked structure (history window entries, sentRecs, deferral
+// buffers, shard logs — any field, element or composite literal), returned,
+// or handed to another function that assumes ownership. A minted reference
+// that a function simply drops is a leak the PoolLive/HeldMessages oracle
+// only catches at quiescence, long after the offending call.
+//
+// The accepted shapes, in the mint call's syntactic context:
+//
+//   - result passed as a call argument, returned, or placed in a composite
+//     literal — ownership transfer;
+//   - result stored into a field or element — tracked structure;
+//   - bare `x.f.Retain()` on a field or element — the holding structure
+//     owns the new reference;
+//   - result bound to a local that is subsequently released, returned,
+//     stored, or passed along.
+//
+// Everything else is flagged; a deliberate ownership transfer the
+// heuristic cannot see takes an inline `//detlint:owner <why>`.
+var PoolpairAnalyzer = &Analyzer{
+	Name: "poolpair",
+	Verb: "owner",
+	Doc: "flag msg.Pool.Get/Retain references that can escape a function without a " +
+		"Release, a store into a tracked structure, or an ownership transfer",
+	Run: runPoolpair,
+}
+
+// msgPkg is the home of the refcounted message pool.
+const msgPkg = ModulePath + "/internal/msg"
+
+func runPoolpair(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path != ModulePath && !strings.HasPrefix(path, ModulePath+"/") {
+		return nil
+	}
+	if path == msgPkg {
+		return nil // the pool's own implementation manipulates raw counts
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// mintKind classifies a reference-minting call.
+type mintKind int
+
+const (
+	mintGet mintKind = iota
+	mintRetain
+)
+
+func (k mintKind) String() string {
+	if k == mintGet {
+		return "Pool.Get"
+	}
+	return "Retain"
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	parents := buildParents(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, recv, ok := mintCall(pass, call)
+		if !ok {
+			return true
+		}
+		if ownedByContext(pass, parents, call, kind, recv) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s reference can escape %s without a matching Release, a store into a tracked "+
+				"structure, or an ownership transfer; release it, store it, or justify with //detlint:owner <why>",
+			kind, fd.Name.Name)
+		return true
+	})
+}
+
+// mintCall reports whether call mints a pool reference: (*msg.Pool).Get or
+// (*msg.Message).Retain. recv is Retain's receiver expression.
+func mintCall(pass *Pass, call *ast.CallExpr) (mintKind, ast.Expr, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Signature().Recv() == nil {
+		return 0, nil, false
+	}
+	recvT := fn.Signature().Recv().Type()
+	switch {
+	case fn.Name() == "Get" && isNamed(recvT, msgPkg, "Pool"):
+		return mintGet, nil, true
+	case fn.Name() == "Retain" && isNamed(recvT, msgPkg, "Message"):
+		var recv ast.Expr
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv = ast.Unparen(sel.X)
+		}
+		return mintRetain, recv, true
+	}
+	return 0, nil, false
+}
+
+// ownedByContext decides whether the minted reference is visibly owned.
+func ownedByContext(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, kind mintKind, recv ast.Expr) bool {
+	switch parent := parents[call].(type) {
+	case *ast.ExprStmt:
+		// Bare call. A Retain whose receiver is a field or element mints
+		// the reference directly onto the holding structure; a bare Get
+		// (or a Retain of a plain local) mints a reference nobody holds.
+		if kind == mintRetain {
+			switch recv.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return true // argument: ownership transfer to the callee
+	case *ast.ReturnStmt:
+		return true // caller assumes ownership
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true // stored into a structure being built
+	case *ast.AssignStmt:
+		// Find which LHS receives the call's value.
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != call || i >= len(parent.Lhs) {
+				continue
+			}
+			switch lhs := ast.Unparen(parent.Lhs[i]).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return true // stored into a structure
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					return false // minted and immediately dropped
+				}
+				obj := pass.TypesInfo.Defs[lhs]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[lhs]
+				}
+				return obj != nil && localEscapes(pass, parents, obj)
+			}
+		}
+		return false
+	default:
+		// Embedded in a larger expression (comparison, conversion, ...):
+		// too unusual to classify; stay quiet rather than cry wolf.
+		return true
+	}
+}
+
+// localEscapes reports whether the local holding a minted reference is
+// subsequently released, returned, stored into a structure, placed in a
+// composite literal, or passed to another function.
+func localEscapes(pass *Pass, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	for id, used := range pass.TypesInfo.Uses {
+		if used != obj {
+			continue
+		}
+		switch parent := parents[id].(type) {
+		case *ast.SelectorExpr:
+			// Receiver of a method call: Release balances the mint.
+			if parent.Sel != id && parent.Sel.Name == "Release" {
+				return true
+			}
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if ast.Unparen(arg) == id {
+					return true // passed along: ownership transfer
+				}
+			}
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) != id || i >= len(parent.Lhs) {
+					continue
+				}
+				switch ast.Unparen(parent.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					return true // stored into a structure
+				}
+			}
+		case *ast.IndexExpr:
+			// Used as an index or indexed: reading, not escaping.
+		}
+	}
+	return false
+}
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

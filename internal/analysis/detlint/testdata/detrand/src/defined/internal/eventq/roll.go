@@ -1,0 +1,9 @@
+// Package eventq impersonates an engine package; the detrand rule is
+// module-wide regardless, with internal/rng the only exemption.
+package eventq
+
+import "math/rand" // want "import of math/rand outside internal/rng"
+
+// roll consumes the toolchain generator, whose sequences shift across Go
+// releases.
+func roll() int { return rand.Int() }

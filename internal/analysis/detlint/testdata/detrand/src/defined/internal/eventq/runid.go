@@ -1,0 +1,14 @@
+package eventq
+
+import (
+	//detlint:detrand run-id generation is outside the deterministic replay surface
+	crand "crypto/rand"
+)
+
+// runID labels a recording; it is never consulted by the engine, so the
+// CSPRNG import is acknowledged rather than rerouted through internal/rng.
+func runID() []byte {
+	b := make([]byte, 8)
+	crand.Read(b)
+	return b
+}

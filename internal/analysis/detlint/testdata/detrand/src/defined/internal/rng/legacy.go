@@ -1,0 +1,8 @@
+// Package rng is the one home randomness is allowed to live in; the
+// detrand rule exempts it wholesale.
+package rng
+
+import "math/rand"
+
+// legacy may touch the toolchain generator here and nowhere else.
+func legacy() int { return rand.Int() }

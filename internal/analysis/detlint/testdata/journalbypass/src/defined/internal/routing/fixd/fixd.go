@@ -1,0 +1,64 @@
+// Package fixd is a miniature daemon exercising the journalbypass rule
+// against the real internal/journal package: a marked state struct, a
+// journaling setter, an Init, the state's own rewind method, and bypasses
+// both flagged and justified.
+package fixd
+
+import "defined/internal/journal"
+
+// undoRec restores one slot to its previous value.
+type undoRec struct {
+	slot int
+	old  int
+}
+
+// state is the daemon's checkpointable state.
+//
+//detlint:checkpointable post-Init writes must go through the setters below
+type state struct {
+	slots map[int]int
+	epoch uint64
+}
+
+type daemon struct {
+	st state
+	j  *journal.Log[undoRec]
+}
+
+// Init is exempt: boot-time writes precede journal enablement and every
+// checkpoint.
+func (d *daemon) Init() {
+	d.st.slots = map[int]int{}
+	d.st.epoch = 0
+}
+
+// setSlot is a journaling setter: it records the undo entry before the
+// write, so the write itself is not flagged.
+func (d *daemon) setSlot(slot, v int) {
+	d.j.Record(undoRec{slot: slot, old: d.st.slots[slot]})
+	d.st.slots[slot] = v
+}
+
+// apply bypasses the journal on both mutations: flagged.
+func (d *daemon) apply(slot, v int) {
+	d.st.slots[slot] = v // want "direct write to checkpointable field state.slots"
+	d.st.epoch++         // want "direct write to checkpointable field state.epoch"
+}
+
+// applyUndo is a method of the state type itself: the rewind machinery is
+// exempt by construction.
+func (s *state) applyUndo(u undoRec) {
+	s.slots[u.slot] = u.old
+}
+
+// reseed is a deliberate bypass with a recorded rationale: suppressed.
+func (d *daemon) reseed() {
+	//detlint:journaled epoch is rebuilt from slots on every rewind, never checkpointed
+	d.st.epoch = 0
+}
+
+// reseedBad carries an empty justification, which is itself reported.
+func (d *daemon) reseedBad() {
+	//detlint:journaled
+	d.st.epoch = 0 // want "non-empty justification"
+}

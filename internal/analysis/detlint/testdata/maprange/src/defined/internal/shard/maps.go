@@ -1,0 +1,78 @@
+// Package shard impersonates the engine package of the same import path
+// so the path-gated maprange rule fires on it.
+package shard
+
+import "sort"
+
+// emitAll calls out per element in map order: order-sensitive, flagged.
+func emitAll(m map[string]int, emit func(string, int)) {
+	for k, v := range m { // want "order-sensitive body"
+		emit(k, v)
+	}
+}
+
+// total is a commutative fold: accepted without annotation.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// highWater is a max fold: accepted without annotation.
+func highWater(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// sortedKeys collects then sorts before anything observes the order:
+// accepted.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys collects and returns in map order: flagged.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// invert builds a reverse map: map-index stores are order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// drain closes every channel; close order is order-sensitive to the
+// analyzer but harmless here, so the range carries a justification.
+func drain(m map[string]chan int) {
+	//detlint:ordered close order is unobservable, every receiver selects on exactly one channel
+	for _, ch := range m {
+		close(ch)
+	}
+}
+
+// drainBad carries an empty justification, which is itself reported.
+func drainBad(m map[string]chan int) {
+	//detlint:ordered
+	for _, ch := range m { // want "non-empty justification"
+		close(ch)
+	}
+}

@@ -1,0 +1,61 @@
+// Package history impersonates an engine package and exercises poolpair
+// against the real refcounted pool in internal/msg.
+package history
+
+import "defined/internal/msg"
+
+// window is a tracked structure holding pooled references.
+type window struct {
+	held []*msg.Message
+}
+
+// leak mints a reference nobody holds: flagged.
+func leak(p *msg.Pool) {
+	p.Get() // want "Pool.Get reference can escape leak"
+}
+
+// dropRetain bumps a local's refcount and drops the new reference: flagged.
+func dropRetain(m *msg.Message) {
+	m.Retain() // want "Retain reference can escape dropRetain"
+}
+
+// discard binds the mint to the blank identifier: flagged.
+func discard(p *msg.Pool) {
+	_ = p.Get() // want "Pool.Get reference can escape discard"
+}
+
+// balanced releases in the same function: accepted.
+func balanced(p *msg.Pool) {
+	m := p.Get()
+	m.Release()
+}
+
+// store appends into a tracked structure: accepted.
+func (w *window) store(p *msg.Pool) {
+	w.held = append(w.held, p.Get())
+}
+
+// produce returns the minted reference: the caller assumes ownership.
+func produce(p *msg.Pool) *msg.Message {
+	return p.Get()
+}
+
+// retainHeld retains directly onto the holding structure: accepted.
+func (w *window) retainHeld(i int) {
+	w.held[i].Retain()
+}
+
+// handoff transfers ownership through a channel send, which the heuristic
+// cannot see: suppressed with a justification.
+func handoff(p *msg.Pool, sink chan *msg.Message) {
+	//detlint:owner receiver goroutine releases after delivery
+	m := p.Get()
+	sink <- m
+}
+
+// handoffBad carries an empty justification, which is itself reported.
+func handoffBad(p *msg.Pool, sink chan *msg.Message) {
+	//detlint:owner
+	m := p.Get() // want "non-empty justification"
+	sink <- m
+}

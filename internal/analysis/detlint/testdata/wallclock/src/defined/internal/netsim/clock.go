@@ -1,0 +1,29 @@
+// Package netsim impersonates the engine package of the same import path
+// so the path-gated wallclock rule fires on it.
+package netsim
+
+import "time"
+
+// bad reads and waits on the host clock inside an engine package.
+func bad() time.Duration {
+	start := time.Now()          // want "time.Now in engine package"
+	time.Sleep(time.Millisecond) // want "time.Sleep in engine package"
+	return time.Since(start)     // want "time.Since in engine package"
+}
+
+// timers covers the constructor family.
+func timers() {
+	_ = time.After(time.Second) // want "time.After in engine package"
+}
+
+// suppressed carries a justified directive: no diagnostic.
+func suppressed() time.Time {
+	//detlint:wallclock host-clock probe for skew diagnostics only, never fed to the engine
+	return time.Now()
+}
+
+// unjustified has an empty rationale, which is itself reported.
+func unjustified() time.Time {
+	//detlint:wallclock
+	return time.Now() // want "requires a non-empty justification"
+}

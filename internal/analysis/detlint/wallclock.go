@@ -1,0 +1,71 @@
+package detlint
+
+import (
+	"go/ast"
+)
+
+// WallclockAnalyzer forbids reading or waiting on the wall clock inside the
+// engine packages. Virtual time (internal/vtime) is the only clock a
+// deterministic run may consult: a time.Now in a delivery path silently
+// makes the committed order a function of host speed. The check covers the
+// clock readers (Now, Since, Until) and every timer constructor that
+// implies one (Sleep, After, Tick, NewTimer, NewTicker, AfterFunc, Timer
+// and Ticker resets included via their constructors).
+//
+// internal/experiments is allowlisted: fig7 measures real checkpoint and
+// replay wall time by design, and the experiment harness is outside the
+// deterministic core. cmd/ is not an engine package and is not checked.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Verb: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now/Since/...) and timers in engine packages; " +
+		"the virtual clock is the only legal time source there",
+	Run: runWallclock,
+}
+
+// wallclockAllowlist exempts whole packages from the wallclock rule even
+// when they are (or are later added to) the engine set. Keep each entry
+// justified.
+var wallclockAllowlist = map[string]string{
+	// fig7 measures real per-checkpoint and per-replay wall time; that is
+	// the figure's y-axis, not a determinism leak.
+	ModulePath + "/internal/experiments": "fig7 measures wall time by design",
+}
+
+// wallclockForbidden lists the package time functions that read or wait on
+// the host clock.
+var wallclockForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallclock(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if _, ok := wallclockAllowlist[path]; ok {
+		return nil
+	}
+	if !IsEnginePackage(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallclockForbidden[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in engine package %s: engine paths must use virtual time (internal/vtime), never the wall clock",
+				obj.Name(), path)
+			return true
+		})
+	}
+	return nil
+}

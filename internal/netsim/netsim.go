@@ -63,6 +63,29 @@
 // window — after the barrier. Events execute in the same (timestamp,
 // sequence) order as the sequential engine, so results are bit-identical
 // for any shard count, any GOMAXPROCS, and lookahead on or off.
+//
+// # Determinism invariants
+//
+// Everything above reduces to a short list of coding rules, and the rules
+// are machine-checked: internal/analysis/detlint (run in CI, and locally
+// with `go run ./cmd/detlint ./...`) fails the build on a violation.
+// Within this package and the rest of the engine set:
+//
+//   - no wall clock — vtime.Time from the event loop is the only clock
+//     (detlint:wallclock). A time.Now here would make delivery order a
+//     function of host speed.
+//   - no math/rand or crypto/rand — jitter and loss draws come from
+//     internal/rng's release-stable streams (detlint:detrand).
+//   - no order-sensitive map iteration — Go randomizes map order per run,
+//     so any range over a map either accumulates commutatively, sorts
+//     what it collected before use, or carries a justified
+//     //detlint:ordered annotation (detlint:maprange).
+//   - paired pool references — every msg.Pool.Get/Retain is balanced by a
+//     Release, stored into a tracked structure, or explicitly handed off
+//     (detlint:poolpair).
+//
+// The golden tests pin that the invariants held on a given run; detlint
+// pins that the code cannot quietly stop maintaining them.
 package netsim
 
 import (

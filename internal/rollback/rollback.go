@@ -95,6 +95,32 @@
 // pending buffer, sent records) is per node and therefore shard-local by
 // construction. The happens-before edges are the window handoff and
 // commit barrier described in the netsim package comment.
+//
+// # Determinism invariants
+//
+// The rollback engine's correctness claims — bit-identical committed
+// orders across engines, checkpoints that rewind exactly, a message pool
+// that quiesces to zero — rest on coding rules that
+// internal/analysis/detlint checks statically (in CI, and locally with
+// `go run ./cmd/detlint ./...`):
+//
+//   - no wall clock (detlint:wallclock) — speculation, holds and settle
+//     estimates are all in virtual time; a host-clock read anywhere in a
+//     decision path would couple rollback behaviour to machine speed.
+//   - no toolchain randomness (detlint:detrand) — the RO tie-break and
+//     every workload draw come from internal/rng, stable across Go
+//     releases.
+//   - no order-sensitive map iteration (detlint:maprange) — anything a
+//     map range feeds into committed order, undo logs or stats is either
+//     a commutative fold or sorted before use (see flushDrops).
+//   - journaled daemon state (detlint:journalbypass) — the routing
+//     daemons' //detlint:checkpointable structs are only written through
+//     setters that record an undo entry first, so Rewind can never meet
+//     a mutation it cannot reverse.
+//   - paired pool references (detlint:poolpair) — each Get/Retain is
+//     released, stored into a tracked structure (history window, sent
+//     records, deferral buffer), or explicitly handed off, keeping the
+//     PoolLive oracle at zero at quiescence.
 package rollback
 
 import (

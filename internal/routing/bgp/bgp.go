@@ -164,7 +164,11 @@ func SelectXORP04(arrivalOrder []Path) (Path, bool) {
 
 // ---- daemon -------------------------------------------------------------------
 
-// state is the daemon's checkpointable state.
+// state is the daemon's checkpointable state: post-Init writes to these
+// fields must go through the journaling setters below so MI rollback can
+// rewind them.
+//
+//detlint:checkpointable
 type state struct {
 	// ribIn stores received paths per prefix, in arrival order (the
 	// arrival order is what the XORP 0.4 bug is sensitive to).

@@ -126,6 +126,11 @@ type Route struct {
 // hottest allocation site in the whole system — slice copies keep it to a
 // handful of memmoves where map clones cost one allocation per bucket
 // chain.
+//
+// Post-Init writes to these fields must go through the journaling setters
+// below so MI rollback can rewind them.
+//
+//detlint:checkpointable
 type state struct {
 	lsdb      []*LSA       // by origin id; nil = no LSA stored
 	adjUp     []bool       // by neighbor id: adjacency believed up

@@ -135,7 +135,11 @@ type routeEntry struct {
 	Deadline vtime.Time // expiry; vtime.Never for local routes
 }
 
-// state is the daemon's checkpointable state.
+// state is the daemon's checkpointable state: post-Init writes to these
+// fields must go through the journaling setters below so MI rollback can
+// rewind them.
+//
+//detlint:checkpointable
 type state struct {
 	table      map[string]routeEntry
 	originated map[string]int // prefix → metric
@@ -404,12 +408,21 @@ func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
 		return nil
 	}
 	// Expire routes first (an expiry and an announcement in the same
-	// batch must not let the stale route ride out).
+	// batch must not let the stale route ride out). Collect-then-sort
+	// pins the deletion order: the expiries are mutually independent, but
+	// each delRoute journals an undo entry and bumps the epoch, and those
+	// side effects should land in the same order every run rather than in
+	// map order (detlint:maprange). Allocates only when something expired.
+	var expired []string
 	for p, e := range d.st.table {
 		if e.Deadline != vtime.Never && now.After(e.Deadline) {
-			d.delRoute(p)
-			d.bumpExpiries()
+			expired = append(expired, p)
 		}
+	}
+	sort.Strings(expired)
+	for _, p := range expired {
+		d.delRoute(p)
+		d.bumpExpiries()
 	}
 	if int64(now)%int64(d.cfg.UpdateInterval) == 0 {
 		return d.announceOuts()
