@@ -12,6 +12,7 @@ package defined_test
 // strategies), and micro-benchmarks cover the hot substrate paths.
 
 import (
+	"os"
 	"testing"
 
 	"defined"
@@ -24,6 +25,7 @@ import (
 	"defined/internal/ordering"
 	"defined/internal/rollback"
 	"defined/internal/routing/ospf"
+	"defined/internal/scenario"
 	"defined/internal/topology"
 	"defined/internal/vtime"
 )
@@ -169,7 +171,7 @@ func ablationNetwork(b *testing.B, opts ...defined.Option) *defined.Network {
 	for i := range apps {
 		apps[i] = ospf.New(ospf.Config{})
 	}
-	net := defined.NewNetwork(g, apps, opts...)
+	net := mustNet(b, g, apps, opts...)
 	l := g.Links[0]
 	net.At(defined.Seconds(0.30), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
 	net.At(defined.Seconds(0.90), func() { _ = net.InjectLinkChange(l.A, l.B, true) })
@@ -292,6 +294,40 @@ func BenchmarkMemstoreRestoreDirty(b *testing.B) {
 	}
 }
 
+// BenchmarkHierBoot10k measures cold boot of the committed 10k-router
+// hierarchical mixed-protocol scenario: plan expansion (topology
+// generation, per-node protocol bindings, event schedule) plus network
+// construction. The CI scenario-smoke job budgets this — a regression
+// here means 10k-scale interactive debugging sessions stop being cheap
+// to start. Execution cost is measured elsewhere; boot must stay
+// sub-second.
+func BenchmarkHierBoot10k(b *testing.B) {
+	b.ReportAllocs()
+	raw, err := os.ReadFile("scenarios/hier10k.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := scenario.ParseSpec(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := s.Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p, err := r.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := defined.NewNetworkFromPlan(p)
+		if i == 0 {
+			b.ReportMetric(float64(p.Graph.N), "routers")
+		}
+		_ = net
+	}
+}
+
 // BenchmarkOSPFSPF measures one SPF recomputation at Sprintlink scale.
 func BenchmarkOSPFSPF(b *testing.B) {
 	g := topology.Sprintlink()
@@ -299,7 +335,7 @@ func BenchmarkOSPFSPF(b *testing.B) {
 	for i := range apps {
 		apps[i] = ospf.New(ospf.Config{})
 	}
-	net := defined.NewNetwork(g, apps, defined.WithSeed(1))
+	net := mustNet(b, g, apps, defined.WithSeed(1))
 	net.Run(defined.Seconds(1))
 	net.Drain()
 	d := apps[0].(*ospf.Daemon)

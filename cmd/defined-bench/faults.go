@@ -113,7 +113,11 @@ func chaosRun(g *defined.Topology, plan *faults.Plan, seed uint64, shards int, l
 			defined.WithPerLinkLoss(chaosLoss),
 			defined.WithDuplication(chaosDup))
 	}
-	net := defined.NewNetwork(g, apps, opts...)
+	net, err := defined.NewNetwork(g, apps, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		os.Exit(1)
+	}
 	net.Run(plan.Horizon().Add(faults.ConvergenceSlack(g)))
 	net.Drain()
 

@@ -1,31 +1,35 @@
 // Command defined-bench regenerates the paper's evaluation figures
-// (Figures 6a–6c, 7a–7c, 8a–8d) and prints them as aligned tables or CSV.
+// (Figures 6a–6c, 7a–7c, 8a–8d) and runs committed scenario files.
 //
 // Usage:
 //
-//	defined-bench [-fig fig6a] [-quick] [-csv] [-seed N] [-shards N] [-lookahead]
-//	defined-bench -faults [-quick] [-seed N]
+//	defined-bench -scenario scenarios/hier10k.json [-dryrun] [-csv]
+//	defined-bench [-fig fig6a] [-preset quick|full|sharded|lookahead|chaos] [-csv] [-seed N]
 //
-// Without -fig, every figure is regenerated. -quick runs the reduced
-// workloads used by CI; the full workloads replay the paper's sample sizes
-// (651 trace events, four network sizes, five event rates). -shards runs
-// the experiment engines on N parallel shards — the figures themselves are
-// bit-identical for any shard count (sharding changes wall-clock speed,
-// never execution), so the flag only makes regeneration faster on
-// multi-core machines. -lookahead instead runs the engines with arrival
-// deferral and per-link lookahead (the engine-best speculation
-// configuration): committed orders and routing tables stay identical, but
-// the virtual-time series may shift versus the pinned default, and every
-// summary line reports rb/committed plus the hold counters so the on/off
-// speculation comparison is one command each way.
+// -scenario resolves a committed spec file and runs it: figure-workload
+// scenarios regenerate their figure, plain scenarios boot the described
+// network (hierarchical mixed-protocol topologies included), run the
+// horizon and verify coherence in every protocol domain. -dryrun stops
+// after printing the expanded plan's summary and content fingerprint —
+// the committed-spec drift check CI runs.
 //
-// -faults runs the chaos campaign instead of figures: a seeded-random
-// fault plan (node crashes/restarts, link flaps, a partition and heal)
-// plus per-link loss and duplication over OSPF networks, executed on the
-// sequential and the sharded engine. Each run ends with the
-// fault-invariant pass (settle/pool violations, message-reference leaks,
-// window bounds, post-heal route coherence) and the campaign fails if any
-// invariant breaks or the two engines' committed executions diverge.
+// Without -scenario, figures regenerate directly. -preset selects the
+// workload shape:
+//
+//	quick     reduced CI-scale workloads
+//	full      the paper's sample sizes (default)
+//	sharded   quick workloads on 4 parallel engine shards (figures are
+//	          bit-identical for any shard count; sharding only changes
+//	          wall-clock speed)
+//	lookahead quick workloads with arrival deferral + per-link lookahead
+//	          (committed orders stay identical; time series may shift)
+//	chaos     the fault-injection campaign instead of figures: seeded
+//	          crashes/flaps/partition plus loss and duplication, ending
+//	          with the fault-invariant pass
+//
+// The former -quick/-shards/-lookahead/-faults flags remain as deprecated
+// aliases: they print the equivalent preset and committed-spec JSON, then
+// run identically.
 package main
 
 import (
@@ -35,20 +39,113 @@ import (
 	"time"
 
 	"defined/internal/experiments"
+	"defined/internal/scenario"
+	"defined/internal/vtime"
 )
+
+// benchPreset is one named workload shape. The presets replace the old
+// boolean flag soup: each corresponds to a committed-spec engine block.
+type benchPreset struct {
+	quick     bool
+	shards    int
+	lookahead bool
+	chaos     bool
+}
+
+// presetByName resolves a preset id (a switch, not a map: detlint bans
+// map ranging and a switch documents the full id set in one place).
+func presetByName(name string) (benchPreset, bool) {
+	switch name {
+	case "quick":
+		return benchPreset{quick: true}, true
+	case "full", "":
+		return benchPreset{}, true
+	case "sharded":
+		return benchPreset{quick: true, shards: 4}, true
+	case "lookahead":
+		return benchPreset{quick: true, lookahead: true}, true
+	case "chaos":
+		return benchPreset{quick: true, chaos: true}, true
+	default:
+		return benchPreset{}, false
+	}
+}
+
+// equivalentSpec renders the committed-spec form of a figure preset (what
+// the deprecated flags teach their users to write instead).
+func equivalentSpec(fig string, p benchPreset, seed uint64) scenario.Spec {
+	if fig == "" {
+		fig = "fig6a" // representative: every figure spec differs only in workload.figure
+	}
+	eng := scenario.EngineSpec{Seed: &seed}
+	if p.shards != 0 {
+		eng.Shards = &p.shards
+	}
+	if p.lookahead {
+		t := true
+		eng.Lookahead = &t
+	}
+	quick := p.quick
+	return scenario.Spec{
+		Name:      fig,
+		Topology:  scenario.TopologyRef{Kind: "sprintlink"},
+		Protocols: scenario.ProtocolSpec{OSPF: &scenario.OSPFSpec{}},
+		Engine:    eng,
+		Workload:  &scenario.WorkloadSpec{Figure: fig, Quick: &quick},
+		Horizon:   scenario.HorizonSpec{Run: scenario.Duration(vtime.Second)},
+	}
+}
 
 func main() {
 	fig := flag.String("fig", "", "single figure id to regenerate (fig6a..fig8d); empty = all")
-	quick := flag.Bool("quick", false, "reduced workloads (CI scale)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	seed := flag.Uint64("seed", 42, "experiment seed")
-	shards := flag.Int("shards", 0, "parallel engine shards (0 = sequential; figures are bit-identical for any value)")
-	lookahead := flag.Bool("lookahead", false, "run engines with deferral + per-link lookahead (engine-best speculation; time series may shift)")
-	faultsRun := flag.Bool("faults", false, "run the fault-injection chaos campaign instead of figures")
+	scenarioFile := flag.String("scenario", "", "committed scenario file to run (see scenarios/ and internal/experiments/specs/)")
+	dryrun := flag.Bool("dryrun", false, "with -scenario: print the plan summary and fingerprint, execute nothing")
+	presetName := flag.String("preset", "", "workload preset: quick, full (default), sharded, lookahead, chaos")
+
+	// Deprecated aliases (kept so existing invocations still work).
+	quick := flag.Bool("quick", false, "deprecated: use -preset quick")
+	shards := flag.Int("shards", 0, "deprecated: use -preset sharded")
+	lookahead := flag.Bool("lookahead", false, "deprecated: use -preset lookahead")
+	faultsRun := flag.Bool("faults", false, "deprecated: use -preset chaos")
 	flag.Parse()
 
-	if *faultsRun {
-		os.Exit(runFaults(*quick, *seed))
+	if *scenarioFile != "" {
+		os.Exit(runScenario(*scenarioFile, *dryrun, *csv))
+	}
+
+	p, ok := presetByName(*presetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "defined-bench: unknown preset %q (want quick, full, sharded, lookahead or chaos)\n", *presetName)
+		os.Exit(2)
+	}
+	if *quick || *shards != 0 || *lookahead || *faultsRun {
+		// Fold the legacy flags into the preset they named, tell the user
+		// the modern spelling, and print the committed-spec equivalent.
+		p.quick = p.quick || *quick
+		if *shards != 0 {
+			p.shards = *shards
+		}
+		p.lookahead = p.lookahead || *lookahead
+		p.chaos = p.chaos || *faultsRun
+		name := "quick"
+		switch {
+		case p.chaos:
+			name = "chaos"
+		case p.lookahead:
+			name = "lookahead"
+		case p.shards != 0:
+			name = "sharded"
+		}
+		fmt.Fprintf(os.Stderr, "defined-bench: -quick/-shards/-lookahead/-faults are deprecated; this run is `-preset %s`.\n", name)
+		if !p.chaos {
+			fmt.Fprintf(os.Stderr, "defined-bench: equivalent committed scenario (run with -scenario):\n%s\n", specJSON(equivalentSpec(*fig, p, *seed)))
+		}
+	}
+
+	if p.chaos {
+		os.Exit(runFaults(p.quick, *seed))
 	}
 
 	var ids []string
@@ -59,13 +156,27 @@ func main() {
 			"fig8a", "fig8b", "fig8c", "fig8d"}
 	}
 	for _, id := range ids {
+		// The committed scenario is the invocation path: each figure's
+		// Options derive from its spec file, with the preset and -seed
+		// layered on top as explicit overrides.
+		r, err := experiments.LoadSpec(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "defined-bench: %v\n", err)
+			os.Exit(1)
+		}
+		opt, err := experiments.OptionsFromSpec(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "defined-bench: %v\n", err)
+			os.Exit(1)
+		}
 		// A fresh accumulator per figure keeps the speculation summary
 		// attributable to the figure it prints under.
 		spec := &experiments.SpecStats{}
-		opt := experiments.Options{
-			Quick: *quick, Seed: *seed, Shards: *shards,
-			Lookahead: *lookahead, Spec: spec,
-		}
+		opt.Quick = p.quick // presets own the workload scale (default: full)
+		opt.Seed = *seed
+		opt.Shards = p.shards
+		opt.Lookahead = p.lookahead
+		opt.Spec = spec
 		start := time.Now()
 		f, err := experiments.ByID(id, opt)
 		if err != nil {
@@ -73,7 +184,7 @@ func main() {
 			os.Exit(1)
 		}
 		rollbacks, committed, holds, exact := spec.Summary()
-		summary := fmt.Sprintf("lookahead=%v", *lookahead)
+		summary := fmt.Sprintf("lookahead=%v", p.lookahead)
 		if committed > 0 {
 			summary += fmt.Sprintf(" rb/committed=%.4f", float64(rollbacks)/float64(committed))
 		}

@@ -1,0 +1,215 @@
+package main
+
+// The scenario runner: defined-bench -scenario <file> resolves a committed
+// spec file, prints its dry-run identity (plan summary + fingerprint), and
+// — unless -dryrun — boots the network it describes, runs the horizon, and
+// proves the run reached coherence. Figure-workload scenarios delegate to
+// the experiments package instead.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"defined"
+	"defined/internal/experiments"
+	"defined/internal/faults"
+	"defined/internal/scenario"
+	"defined/internal/topology"
+)
+
+// coherenceSampleASes bounds the number of ASes whose intra-AS OSPF
+// routes are cost-checked against the Dijkstra oracle on large plans (the
+// oracle is quadratic per source; small scenarios are checked in full).
+const coherenceSampleASes = 4
+
+func runScenario(path string, dryrun, csv bool) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		return 1
+	}
+	s, err := scenario.ParseSpec(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		return 1
+	}
+	r, err := s.Resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		return 1
+	}
+
+	if wl := r.Spec().Workload; wl != nil {
+		return runFigureScenario(r, wl.Figure, dryrun, csv)
+	}
+
+	p, err := r.Expand()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		return 1
+	}
+	fmt.Printf("scenario %s: %d routers, %d links, %d driver events, fingerprint %#x\n",
+		r.Name(), p.Graph.N, len(p.Graph.Links), len(p.Events), p.Fingerprint())
+	if dryrun {
+		return 0
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	net := defined.NewNetworkFromPlan(p)
+	bootWall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	fmt.Printf("boot: %.2fs wall, %.1f MB allocated\n",
+		bootWall.Seconds(), float64(after.TotalAlloc-before.TotalAlloc)/(1<<20))
+
+	start = time.Now()
+	quiesced := net.RunPlan(p)
+	fmt.Printf("run: %.2fs wall for %v virtual, quiesced=%v\n",
+		time.Since(start).Seconds(), p.RunUntil, quiesced)
+	fmt.Printf("stats: %+v\n", net.Stats())
+	if p.Drain && !quiesced {
+		fmt.Fprintln(os.Stderr, "defined-bench: scenario failed to quiesce")
+		return 1
+	}
+	if !checkCoherence(net, p) {
+		return 1
+	}
+	fmt.Println("coherence: ok")
+	return 0
+}
+
+// runFigureScenario regenerates one evaluation figure from its committed
+// scenario.
+func runFigureScenario(r defined.RunSpec, figure string, dryrun, csv bool) int {
+	opt, err := experiments.OptionsFromSpec(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		return 1
+	}
+	if dryrun {
+		p, err := r.Expand()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "defined-bench:", err)
+			return 1
+		}
+		fmt.Printf("scenario %s: figure workload %s (quick=%v seed=%d), fingerprint %#x\n",
+			r.Name(), figure, opt.Quick, opt.Seed, p.Fingerprint())
+		return 0
+	}
+	start := time.Now()
+	f, err := experiments.ByID(figure, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench:", err)
+		return 1
+	}
+	if csv {
+		fmt.Printf("# %s — %s\n%s\n", f.ID, f.Title, f.CSV())
+	} else {
+		fmt.Printf("%s(regenerated in %.1fs)\n", f.Table(), time.Since(start).Seconds())
+	}
+	return 0
+}
+
+// checkCoherence proves the quiesced scenario converged in every protocol
+// domain. Engine invariants (settle violations, pool leaks, window
+// bounds) always run; route checks adapt to the plan's shape.
+func checkCoherence(net *defined.Network, p *defined.Plan) bool {
+	cfg := faults.CheckConfig{}
+	h := p.Hier
+	ospfRoutes := func(src, dst defined.NodeID) (int64, bool) {
+		d := scenario.OSPF(net.App(src))
+		if d == nil {
+			return 0, false
+		}
+		route, ok := d.RoutingTable()[dst]
+		return int64(route.Cost), ok
+	}
+	if h == nil {
+		// Flat plan: if it runs OSPF everywhere, check all pairs.
+		if scenario.OSPF(net.App(0)) != nil {
+			cfg.Routes = ospfRoutes
+		}
+	} else {
+		// Hierarchical plan: cost-check intra-AS OSPF pairs for a sample
+		// of ASes (the Dijkstra oracle is quadratic per source).
+		cfg.Routes = ospfRoutes
+		cfg.Pairs = func(src, dst defined.NodeID) bool {
+			return h.AS[src] == h.AS[dst] && h.AS[src] < coherenceSampleASes &&
+				h.Role[src] != topology.RoleStub && h.Role[dst] != topology.RoleStub
+		}
+	}
+	if rep := net.CheckFaults(cfg); rep.Err() != nil {
+		fmt.Fprintln(os.Stderr, "defined-bench: coherence:", rep.Err())
+		return false
+	}
+	if h == nil {
+		return true
+	}
+
+	// Structural convergence over the whole hierarchy: every border
+	// selected every other AS's prefix, every gateway learned its stubs'
+	// host prefixes, every non-stub router reaches its whole AS.
+	ok := true
+	for a, border := range h.Borders {
+		d := scenario.BGP(net.App(defined.NodeID(border)))
+		for other := range h.Borders {
+			if other == a || d == nil {
+				continue
+			}
+			if _, have := d.Best(fmt.Sprintf("as%d", other)); !have {
+				fmt.Fprintf(os.Stderr, "defined-bench: coherence: AS %d border %d has no best path for as%d\n",
+					a, border, other)
+				ok = false
+			}
+		}
+	}
+	for a, gw := range h.Gateways {
+		if gw < 0 {
+			continue
+		}
+		d := scenario.RIP(net.App(defined.NodeID(gw)))
+		for id := h.ASBase[a]; id < h.ASBase[a]+h.ASSize[a]; id++ {
+			if h.Role[id] != topology.RoleStub || d == nil {
+				continue
+			}
+			if _, _, have := d.Route(fmt.Sprintf("n%d", id)); !have {
+				fmt.Fprintf(os.Stderr, "defined-bench: coherence: AS %d gateway %d missing stub prefix n%d\n",
+					a, gw, id)
+				ok = false
+			}
+		}
+	}
+	for id := 0; id < p.Graph.N; id++ {
+		if h.Role[id] == topology.RoleStub {
+			continue
+		}
+		d := scenario.OSPF(net.App(defined.NodeID(id)))
+		a := h.AS[id]
+		for dst := h.ASBase[a]; dst < h.ASBase[a]+h.ASSize[a]; dst++ {
+			if dst == id || h.Role[dst] == topology.RoleStub {
+				continue
+			}
+			if d == nil || !d.Reachable(defined.NodeID(dst)) {
+				fmt.Fprintf(os.Stderr, "defined-bench: coherence: router %d cannot reach same-AS router %d\n",
+					id, dst)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// specJSON renders a scenario spec as indented JSON (the deprecation
+// notices print the preset equivalent of legacy flags).
+func specJSON(s scenario.Spec) string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err.Error()
+	}
+	return string(b)
+}

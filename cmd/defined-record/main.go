@@ -37,8 +37,12 @@ func main() {
 	for i := range apps {
 		apps[i] = ospf.New(ospf.Config{})
 	}
-	net := defined.NewNetwork(g, apps,
+	net, err := defined.NewNetwork(g, apps,
 		defined.WithSeed(*seed), defined.WithRecording())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defined-record:", err)
+		os.Exit(1)
+	}
 
 	evs := trace.Synthesize(g, trace.Config{Seed: *seed, Events: *events})
 	evs = trace.Compress(evs, vtime.Duration(*window*float64(vtime.Second)))

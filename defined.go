@@ -31,22 +31,37 @@
 // routing tables stay bit-identical to the sequential engine for any
 // shard count — parallelism changes wall-clock speed only.
 //
-// A minimal production-then-debug session:
+// Runs are described declaratively: a Spec (a committed JSON template —
+// topology, per-domain protocol bindings, engine features, event and
+// fault timelines, horizon) resolves into an immutable RunSpec with every
+// default explicit and contradictory feature combinations rejected, and
+// expands into a deterministic Plan that fingerprints without executing.
+// NewNetworkFromSpec boots the plan; the With* options on NewNetwork are
+// thin builders over the same carrier for programmatic use.
 //
-//	g := defined.Sprintlink()
-//	apps := make([]defined.Application, g.N)
-//	for i := range apps {
-//		apps[i] = ospf.New(ospf.Config{})
+// A minimal production-then-debug session from a spec:
+//
+//	spec := defined.Spec{
+//		Name:      "link-flap",
+//		Topology:  scenario.TopologyRef{Kind: "sprintlink"},
+//		Protocols: scenario.ProtocolSpec{OSPF: &scenario.OSPFSpec{}},
+//		Engine:    scenario.EngineSpec{Record: &yes},
+//		Events: []scenario.EventSpec{{At: scenario.Duration(defined.Seconds(1)),
+//			Kind: "link-change", A: &a, B: &b, Up: &no}},
+//		Horizon: scenario.HorizonSpec{Run: scenario.Duration(defined.Seconds(2))},
 //	}
-//	net := defined.NewNetwork(g, apps, defined.WithRecording(), defined.WithSeed(7))
-//	net.InjectLinkChange(3, 5, false) // the external event to debug
-//	net.Run(defined.Seconds(2))
-//	net.Drain()
+//	r, _ := spec.Resolve()          // explicit defaults, validated
+//	p, _ := r.Expand()              // concrete plan; p.Fingerprint() pins it
+//	net, _ := defined.NewNetworkFromSpec(r)
+//	net.RunPlan(p)
 //
 //	rec := net.Recording()
-//	replayApps := freshApps(g.N)
-//	rp, _ := defined.NewReplay(g, replayApps, rec)
+//	rp, _ := defined.NewReplay(p.Graph, p.Apps(), rec)
 //	rp.RunToEnd() // or StepEvent/StepRound/StepGroup, breakpoints, ...
+//
+// Or programmatically, with options (the same validation applies):
+//
+//	net, err := defined.NewNetwork(g, apps, defined.WithRecording(), defined.WithSeed(7))
 package defined
 
 import (

@@ -21,11 +21,21 @@ func ospfApps(n int) []defined.Application {
 // TestPublicAPIEndToEnd exercises the full documented workflow: production
 // run with recording, deterministic committed orders across seeds, replay
 // reproducing the execution, interactive session.
+// mustNet builds a network, failing the test on a spec validation error.
+func mustNet(tb testing.TB, g *defined.Topology, apps []defined.Application, opts ...defined.Option) *defined.Network {
+	tb.Helper()
+	net, err := defined.NewNetwork(g, apps, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
 func TestPublicAPIEndToEnd(t *testing.T) {
 	g := defined.Brite(10, 2, 3)
 
 	run := func(seed uint64) (*defined.Network, *defined.Recording) {
-		net := defined.NewNetwork(g, ospfApps(g.N),
+		net := mustNet(t, g, ospfApps(g.N),
 			defined.WithSeed(seed),
 			defined.WithJitterScale(3),
 			defined.WithRecording(),
@@ -87,7 +97,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestReplayBreakpointAndDebugSession(t *testing.T) {
 	g := defined.Brite(8, 2, 5)
-	net := defined.NewNetwork(g, ospfApps(g.N), defined.WithRecording(), defined.WithSeed(4))
+	net := mustNet(t, g, ospfApps(g.N), defined.WithRecording(), defined.WithSeed(4))
 	l := g.Links[1]
 	net.At(defined.Seconds(0.05), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
 	net.Run(defined.Seconds(1))
@@ -117,7 +127,7 @@ func TestReplayBreakpointAndDebugSession(t *testing.T) {
 
 func TestBaselineAndOrderingOptions(t *testing.T) {
 	g := defined.Brite(8, 2, 7)
-	base := defined.NewNetwork(g, ospfApps(g.N), defined.WithBaseline(), defined.WithSeed(1))
+	base := mustNet(t, g, ospfApps(g.N), defined.WithBaseline(), defined.WithSeed(1))
 	base.Run(defined.Seconds(1.5))
 	base.Drain()
 	if base.Stats().Rollbacks != 0 {
@@ -127,11 +137,11 @@ func TestBaselineAndOrderingOptions(t *testing.T) {
 		t.Fatal("baseline should still carry traffic")
 	}
 
-	ro := defined.NewNetwork(g, ospfApps(g.N),
+	ro := mustNet(t, g, ospfApps(g.N),
 		defined.WithOrdering(defined.OrderingRO(9)), defined.WithSeed(1))
 	ro.Run(defined.Seconds(1.5))
 	ro.Drain()
-	oo := defined.NewNetwork(g, ospfApps(g.N), defined.WithSeed(1))
+	oo := mustNet(t, g, ospfApps(g.N), defined.WithSeed(1))
 	oo.Run(defined.Seconds(1.5))
 	oo.Drain()
 	if ro.Stats().Rollbacks <= oo.Stats().Rollbacks {

@@ -26,7 +26,7 @@ func main() {
 	g := defined.Sprintlink()
 	fmt.Printf("recording a failure scenario on %s...\n\n", g)
 
-	net := defined.NewNetwork(g, apps(g.N),
+	net := mustNet(g, apps(g.N),
 		defined.WithSeed(11), defined.WithRecording())
 	l := g.Links[7]
 	net.At(defined.Seconds(0.40), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
@@ -73,4 +73,13 @@ func main() {
 	}
 	fmt.Printf("%d rounds, %d deliveries, worst step response %.3fs (paper: all under 1s)\n",
 		len(steps), total, worst)
+}
+
+// mustNet builds a network, exiting on a configuration error.
+func mustNet(g *defined.Topology, apps []defined.Application, opts ...defined.Option) *defined.Network {
+	net, err := defined.NewNetwork(g, apps, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return net
 }

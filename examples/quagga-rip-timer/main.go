@@ -80,7 +80,7 @@ func main() {
 	outcomes := map[string]int{}
 	for seed := uint64(0); seed < 10; seed++ {
 		as := apps(rip.Quagga0965)
-		net := defined.NewNetwork(g, as, defined.WithBaseline(),
+		net := mustNet(g, as, defined.WithBaseline(),
 			defined.WithSeed(seed), defined.WithDropProbability(0.4))
 		scenario(net)
 		net.Run(defined.Seconds(12))
@@ -100,7 +100,7 @@ func main() {
 	//    replayed exactly.
 	fmt.Println("\n-- DEFINED-RB (seed 1, with recorded losses) --")
 	as := apps(rip.Quagga0965)
-	net := defined.NewNetwork(g, as, defined.WithSeed(1),
+	net := mustNet(g, as, defined.WithSeed(1),
 		defined.WithDropProbability(0.4), defined.WithRecording(), defined.WithDeliveryLog())
 	scenario(net)
 	net.Run(defined.Seconds(12))
@@ -157,4 +157,13 @@ func main() {
 	if nh, _, ok := fixed[0].(*rip.Daemon).Route(prefix); ok && nh == 2 {
 		fmt.Println("\n✓ patch validated: route fails over to the backup after the timeout")
 	}
+}
+
+// mustNet builds a network, exiting on a configuration error.
+func mustNet(g *defined.Topology, apps []defined.Application, opts ...defined.Option) *defined.Network {
+	net, err := defined.NewNetwork(g, apps, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return net
 }

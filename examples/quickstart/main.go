@@ -1,6 +1,7 @@
-// Quickstart: run a small OSPF network under DEFINED-RB, observe that the
-// committed execution is identical across physical timing seeds, record
-// it, and reproduce it exactly in a DEFINED-LS debugging network.
+// Quickstart: describe a small OSPF scenario declaratively, run it under
+// DEFINED-RB across several physical timing seeds, observe that the
+// committed execution is bit-identical, record it, and reproduce it
+// exactly in a DEFINED-LS debugging network.
 package main
 
 import (
@@ -9,38 +10,69 @@ import (
 
 	"defined"
 	"defined/internal/routing/ospf"
+	"defined/internal/scenario"
+	"defined/internal/vtime"
 )
 
-func apps(n int) []defined.Application {
-	out := make([]defined.Application, n)
-	for i := range out {
-		out[i] = ospf.New(ospf.Config{})
+// spec is the declarative scenario: an 8-router scale-free OSPF network.
+// Everything left unset — ordering, checkpoint strategy, deferral —
+// resolves to the documented production defaults. The same JSON form can
+// live in a committed file and run with `defined-bench -scenario`.
+func spec(seed uint64) defined.Spec {
+	topoSeed, jitter, yes := uint64(1), 3.0, true
+	return defined.Spec{
+		Name:      "quickstart",
+		Topology:  scenario.TopologyRef{Kind: "brite", Nodes: 8, Seed: &topoSeed},
+		Protocols: scenario.ProtocolSpec{OSPF: &scenario.OSPFSpec{}},
+		Engine: scenario.EngineSpec{
+			Seed:        &seed,
+			JitterScale: &jitter,
+			Record:      &yes,
+			DeliveryLog: &yes,
+		},
+		Horizon: scenario.HorizonSpec{Run: scenario.Duration(2 * vtime.Second)},
 	}
-	return out
 }
 
 func main() {
-	// An 8-router scale-free network.
-	g := defined.Brite(8, 2, 1)
-	fmt.Printf("topology: %s\n\n", g)
+	// Resolve once to discover the generated topology (expansion is a pure
+	// function of the spec, so every seed sees the same graph).
+	r0, err := spec(1).Resolve()
+	if err != nil {
+		panic(err)
+	}
+	p0, err := r0.Expand()
+	if err != nil {
+		panic(err)
+	}
+	g := p0.Graph
+	l := g.Links[0]
+	fmt.Printf("topology: %s\nplan fingerprint: %#x\n\n", g, p0.Fingerprint())
 
 	// Run the same scenario — a link failure and repair — under three
 	// different physical-jitter seeds. Arrival interleavings differ;
-	// DEFINED-RB masks them so the committed order never does.
-	l := g.Links[0]
+	// DEFINED-RB masks them so the committed order never does. The link
+	// events ride on the spec's timeline, so each run needs no manual
+	// scheduling.
 	var firstOrder [][]string
 	var rec *defined.Recording
 	for seed := uint64(1); seed <= 3; seed++ {
-		net := defined.NewNetwork(g, apps(g.N),
-			defined.WithSeed(seed),
-			defined.WithJitterScale(3),
-			defined.WithRecording(),
-			defined.WithDeliveryLog(),
-		)
-		net.At(defined.Seconds(0.02), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
-		net.At(defined.Seconds(0.70), func() { _ = net.InjectLinkChange(l.A, l.B, true) })
-		net.Run(defined.Seconds(2))
-		net.Drain()
+		s := spec(seed)
+		down, up := false, true
+		s.Events = []scenario.EventSpec{
+			{At: scenario.Duration(20 * vtime.Millisecond), Kind: "link-change", A: &l.A, B: &l.B, Up: &down},
+			{At: scenario.Duration(700 * vtime.Millisecond), Kind: "link-change", A: &l.A, B: &l.B, Up: &up},
+		}
+		r, err := s.Resolve()
+		if err != nil {
+			panic(err)
+		}
+		p, err := r.Expand()
+		if err != nil {
+			panic(err)
+		}
+		net := defined.NewNetworkFromPlan(p)
+		net.RunPlan(p)
 
 		st := net.Stats()
 		fmt.Printf("seed %d: %4d deliveries, %3d rollbacks, %3d anti-messages\n",
@@ -60,8 +92,9 @@ func main() {
 	}
 	fmt.Println("\n✓ committed delivery order identical across all seeds (DEFINED-RB)")
 
-	// Replay the partial recording in a debugging network.
-	rp, err := defined.NewReplay(g, apps(g.N), rec)
+	// Replay the partial recording in a debugging network (fresh daemons
+	// from the same plan).
+	rp, err := defined.NewReplay(g, p0.Apps(), rec)
 	if err != nil {
 		panic(err)
 	}

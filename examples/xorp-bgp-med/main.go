@@ -68,7 +68,7 @@ func main() {
 	outcomes := map[string]int{}
 	for seed := uint64(0); seed < 10; seed++ {
 		as := apps(bgp.XORP04)
-		net := defined.NewNetwork(g, as, defined.WithBaseline(),
+		net := mustNet(g, as, defined.WithBaseline(),
 			defined.WithSeed(seed), defined.WithJitterScale(4))
 		scenario(net)
 		net.Run(defined.Seconds(1))
@@ -86,7 +86,7 @@ func main() {
 	var rec *defined.Recording
 	for seed := uint64(0); seed < 5; seed++ {
 		as := apps(bgp.XORP04)
-		net := defined.NewNetwork(g, as, defined.WithSeed(seed),
+		net := mustNet(g, as, defined.WithSeed(seed),
 			defined.WithJitterScale(4), defined.WithRecording())
 		scenario(net)
 		net.Run(defined.Seconds(1))
@@ -136,4 +136,13 @@ func main() {
 	if bestAtR3(fixed) == "p3" {
 		fmt.Println("\n✓ patch validated; deterministic execution guarantees the same behaviour in production")
 	}
+}
+
+// mustNet builds a network, exiting on a configuration error.
+func mustNet(g *defined.Topology, apps []defined.Application, opts ...defined.Option) *defined.Network {
+	net, err := defined.NewNetwork(g, apps, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return net
 }

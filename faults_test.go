@@ -41,7 +41,7 @@ func faultRun(t *testing.T, g *defined.Topology, seed uint64, plan *faults.Plan,
 		defined.WithDuplication(dup),
 		defined.WithFaultPlan(plan),
 	}, extra...)
-	net := defined.NewNetwork(g, apps, opts...)
+	net := mustNet(t, g, apps, opts...)
 	net.Run(plan.Horizon().Add(faults.ConvergenceSlack(g)))
 	if !net.Drain() {
 		t.Fatal("network failed to quiesce under faults (wedged hold or runaway speculation)")
@@ -250,7 +250,7 @@ func TestPanicQuarantineGolden(t *testing.T) {
 				apps[i] = daemons[i]
 			}
 		}
-		net := defined.NewNetwork(g, apps,
+		net := mustNet(t, g, apps,
 			defined.WithSeed(seed), defined.WithStrategy(mi), defined.WithDeliveryLog(),
 			defined.WithFaultPlan(plan), defined.WithShards(shards))
 		net.Run(plan.Horizon().Add(faults.ConvergenceSlack(g)))

@@ -65,7 +65,11 @@ func goldenRun(g *defined.Topology, seed uint64, strat checkpoint.Strategy, hide
 	opts := append([]defined.Option{
 		defined.WithSeed(seed), defined.WithStrategy(strat), defined.WithDeliveryLog()},
 		extra...)
-	net = defined.NewNetwork(g, apps, opts...)
+	var err error
+	net, err = defined.NewNetwork(g, apps, opts...)
+	if err != nil {
+		panic(err)
+	}
 	l := g.Links[0]
 	net.At(vtime.Time(300*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, false) })
 	net.At(vtime.Time(700*vtime.Millisecond), func() { _ = net.InjectLinkChange(l.A, l.B, true) })

@@ -180,6 +180,8 @@ var EnginePackages = []string{
 	ModulePath + "/internal/history",
 	ModulePath + "/internal/msg",
 	ModulePath + "/internal/vtime",
+	ModulePath + "/internal/topology",
+	ModulePath + "/internal/scenario",
 }
 
 // IsEnginePackage reports whether path is in the determinism-critical set.

@@ -41,16 +41,24 @@ type Sender struct {
 	Pool *msg.Pool
 
 	OriginSeq uint64
-	// LinkSeq is dense by destination node id (len == graph size):
-	// checkpoints copy it with a single memmove instead of a map clone.
+	// LinkSeq is dense by out-link slot — the destination's position in
+	// the node's sorted neighbor list (len == degree). Checkpoints copy it
+	// with a single memmove instead of a map clone, and the degree-sized
+	// layout keeps per-node state O(degree) rather than O(topology) — the
+	// difference between 10k-router boot fitting in memory or not.
+	// Counter values per destination are unchanged from the old
+	// node-id-indexed layout: each destination still owns one slot.
 	LinkSeq []uint64
 	MsgSeq  uint64
+
+	// nbrs is the sorted neighbor list LinkSeq slots index into.
+	nbrs []int
 
 	j *journal.Log[counterUndo]
 }
 
-// counterUndo is one counter mutation: slot is the LinkSeq index, or
-// originSlot for OriginSeq; old is the value to restore.
+// counterUndo is one counter mutation: slot is the LinkSeq slot (neighbor
+// index), or originSlot for OriginSeq; old is the value to restore.
 type counterUndo struct {
 	slot int32
 	old  uint64
@@ -64,8 +72,9 @@ func NewSender(self msg.NodeID, g *topology.Graph, chainBound int, procEstimate 
 	if chainBound <= 0 {
 		chainBound = 64
 	}
+	nbrs := g.Neighbors(int(self))
 	s := &Sender{Self: self, G: g, ChainBound: chainBound, ProcEstimate: procEstimate,
-		LinkSeq: make([]uint64, g.N)}
+		LinkSeq: make([]uint64, len(nbrs)), nbrs: nbrs}
 	s.j = journal.New(func(u counterUndo) {
 		if u.slot == originSlot {
 			s.OriginSeq = u.old
@@ -74,6 +83,34 @@ func NewSender(self msg.NodeID, g *topology.Graph, chainBound int, procEstimate 
 		s.LinkSeq[u.slot] = u.old
 	})
 	return s
+}
+
+// slotOf returns the LinkSeq slot for destination to, or -1 when to is not
+// a neighbor. The neighbor list is sorted, so this is a binary search over
+// the node's degree.
+func (s *Sender) slotOf(to msg.NodeID) int {
+	lo, hi := 0, len(s.nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.nbrs[mid] < int(to) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.nbrs) && s.nbrs[lo] == int(to) {
+		return lo
+	}
+	return -1
+}
+
+// SeqTo reports the next link sequence number for destination to (tests).
+func (s *Sender) SeqTo(to msg.NodeID) uint64 {
+	slot := s.slotOf(to)
+	if slot < 0 {
+		return 0
+	}
+	return s.LinkSeq[slot]
 }
 
 // JournalEnable turns on counter undo recording (MI checkpointing).
@@ -135,10 +172,11 @@ func (s *Sender) Build(out msg.Out, parent msg.Annotation, fresh bool, group uin
 // originals and calls Materialize only for outputs that did not re-adopt
 // one — which is what removes the replay path's dominant allocation.
 func (s *Sender) Prepare(out msg.Out, parent msg.Annotation, fresh bool, group uint64, freshOffset vtime.Duration) (ann msg.Annotation, linkSeq uint64) {
-	link, ok := s.G.LinkBetween(int(s.Self), int(out.To))
-	if !ok {
+	slot := s.slotOf(out.To)
+	if slot < 0 {
 		panic(fmt.Sprintf("annotate: node %d sent to non-neighbor %d", s.Self, out.To))
 	}
+	link, _ := s.G.LinkBetween(int(s.Self), int(out.To))
 	hop := link.Delay + s.ProcEstimate
 	switch {
 	case fresh || out.Fresh:
@@ -156,9 +194,9 @@ func (s *Sender) Prepare(out msg.Out, parent msg.Annotation, fresh bool, group u
 		ann = msg.AnnotateChild(parent, hop)
 	}
 	s.MsgSeq++
-	ls := s.LinkSeq[out.To]
-	s.j.Record(counterUndo{slot: int32(out.To), old: ls})
-	s.LinkSeq[out.To] = ls + 1
+	ls := s.LinkSeq[slot]
+	s.j.Record(counterUndo{slot: int32(slot), old: ls})
+	s.LinkSeq[slot] = ls + 1
 	return ann, ls
 }
 

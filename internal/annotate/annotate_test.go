@@ -98,12 +98,12 @@ func TestCountersSnapshotRestore(t *testing.T) {
 	s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
 	snap := s.SnapshotCounters()
 	s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
-	if s.OriginSeq != 3 || s.LinkSeq[2] != 2 {
-		t.Fatalf("counters advanced wrong: %d, %d", s.OriginSeq, s.LinkSeq[2])
+	if s.OriginSeq != 3 || s.SeqTo(2) != 2 {
+		t.Fatalf("counters advanced wrong: %d, %d", s.OriginSeq, s.SeqTo(2))
 	}
 	wireBefore := s.MsgSeq
 	s.RestoreCounters(snap)
-	if s.OriginSeq != 2 || s.LinkSeq[2] != 1 || s.LinkSeq[0] != 1 {
+	if s.OriginSeq != 2 || s.SeqTo(2) != 1 || s.SeqTo(0) != 1 {
 		t.Fatalf("restore wrong: %d, %v", s.OriginSeq, s.LinkSeq)
 	}
 	if s.MsgSeq != wireBefore {
@@ -111,7 +111,7 @@ func TestCountersSnapshotRestore(t *testing.T) {
 	}
 	// The snapshot must be isolated from later mutation.
 	s.Build(msg.Out{To: 2}, msg.Annotation{}, true, 1, 0)
-	if snap.LinkSeq[2] != 1 {
+	if snap.LinkSeq[1] != 1 { // slot 1 = neighbor 2 (sorted neighbors of node 1 are [0, 2])
 		t.Fatal("snapshot aliased live counters")
 	}
 	// Replay after restore regenerates identical annotations.
@@ -176,7 +176,7 @@ func TestCounterJournalCompact(t *testing.T) {
 
 	s.JournalCompact(settled)
 	s.JournalRewind(live)
-	if s.OriginSeq != snap.OriginSeq || s.LinkSeq[2] != snap.LinkSeq[2] {
+	if s.OriginSeq != snap.OriginSeq || s.SeqTo(2) != snap.LinkSeq[1] {
 		t.Fatalf("counters after compact+rewind: %d %v", s.OriginSeq, s.LinkSeq)
 	}
 }

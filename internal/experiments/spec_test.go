@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"defined/internal/scenario"
+)
+
+// TestCommittedSpecOptions proves the spec bridge is lossless: every
+// committed figure scenario derives exactly the Options the golden tests
+// hand-code, and survives a marshal → parse → resolve → expand round trip
+// with an identical plan fingerprint.
+func TestCommittedSpecOptions(t *testing.T) {
+	ids := SpecIDs()
+	want := []string{"fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c",
+		"fig8a", "fig8b", "fig8c", "fig8d"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("committed specs = %v, want %v", ids, want)
+	}
+	for _, id := range ids {
+		r, err := LoadSpec(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptionsFromSpec(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (opt != Options{Quick: true, Seed: 42}) {
+			t.Errorf("%s: derived %+v, want the golden Options{Quick: true, Seed: 42}", id, opt)
+		}
+
+		p, err := r.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := scenario.ParseSpec(raw)
+		if err != nil {
+			t.Fatalf("%s: resolved spec does not reparse: %v", id, err)
+		}
+		r2, err := reparsed.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := r2.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across round trip: %#x != %#x",
+				id, p.Fingerprint(), p2.Fingerprint())
+		}
+	}
+}
+
+// TestCommittedSpecFingerprints pins the dry-run fingerprint of every
+// committed figure scenario against specs/fingerprints.txt. Any drift in
+// a spec file, the resolver's defaults or the expansion itself fails
+// here; an intentional change regenerates the file (the failure message
+// prints the new line).
+func TestCommittedSpecFingerprints(t *testing.T) {
+	f, err := os.Open("specs/fingerprints.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pinned := map[string]uint64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, hex, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad fingerprint line %q", line)
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(hex, "0x"), 16, 64)
+		if err != nil {
+			t.Fatalf("bad fingerprint line %q: %v", line, err)
+		}
+		pinned[id] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range SpecIDs() {
+		r, err := LoadSpec(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := r.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Fingerprint()
+		want, ok := pinned[id]
+		if !ok {
+			t.Errorf("%s: not pinned; add line %q", id, fmt.Sprintf("%s %#x", id, got))
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: fingerprint %#x, pinned %#x — committed scenario content drifted",
+				id, got, want)
+		}
+	}
+}

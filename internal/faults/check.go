@@ -36,6 +36,12 @@ type CheckConfig struct {
 	// every live node's cost to every reachable destination is compared
 	// against Dijkstra ground truth over the engine's current link state.
 	Routes RouteReader
+	// Pairs, when non-nil, restricts the route-coherence pass to the
+	// src/dst pairs it admits. Mixed-protocol scenarios use it to scope
+	// the global-Dijkstra oracle to domains where it is the ground truth
+	// (e.g. OSPF pairs inside one AS); large scenarios use it to sample.
+	// Sources with no admitted pair skip their Dijkstra entirely.
+	Pairs func(src, dst msg.NodeID) bool
 }
 
 // Report is Check's result: the measured invariants plus one Problems
@@ -111,14 +117,14 @@ func Check(e *rollback.Engine, g *topology.Graph, cfg CheckConfig) *Report {
 		}
 	}
 	if cfg.Routes != nil {
-		r.checkRoutes(e, g, cfg.Routes)
+		r.checkRoutes(e, g, cfg.Routes, cfg.Pairs)
 	}
 	return r
 }
 
-// checkRoutes compares every live node's routing view against Dijkstra
-// over the engine's current link and node state.
-func (r *Report) checkRoutes(e *rollback.Engine, g *topology.Graph, routes RouteReader) {
+// checkRoutes compares every admitted live node's routing view against
+// Dijkstra over the engine's current link and node state.
+func (r *Report) checkRoutes(e *rollback.Engine, g *topology.Graph, routes RouteReader, pairs func(src, dst msg.NodeID) bool) {
 	crashed := make([]bool, g.N)
 	for _, n := range r.CrashedNodes {
 		crashed[n] = true
@@ -127,9 +133,15 @@ func (r *Report) checkRoutes(e *rollback.Engine, g *topology.Graph, routes Route
 		if crashed[src] {
 			continue
 		}
+		if pairs != nil && !anyPair(pairs, src, g.N) {
+			continue
+		}
 		want := expectedCosts(e, g, src, crashed)
 		for dst := 0; dst < g.N; dst++ {
 			if dst == src {
+				continue
+			}
+			if pairs != nil && !pairs(msg.NodeID(src), msg.NodeID(dst)) {
 				continue
 			}
 			cost, have := routes(msg.NodeID(src), msg.NodeID(dst))
@@ -146,6 +158,16 @@ func (r *Report) checkRoutes(e *rollback.Engine, g *topology.Graph, routes Route
 			}
 		}
 	}
+}
+
+// anyPair reports whether src has at least one admitted destination.
+func anyPair(pairs func(src, dst msg.NodeID) bool, src, n int) bool {
+	for dst := 0; dst < n; dst++ {
+		if dst != src && pairs(msg.NodeID(src), msg.NodeID(dst)) {
+			return true
+		}
+	}
+	return false
 }
 
 // expectedCosts is Dijkstra ground truth from src over the links the

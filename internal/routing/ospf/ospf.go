@@ -53,6 +53,14 @@ type Config struct {
 	// timer tick at least this far in the future (XORP's default OSPF
 	// configuration uses 1 s; 0 disables, as the paper's modified XORP).
 	FloodHolddown vtime.Duration
+	// DomainBase is the first node id of this daemon's routing domain.
+	// Id-indexed state (LSDB, routing table) is stored relative to it, so
+	// per-daemon state scales with the domain size, not the topology
+	// size — on a 10k-router hierarchical topology with per-AS contiguous
+	// id blocks, each daemon's state stays AS-sized. LSAs originated below
+	// the base are foreign-domain and ignored. Zero (the default) keeps
+	// the flat id space of the evaluation topologies.
+	DomainBase msg.NodeID
 }
 
 func (c *Config) fillDefaults() {
@@ -132,9 +140,9 @@ type Route struct {
 //
 //detlint:checkpointable
 type state struct {
-	lsdb      []*LSA       // by origin id; nil = no LSA stored
-	adjUp     []bool       // by neighbor id: adjacency believed up
-	lastHello []vtime.Time // by neighbor id: last hello seen
+	lsdb      []*LSA       // by origin id relative to the domain base; nil = no LSA stored
+	adjUp     []bool       // by neighbor slot (sorted-neighbor index): adjacency believed up
+	lastHello []vtime.Time // by neighbor slot: last hello seen
 	seq       uint64       // own LSA sequence
 	// epoch is the topology epoch: a commutative content hash of the
 	// LSDB's (origin, links) pairs, bumped by setLSDB only when an
@@ -249,13 +257,14 @@ func (d *Daemon) JournalCompact(m journal.Mark) { d.j.Compact(m) }
 // skipped: undoing them is equally a no-op, and the entry is pure cost).
 
 func (d *Daemon) setLSDB(i msg.NodeID, lsa *LSA) {
-	if n := int(i); n >= len(d.st.lsdb) {
+	n := d.rel(i)
+	if n >= len(d.st.lsdb) {
 		d.j.Record(undoRec{kind: undoLSDBLen, u64: uint64(len(d.st.lsdb))})
 		d.st.lsdb = grown(d.st.lsdb, n)
 	}
-	old := d.st.lsdb[i]
-	d.j.Record(undoRec{kind: undoLSDB, idx: int32(i), lsa: old})
-	d.st.lsdb[i] = lsa
+	old := d.st.lsdb[n]
+	d.j.Record(undoRec{kind: undoLSDB, idx: int32(n), lsa: old})
+	d.st.lsdb[n] = lsa
 	// Epoch-bump contract: only an *effective* mutation — the origin's
 	// advertised links changed — moves the topology epoch. A refreshed LSA
 	// with identical links (higher Seq) leaves the SPF input, and so the
@@ -291,20 +300,23 @@ func (d *Daemon) bumpEpoch(delta uint64) {
 	d.st.epoch += delta
 }
 
-func (d *Daemon) setAdjUp(i msg.NodeID, v bool) {
-	if d.st.adjUp[i] == v {
+// setAdjUp and setLastHello take neighbor *slots* (sorted-neighbor index),
+// so adjacency state is degree-sized, not id-space-sized.
+
+func (d *Daemon) setAdjUp(slot int, v bool) {
+	if d.st.adjUp[slot] == v {
 		return
 	}
-	d.j.Record(undoRec{kind: undoAdjUp, idx: int32(i), b: d.st.adjUp[i]})
-	d.st.adjUp[i] = v
+	d.j.Record(undoRec{kind: undoAdjUp, idx: int32(slot), b: d.st.adjUp[slot]})
+	d.st.adjUp[slot] = v
 }
 
-func (d *Daemon) setLastHello(i msg.NodeID, t vtime.Time) {
-	if d.st.lastHello[i] == t {
+func (d *Daemon) setLastHello(slot int, t vtime.Time) {
+	if d.st.lastHello[slot] == t {
 		return
 	}
-	d.j.Record(undoRec{kind: undoLastHello, idx: int32(i), t: d.st.lastHello[i]})
-	d.st.lastHello[i] = t
+	d.j.Record(undoRec{kind: undoLastHello, idx: int32(slot), t: d.st.lastHello[slot]})
+	d.st.lastHello[slot] = t
 }
 
 func (d *Daemon) setSeq(v uint64) {
@@ -378,6 +390,7 @@ func (s *state) Clone() api.State {
 type Daemon struct {
 	cfg       Config
 	self      msg.NodeID
+	base      msg.NodeID // cfg.DomainBase: id-relative storage origin
 	neighbors []api.Neighbor
 	nbrCost   map[msg.NodeID]uint32
 	st        *state
@@ -407,9 +420,31 @@ type Daemon struct {
 // New creates a daemon with the given configuration.
 func New(cfg Config) *Daemon {
 	cfg.fillDefaults()
-	d := &Daemon{cfg: cfg}
+	d := &Daemon{cfg: cfg, base: cfg.DomainBase}
 	d.j = journal.New(func(u undoRec) { d.st.applyUndo(u) })
 	return d
+}
+
+// rel maps a node id into domain-relative storage coordinates; negative
+// means the id is below the domain base (foreign domain).
+func (d *Daemon) rel(i msg.NodeID) int { return int(i) - int(d.base) }
+
+// nbSlot returns peer's index in the sorted neighbor list, or -1. Binary
+// search over the node's degree.
+func (d *Daemon) nbSlot(peer msg.NodeID) int {
+	lo, hi := 0, len(d.neighbors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.neighbors[mid].ID < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.neighbors) && d.neighbors[lo].ID == peer {
+		return lo
+	}
+	return -1
 }
 
 var (
@@ -429,17 +464,20 @@ func (d *Daemon) Epoch() uint64 { return d.st.epoch }
 
 // Init implements api.Application.
 func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
+	if self < d.base {
+		panic(fmt.Sprintf("ospf: node %d below its domain base %d", self, d.base))
+	}
 	d.self = self
 	d.neighbors = append([]api.Neighbor(nil), neighbors...)
 	sort.Slice(d.neighbors, func(i, j int) bool { return d.neighbors[i].ID < d.neighbors[j].ID })
 	d.nbrCost = make(map[msg.NodeID]uint32, len(neighbors))
-	d.st = &state{}
-	for _, nb := range d.neighbors {
+	d.st = &state{
+		adjUp:     make([]bool, len(d.neighbors)),
+		lastHello: make([]vtime.Time, len(d.neighbors)),
+	}
+	for slot, nb := range d.neighbors {
 		d.nbrCost[nb.ID] = nb.Cost
-		d.st.adjUp = grown(d.st.adjUp, int(nb.ID))
-		d.st.lastHello = grown(d.st.lastHello, int(nb.ID))
-		d.st.adjUp[nb.ID] = true
-		d.st.lastHello[nb.ID] = 0
+		d.st.adjUp[slot] = true
 	}
 	d.originate()
 	d.runSPF()
@@ -449,8 +487,8 @@ func (d *Daemon) Init(self msg.NodeID, neighbors []api.Neighbor) {
 func (d *Daemon) originate() *LSA {
 	d.setSeq(d.st.seq + 1)
 	var links []Adj
-	for _, nb := range d.neighbors {
-		if d.st.adjUp[nb.ID] {
+	for slot, nb := range d.neighbors {
+		if d.st.adjUp[slot] {
 			links = append(links, Adj{To: nb.ID, Cost: nb.Cost})
 		}
 	}
@@ -462,10 +500,8 @@ func (d *Daemon) originate() *LSA {
 // ownLinks returns the adjacency list of the LSA the daemon currently
 // advertises for itself, or nil before the first origination.
 func (d *Daemon) ownLinks() []Adj {
-	if int(d.self) < len(d.st.lsdb) {
-		if own := d.st.lsdb[d.self]; own != nil {
-			return own.Links
-		}
+	if own := d.lsaOf(d.self); own != nil {
+		return own.Links
 	}
 	return nil
 }
@@ -488,8 +524,8 @@ func sameLinks(a, b []Adj) bool {
 // appendFlood appends the messages that flood lsa to all up adjacencies
 // except exclude.
 func (d *Daemon) appendFlood(outs []msg.Out, lsa *LSA, exclude msg.NodeID) []msg.Out {
-	for _, nb := range d.neighbors {
-		if nb.ID == exclude || !d.st.adjUp[nb.ID] {
+	for slot, nb := range d.neighbors {
+		if nb.ID == exclude || !d.st.adjUp[slot] {
 			continue
 		}
 		outs = append(outs, msg.Out{To: nb.ID, Payload: lsa})
@@ -503,11 +539,15 @@ func (d *Daemon) HandleMessage(m *msg.Message) []msg.Out {
 	case *LSA:
 		return d.onLSA(p, m.From)
 	case hello:
-		d.setLastHello(p.From, d.st.now)
-		if !d.st.adjUp[p.From] {
+		slot := d.nbSlot(p.From)
+		if slot < 0 {
+			return nil // hello from a non-neighbor: not our adjacency
+		}
+		d.setLastHello(slot, d.st.now)
+		if !d.st.adjUp[slot] {
 			// Adjacency resurrects on hello (simplified exchange: send
 			// our full LSDB so the peer resynchronizes).
-			d.setAdjUp(p.From, true)
+			d.setAdjUp(slot, true)
 			lsa := d.originate()
 			outs := d.appendFlood(d.outBuf[:0], lsa, msg.None)
 			outs = d.appendDatabase(outs, p.From)
@@ -535,6 +575,9 @@ func (d *Daemon) appendDatabase(outs []msg.Out, to msg.NodeID) []msg.Out {
 
 // onLSA applies a received LSA: newer sequence wins; newer LSAs flood on.
 func (d *Daemon) onLSA(lsa *LSA, from msg.NodeID) []msg.Out {
+	if d.rel(lsa.Origin) < 0 {
+		return nil // foreign-domain origin: outside our area, neither stored nor flooded
+	}
 	if lsa.Origin == d.self {
 		// A neighbor returned one of our own LSAs. A fresh incarnation
 		// after a crash-restart boots with sequence 1, below the pre-crash
@@ -561,10 +604,8 @@ func (d *Daemon) onLSA(lsa *LSA, from msg.NodeID) []msg.Out {
 		}
 		return nil
 	}
-	if int(lsa.Origin) < len(d.st.lsdb) {
-		if cur := d.st.lsdb[lsa.Origin]; cur != nil && cur.Seq >= lsa.Seq {
-			return nil // stale or duplicate
-		}
+	if cur := d.lsaOf(lsa.Origin); cur != nil && cur.Seq >= lsa.Seq {
+		return nil // stale or duplicate
 	}
 	d.setLSDB(lsa.Origin, lsa)
 	d.runSPF()
@@ -590,10 +631,10 @@ func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
 	// exchange on adjacency formation).
 	if !d.st.booted {
 		d.setBooted(true)
-		for _, nb := range d.neighbors {
-			d.setLastHello(nb.ID, now)
+		for slot := range d.neighbors {
+			d.setLastHello(slot, now)
 		}
-		outs = d.appendFlood(outs, d.st.lsdb[d.self], msg.None)
+		outs = d.appendFlood(outs, d.lsaOf(d.self), msg.None)
 	}
 
 	// Release held LSAs that matured. The queue is only replaced (and
@@ -619,9 +660,9 @@ func (d *Daemon) HandleTimer(now vtime.Time) []msg.Out {
 
 	// Dead-interval expiry.
 	changed := false
-	for _, nb := range d.neighbors {
-		if d.st.adjUp[nb.ID] && now.Sub(d.st.lastHello[nb.ID]) > d.cfg.DeadInterval {
-			d.setAdjUp(nb.ID, false)
+	for slot := range d.neighbors {
+		if d.st.adjUp[slot] && now.Sub(d.st.lastHello[slot]) > d.cfg.DeadInterval {
+			d.setAdjUp(slot, false)
 			changed = true
 		}
 	}
@@ -655,15 +696,16 @@ func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
 	if !ok {
 		return nil
 	}
-	if _, known := d.nbrCost[lc.Peer]; !known {
+	slot := d.nbSlot(lc.Peer)
+	if slot < 0 {
 		return nil
 	}
-	if d.st.adjUp[lc.Peer] == lc.Up {
+	if d.st.adjUp[slot] == lc.Up {
 		return nil
 	}
-	d.setAdjUp(lc.Peer, lc.Up)
+	d.setAdjUp(slot, lc.Up)
 	if lc.Up {
-		d.setLastHello(lc.Peer, d.st.now)
+		d.setLastHello(slot, d.st.now)
 	}
 	lsa := d.originate()
 	outs := d.appendFlood(d.outBuf[:0], lsa, msg.None)
@@ -684,12 +726,13 @@ func (d *Daemon) HandleExternal(ev api.ExternalEvent) []msg.Out {
 // path performs; if the restart was fast enough that it never expired,
 // only the database push is needed.
 func (d *Daemon) onPeerRestart(peer msg.NodeID) []msg.Out {
-	if _, known := d.nbrCost[peer]; !known {
+	slot := d.nbSlot(peer)
+	if slot < 0 {
 		return nil
 	}
-	d.setLastHello(peer, d.st.now)
-	if !d.st.adjUp[peer] {
-		d.setAdjUp(peer, true)
+	d.setLastHello(slot, d.st.now)
+	if !d.st.adjUp[slot] {
+		d.setAdjUp(slot, true)
 		lsa := d.originate()
 		outs := d.appendFlood(d.outBuf[:0], lsa, msg.None)
 		outs = d.appendDatabase(outs, peer)
@@ -735,9 +778,10 @@ func (d *Daemon) runSPF() {
 		}
 	}
 	const inf = ^uint32(0)
-	// The node-id universe: own id, every LSA origin, every advertised
-	// adjacency target.
-	n := int(d.self) + 1
+	// The node-id universe in domain-relative coordinates: own id, every
+	// LSA origin, every advertised adjacency target. With a domain base
+	// set, n is the domain's id-block span, not the topology size.
+	n := d.rel(d.self) + 1
 	if len(s.lsdb) > n {
 		n = len(s.lsdb)
 	}
@@ -746,8 +790,8 @@ func (d *Daemon) runSPF() {
 			continue
 		}
 		for _, adj := range lsa.Links {
-			if int(adj.To)+1 > n {
-				n = int(adj.To) + 1
+			if r := d.rel(adj.To) + 1; r > n {
+				n = r
 			}
 		}
 	}
@@ -760,9 +804,9 @@ func (d *Daemon) runSPF() {
 		via[i] = msg.None
 		visited[i] = false
 	}
-	dist[d.self] = 0
+	dist[d.rel(d.self)] = 0
 	for {
-		// Deterministic linear extraction (LSDB is small at PoP scale);
+		// Deterministic linear extraction (the LSDB is domain-sized);
 		// the ascending scan breaks cost ties toward the smallest id.
 		best, bestCost := -1, inf
 		for i := 0; i < n; i++ {
@@ -778,28 +822,30 @@ func (d *Daemon) runSPF() {
 			continue
 		}
 		lsa := s.lsdb[best]
+		bestID := d.base + msg.NodeID(best)
 		for _, adj := range lsa.Links {
-			if !d.linkBidirectional(msg.NodeID(best), adj.To) {
+			to := d.rel(adj.To)
+			if to < 0 || !d.linkBidirectional(bestID, adj.To) {
 				continue
 			}
 			nc := bestCost + adj.Cost
 			firstHop := via[best]
-			if best == int(d.self) {
+			if bestID == d.self {
 				firstHop = adj.To
 			}
-			if old := dist[adj.To]; nc < old || (nc == old && firstHop < via[adj.To]) {
-				dist[adj.To] = nc
-				via[adj.To] = firstHop
+			if old := dist[to]; nc < old || (nc == old && firstHop < via[to]) {
+				dist[to] = nc
+				via[to] = firstHop
 			}
 		}
 	}
 	table := make([]Route, n)
 	for i := 0; i < n; i++ {
-		if i == int(d.self) || dist[i] == inf {
+		if i == d.rel(d.self) || dist[i] == inf {
 			table[i].NextHop = msg.None
 			continue
 		}
-		table[i] = Route{Dest: msg.NodeID(i), NextHop: via[i], Cost: dist[i]}
+		table[i] = Route{Dest: d.base + msg.NodeID(i), NextHop: via[i], Cost: dist[i]}
 	}
 	d.setTable(table)
 	d.cache.Insert(s.epoch, table)
@@ -817,10 +863,11 @@ func (d *Daemon) linkBidirectional(a, b msg.NodeID) bool {
 
 // lsaOf returns the stored LSA for origin n, or nil.
 func (d *Daemon) lsaOf(n msg.NodeID) *LSA {
-	if int(n) >= len(d.st.lsdb) {
+	r := d.rel(n)
+	if r < 0 || r >= len(d.st.lsdb) {
 		return nil
 	}
-	return d.st.lsdb[n]
+	return d.st.lsdb[r]
 }
 
 func advertises(l *LSA, to msg.NodeID) bool {
@@ -847,15 +894,17 @@ func (d *Daemon) RoutingTable() map[msg.NodeID]Route {
 
 // Reachable reports whether dest is in the routing table.
 func (d *Daemon) Reachable(dest msg.NodeID) bool {
-	return int(dest) < len(d.st.table) && d.st.table[dest].NextHop != msg.None
+	r := d.rel(dest)
+	return r >= 0 && r < len(d.st.table) && d.st.table[r].NextHop != msg.None
 }
 
 // NextHop returns the first hop toward dest (msg.None if unreachable).
 func (d *Daemon) NextHop(dest msg.NodeID) msg.NodeID {
-	if int(dest) >= len(d.st.table) {
+	r := d.rel(dest)
+	if r < 0 || r >= len(d.st.table) {
 		return msg.None
 	}
-	return d.st.table[dest].NextHop
+	return d.st.table[r].NextHop
 }
 
 // LSDBSize reports the number of stored LSAs (tests).
@@ -892,7 +941,8 @@ func (d *Daemon) SPFRuns() uint64 { return d.st.spfRuns }
 
 // AdjacencyUp reports whether the adjacency to peer is currently up.
 func (d *Daemon) AdjacencyUp(peer msg.NodeID) bool {
-	return int(peer) < len(d.st.adjUp) && d.st.adjUp[peer]
+	slot := d.nbSlot(peer)
+	return slot >= 0 && d.st.adjUp[slot]
 }
 
 // DumpTable renders the routing table sorted by destination (debugger).

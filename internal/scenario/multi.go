@@ -1,0 +1,180 @@
+package scenario
+
+// The multi-protocol composite: one node running several routing daemons
+// (a border speaks OSPF into its AS and BGP across it; a gateway speaks
+// OSPF and RIP). Each part sees only its role-filtered neighbor subset,
+// so protocol domains stay disjoint on the shared substrate. Inputs fan
+// out to every part — the daemons already ignore payloads and externals
+// that are not theirs, which keeps dispatch free of type lists here.
+//
+// The composite deliberately does not implement api.Journaled: the
+// substrate falls back to Clone/Restore checkpointing for these nodes.
+// Only borders and gateways are composites (a handful per AS), so the
+// cost stays off the common path; interiors and stubs run bare journaled
+// daemons.
+
+import (
+	"defined/internal/msg"
+	"defined/internal/routing/api"
+	"defined/internal/routing/bgp"
+	"defined/internal/routing/ospf"
+	"defined/internal/routing/rip"
+	"defined/internal/vtime"
+)
+
+// partFilter selects the neighbors one part may see (nil keeps all).
+type partFilter func(nb api.Neighbor) bool
+
+type multiApp struct {
+	parts   []api.Application
+	filters []partFilter
+	outBuf  []msg.Out
+}
+
+func newMultiApp(parts []api.Application, filters []partFilter) *multiApp {
+	return &multiApp{parts: parts, filters: filters}
+}
+
+// Init hands each part its filtered neighbor subset.
+func (a *multiApp) Init(self msg.NodeID, neighbors []api.Neighbor) {
+	for i, part := range a.parts {
+		subset := neighbors
+		if f := a.filters[i]; f != nil {
+			subset = make([]api.Neighbor, 0, len(neighbors))
+			for _, nb := range neighbors {
+				if f(nb) {
+					subset = append(subset, nb)
+				}
+			}
+		}
+		part.Init(self, subset)
+	}
+}
+
+// gather appends copies of one part's outputs into the shared buffer (the
+// part may reuse its own output slice on its next invocation).
+func (a *multiApp) gather(outs []msg.Out) { a.outBuf = append(a.outBuf, outs...) }
+
+func (a *multiApp) HandleMessage(m *msg.Message) []msg.Out {
+	a.outBuf = a.outBuf[:0]
+	for _, part := range a.parts {
+		a.gather(part.HandleMessage(m))
+	}
+	return a.outBuf
+}
+
+func (a *multiApp) HandleTimer(now vtime.Time) []msg.Out {
+	a.outBuf = a.outBuf[:0]
+	for _, part := range a.parts {
+		a.gather(part.HandleTimer(now))
+	}
+	return a.outBuf
+}
+
+func (a *multiApp) HandleExternal(ev api.ExternalEvent) []msg.Out {
+	a.outBuf = a.outBuf[:0]
+	for _, part := range a.parts {
+		a.gather(part.HandleExternal(ev))
+	}
+	return a.outBuf
+}
+
+// multiState is the composite checkpoint: one entry per part, in part
+// order.
+type multiState struct {
+	parts []api.State
+}
+
+func (s *multiState) Clone() api.State {
+	out := &multiState{parts: make([]api.State, len(s.parts))}
+	for i, st := range s.parts {
+		out.parts[i] = st.Clone()
+	}
+	return out
+}
+
+func (a *multiApp) State() api.State {
+	st := &multiState{parts: make([]api.State, len(a.parts))}
+	for i, part := range a.parts {
+		st.parts[i] = part.State()
+	}
+	return st
+}
+
+func (a *multiApp) Restore(st api.State) {
+	ms := st.(*multiState)
+	for i, part := range a.parts {
+		part.Restore(ms.parts[i])
+	}
+}
+
+// RouteCacheStats implements api.RecomputeCached by summing the parts'
+// counters.
+func (a *multiApp) RouteCacheStats() api.RouteCacheStats {
+	var sum api.RouteCacheStats
+	for _, part := range a.parts {
+		if rc, ok := part.(api.RecomputeCached); ok {
+			st := rc.RouteCacheStats()
+			sum.Hits += st.Hits
+			sum.Misses += st.Misses
+			sum.Skipped += st.Skipped
+		}
+	}
+	return sum
+}
+
+// SetRouteCaching implements api.RecomputeCached by forwarding to every
+// part.
+func (a *multiApp) SetRouteCaching(enabled bool) {
+	for _, part := range a.parts {
+		if rc, ok := part.(api.RecomputeCached); ok {
+			rc.SetRouteCaching(enabled)
+		}
+	}
+}
+
+// OSPF unwraps the OSPF daemon from a plan-built application (nil if the
+// node runs none). Checks and tests reach protocol state through these.
+func OSPF(app api.Application) *ospf.Daemon {
+	switch a := app.(type) {
+	case *ospf.Daemon:
+		return a
+	case *multiApp:
+		for _, part := range a.parts {
+			if d, ok := part.(*ospf.Daemon); ok {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// BGP unwraps the BGP daemon from a plan-built application (nil if none).
+func BGP(app api.Application) *bgp.Daemon {
+	switch a := app.(type) {
+	case *bgp.Daemon:
+		return a
+	case *multiApp:
+		for _, part := range a.parts {
+			if d, ok := part.(*bgp.Daemon); ok {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// RIP unwraps the RIP daemon from a plan-built application (nil if none).
+func RIP(app api.Application) *rip.Daemon {
+	switch a := app.(type) {
+	case *rip.Daemon:
+		return a
+	case *multiApp:
+		for _, part := range a.parts {
+			if d, ok := part.(*rip.Daemon); ok {
+				return d
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+// Package scenario is the declarative front door to a DEFINED run: a
+// three-layer contract that turns a committed description of an experiment
+// into a deterministic, executable plan.
+//
+//   - Spec is the declarative template authors write (and commit as JSON):
+//     a topology reference, per-domain protocol bindings, engine features,
+//     external-event and fault timelines, and a run horizon. Spec fields
+//     are optional; omitted fields mean "the documented default".
+//
+//   - RunSpec is the immutable resolved snapshot. Resolve writes every
+//     default *explicitly* into the snapshot — a RunSpec has no implicit
+//     defaults left, so two readers can never disagree about what a run
+//     means — and validation rejects contradictory feature combinations
+//     (Baseline with Shards, poison without a pool, inert lookahead, ...)
+//     instead of silently ignoring one side.
+//
+//   - Plan is the deterministic, serializable expansion: the concrete
+//     topology (generated if the spec references a generator), one
+//     NodePlan per router (role, protocol bindings, OSPF domain base), the
+//     engine configuration, the resolved driver-event schedule and the
+//     fault plan. Expanding the same RunSpec always yields a Plan with the
+//     same Fingerprint, and a Plan can be fingerprinted without executing
+//     anything — that is the dry-run mode committed specs are pinned by.
+//
+// # Determinism rules
+//
+// Everything the plan contains is a pure function of the resolved spec:
+// topology generators are seeded, fault plans are seeded, event schedules
+// are sorted by (time, spec order), and the fingerprint hashes the
+// canonical JSON of the resolved spec plus every expanded structure. No
+// wall-clock time, no map iteration order, no global randomness
+// participates — the scenario layer obeys the same detlint invariants as
+// the engine it feeds, so a committed spec file is a reproducible
+// artifact: same file, same binary, same committed execution.
+//
+// Mixed-protocol plans bind protocols to the roles the hierarchical
+// topology generator assigns: OSPF inside each AS (domain-based state,
+// foreign LSAs ignored), BGP between AS border routers, RIP on stub
+// chains. Nodes speaking several protocols run them as one composite
+// application whose parts see disjoint, role-filtered neighbor sets.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"defined/internal/routing/bgp"
+	"defined/internal/topology"
+	"defined/internal/vtime"
+)
+
+// ParseSpec decodes a JSON scenario template. Unknown fields are
+// rejected — a typo in a committed spec must fail loudly, not silently
+// resolve to a default.
+func ParseSpec(raw []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %v", err)
+	}
+	return s, nil
+}
+
+// Duration is a virtual-time span that marshals as a human-readable string
+// ("250ms", "2s", "40us") with an exact integer round-trip: the formatter
+// picks the largest unit that divides the value, so no precision is ever
+// lost in a committed spec file.
+type Duration vtime.Duration
+
+// V returns the underlying virtual duration.
+func (d Duration) V() vtime.Duration { return vtime.Duration(d) }
+
+// durUnits is ordered for formatting (largest first) and shared by the
+// parser; parse order must try the two-letter suffixes before "s".
+var durUnits = []struct {
+	suffix string
+	unit   vtime.Duration
+}{
+	{"h", vtime.Hour},
+	{"m", vtime.Minute},
+	{"s", vtime.Second},
+	{"ms", vtime.Millisecond},
+	{"us", vtime.Microsecond},
+}
+
+func formatDuration(v vtime.Duration) string {
+	if v == 0 {
+		return "0s"
+	}
+	sign := ""
+	if v < 0 {
+		sign, v = "-", -v
+	}
+	for _, u := range durUnits {
+		if v%u.unit == 0 {
+			return fmt.Sprintf("%s%d%s", sign, v/u.unit, u.suffix)
+		}
+	}
+	return fmt.Sprintf("%s%dus", sign, v)
+}
+
+func parseDuration(s string) (vtime.Duration, error) {
+	orig := s
+	sign := vtime.Duration(1)
+	if strings.HasPrefix(s, "-") {
+		sign, s = -1, s[1:]
+	}
+	// Two-letter suffixes first: "5ms" also ends in "s".
+	for _, suffix := range []string{"us", "ms", "h", "m", "s"} {
+		if !strings.HasSuffix(s, suffix) {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSuffix(s, suffix), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: bad duration %q: %v", orig, err)
+		}
+		var unit vtime.Duration
+		for _, u := range durUnits {
+			if u.suffix == suffix {
+				unit = u.unit
+			}
+		}
+		return sign * vtime.Duration(n) * unit, nil
+	}
+	return 0, fmt.Errorf("scenario: bad duration %q (want <int><unit>, unit in us/ms/s/m/h)", orig)
+}
+
+// MarshalJSON renders the duration as its exact unit string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(formatDuration(vtime.Duration(d)))
+}
+
+// UnmarshalJSON parses the exact unit string.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"250ms\": %v", err)
+	}
+	v, err := parseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Dur converts a virtual duration into a spec Duration pointer (builders).
+func Dur(v vtime.Duration) *Duration { d := Duration(v); return &d }
+
+// Spec is the declarative scenario template. Every field not marked
+// required may be omitted; Resolve writes the documented default into the
+// snapshot explicitly. The zero Spec is invalid (it names no topology).
+type Spec struct {
+	// Name identifies the scenario in plans, dumps and bench output.
+	Name string `json:"name"`
+	// Topology is the substrate graph reference (required).
+	Topology TopologyRef `json:"topology"`
+	// Protocols binds routing protocols to topology domains (required:
+	// at least one binding; hierarchical topologies require OSPF).
+	Protocols ProtocolSpec `json:"protocols"`
+	// Engine selects substrate features. The zero value resolves to the
+	// production defaults (OO ordering, TM/MI checkpoints, deferral on).
+	Engine EngineSpec `json:"engine"`
+	// Workload, when set, runs a figure reproduction instead of a plain
+	// scenario run (the experiments package interprets it).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Events is the external-event timeline (sorted by time at expansion;
+	// equal times keep spec order).
+	Events []EventSpec `json:"events,omitempty"`
+	// Faults, when set, schedules a seeded-random fault plan.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// Horizon bounds the run (required: Run > 0).
+	Horizon HorizonSpec `json:"horizon"`
+}
+
+// TopologyRef names the substrate graph: a fixed evaluation topology, a
+// seeded generator, or the hierarchical mixed-protocol generator.
+type TopologyRef struct {
+	// Kind is one of "sprintlink", "ebone", "level3", "brite", "line",
+	// "hier".
+	Kind string `json:"kind"`
+	// Nodes is the node count for "brite" and "line".
+	Nodes int `json:"nodes,omitempty"`
+	// Degree is the preferential-attachment degree for "brite"
+	// (default 2).
+	Degree int `json:"degree,omitempty"`
+	// Seed seeds the "brite" generator (default: the engine seed).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Delay is the per-link delay for "line" (default 1ms).
+	Delay *Duration `json:"delay,omitempty"`
+	// Hier parameterizes the "hier" generator. All fields are explicit
+	// (the generator validates them); see topology.HierConfig.
+	Hier *topology.HierConfig `json:"hier,omitempty"`
+}
+
+// ProtocolSpec binds per-domain protocols. On flat topologies exactly one
+// binding must be present and every node runs it. On hierarchical
+// topologies OSPF is required (intra-AS), BGP runs on AS borders and RIP
+// on stub chains; a hierarchy that generated borders without a BGP
+// binding (or stubs without RIP) is rejected at expansion.
+type ProtocolSpec struct {
+	OSPF *OSPFSpec `json:"ospf,omitempty"`
+	BGP  *BGPSpec  `json:"bgp,omitempty"`
+	RIP  *RIPSpec  `json:"rip,omitempty"`
+}
+
+// OSPFSpec configures the OSPF daemons.
+type OSPFSpec struct {
+	// HelloInterval is the keepalive period (default 1s).
+	HelloInterval *Duration `json:"helloInterval,omitempty"`
+	// DeadInterval is adjacency expiry without hellos (default 4×hello).
+	DeadInterval *Duration `json:"deadInterval,omitempty"`
+	// FloodHolddown delays LSA propagation to the next timer tick
+	// (default 0s — the paper's modified XORP).
+	FloodHolddown *Duration `json:"floodHolddown,omitempty"`
+}
+
+// BGPSpec configures the BGP daemons on border routers.
+type BGPSpec struct {
+	// Mode is "xorp04" (the case-study decision bug, default) or
+	// "fixed" (full correct decision process).
+	Mode string `json:"mode,omitempty"`
+}
+
+// RIPSpec configures the RIP daemons on stub chains.
+type RIPSpec struct {
+	// Mode is "quagga0965" (the case-study timer bug, default) or
+	// "fixed".
+	Mode string `json:"mode,omitempty"`
+	// UpdateInterval is the periodic announcement period (default 30s).
+	UpdateInterval *Duration `json:"updateInterval,omitempty"`
+	// Timeout is the route-expiry deadline (default 180s).
+	Timeout *Duration `json:"timeout,omitempty"`
+	// SplitHorizon suppresses advertising routes back to their next hop
+	// (default false — plain RIP, matching the daemons' zero config).
+	SplitHorizon *bool `json:"splitHorizon,omitempty"`
+}
+
+// EngineSpec selects substrate features. It is the shared option carrier:
+// defined.NewNetwork's With* options are thin builders writing these same
+// fields, and experiments.Options derives from it. Nil pointers mean "the
+// documented default"; Resolve replaces every one with an explicit value.
+type EngineSpec struct {
+	// Baseline disables the DEFINED substrate entirely (default false).
+	Baseline *bool `json:"baseline,omitempty"`
+	// Ordering names the pseudorandom ordering function: "OO" (optimized,
+	// default) or "RO" (random).
+	Ordering string `json:"ordering,omitempty"`
+	// OrderingSeed seeds "RO" (default: Seed).
+	OrderingSeed *uint64 `json:"orderingSeed,omitempty"`
+	// Strategy is the checkpoint strategy as Timing/Mode ("TM/MI",
+	// "TF/FK", ...; default "TM/MI", the paper-recommended point).
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives physical jitter and every derived random stream
+	// (default 0).
+	Seed *uint64 `json:"seed,omitempty"`
+	// JitterScale scales link jitter (default 1.0).
+	JitterScale *float64 `json:"jitterScale,omitempty"`
+	// ChainBound caps causal chain length per timestep (default 64).
+	ChainBound *int `json:"chainBound,omitempty"`
+	// SettleBound pins a static history retirement bound (default 0s =
+	// the adaptive straggler-margin estimator).
+	SettleBound *Duration `json:"settleBound,omitempty"`
+	// Deferral enables rollback-avoidance arrival deferral (default true
+	// under "OO" ordering, false under "RO" — deferral predicts
+	// predecessors from ordering keys, which random ordering defeats;
+	// explicitly requesting both is a validation error).
+	Deferral *bool `json:"deferral,omitempty"`
+	// DeferSlack is the ordering-key gap below which an arrival is held
+	// (default 8ms; meaningful only with Deferral).
+	DeferSlack *Duration `json:"deferSlack,omitempty"`
+	// DeferMax caps any single deferral hold (default 100ms).
+	DeferMax *Duration `json:"deferMax,omitempty"`
+	// Shards runs the simulator on that many per-core shards (default 0 =
+	// sequential; committed executions are bit-identical for any value).
+	Shards *int `json:"shards,omitempty"`
+	// Lookahead enables per-link lookahead (default false). Lookahead
+	// only acts through deferral or shard windows; enabling it with both
+	// absent is a validation error, not a silent no-op.
+	Lookahead *bool `json:"lookahead,omitempty"`
+	// PerLinkLoss drops each transmission with this probability
+	// (default 0).
+	PerLinkLoss *float64 `json:"perLinkLoss,omitempty"`
+	// Duplication duplicates each transmission with this probability
+	// (default 0).
+	Duplication *float64 `json:"duplication,omitempty"`
+	// MessagePool enables refcounted wire-message pooling (default true).
+	MessagePool *bool `json:"messagePool,omitempty"`
+	// RouteCache enables the daemons' epoch-keyed route-computation cache
+	// (default true).
+	RouteCache *bool `json:"routeCache,omitempty"`
+	// Poison enables the pool's use-after-release poison mode (default
+	// false; requires MessagePool).
+	Poison *bool `json:"poison,omitempty"`
+	// Record captures the partial recording (default false).
+	Record *bool `json:"record,omitempty"`
+	// DeliveryLog retains committed delivery sequences (default false).
+	DeliveryLog *bool `json:"deliveryLog,omitempty"`
+}
+
+// WorkloadSpec asks for a figure reproduction run.
+type WorkloadSpec struct {
+	// Figure is the experiment id ("fig6a".."fig8d").
+	Figure string `json:"figure"`
+	// Quick selects the reduced CI-scale workload (default true).
+	Quick *bool `json:"quick,omitempty"`
+}
+
+// EventSpec is one external event on the timeline.
+type EventSpec struct {
+	// At is the virtual firing time.
+	At Duration `json:"at"`
+	// Kind is "link-change", "bgp-announce" or "rip-originate".
+	Kind string `json:"kind"`
+	// Node receives the event (bgp-announce, rip-originate).
+	Node int `json:"node,omitempty"`
+	// A, B are the link endpoints and Up its new state (link-change).
+	A  *int  `json:"a,omitempty"`
+	B  *int  `json:"b,omitempty"`
+	Up *bool `json:"up,omitempty"`
+	// Path is the announced route (bgp-announce).
+	Path *bgp.Path `json:"path,omitempty"`
+	// Prefix and Metric describe the originated route (rip-originate).
+	Prefix string `json:"prefix,omitempty"`
+	Metric int    `json:"metric,omitempty"`
+}
+
+// FaultSpec schedules a seeded-random fault plan (see faults.Random): every
+// fault is paired with its repair inside [Start, End], so the network is
+// whole again at End.
+type FaultSpec struct {
+	// Seed seeds the plan (default: the engine seed).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Start..End is the fault window (required: End > Start).
+	Start Duration `json:"start"`
+	End   Duration `json:"end"`
+	// Crashes is the number of crash/restart pairs (default 2, min 1).
+	Crashes *int `json:"crashes,omitempty"`
+	// Flaps is the number of link down/up pairs (default 2, min 1).
+	Flaps *int `json:"flaps,omitempty"`
+	// Partitions is the number of partition/heal pairs (default 1, min 1).
+	Partitions *int `json:"partitions,omitempty"`
+	// MinRepair is the minimum downtime before a repair (default 500ms).
+	MinRepair *Duration `json:"minRepair,omitempty"`
+}
+
+// HorizonSpec bounds the run.
+type HorizonSpec struct {
+	// Run is the virtual time to run to (required > 0).
+	Run Duration `json:"run"`
+	// Drain runs the network to quiescence after Run (default true).
+	Drain *bool `json:"drain,omitempty"`
+}
+
+// boolp/intp/u64p/f64p build pointer literals for resolved defaults.
+func boolp(v bool) *bool              { return &v }
+func intp(v int) *int                 { return &v }
+func u64p(v uint64) *uint64           { return &v }
+func f64p(v float64) *float64         { return &v }
+func durp(v vtime.Duration) *Duration { return Dur(v) }

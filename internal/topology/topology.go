@@ -38,6 +38,13 @@ type Graph struct {
 
 	adj     [][]int // node → sorted neighbor list
 	linkIdx map[[2]int]int
+
+	// propBound, when positive, is a generator-supplied upper bound on
+	// MaxPropagation. Exact all-pairs computation is O(V·E·logV) — fine at
+	// evaluation scale, prohibitive at the 10k–100k-router hierarchical
+	// scale, where the generator already knows a 2-approximation of the
+	// diameter and presets it.
+	propBound vtime.Duration
 }
 
 // New assembles a graph from an explicit link list. Duplicate and self
@@ -46,6 +53,11 @@ func New(name string, n int, links []Link) (*Graph, error) {
 	g := &Graph{Name: name, N: n, Links: links}
 	g.adj = make([][]int, n)
 	g.linkIdx = make(map[[2]int]int, len(links))
+	// Arena preallocation: one degree-counting pass, then all adjacency
+	// rows carved out of a single backing array. At hierarchical scale
+	// (10k–100k routers) this replaces ~2·|E| incremental append growths
+	// with two allocations.
+	degree := make([]int, n)
 	for i, l := range links {
 		if l.A == l.B {
 			return nil, fmt.Errorf("topology %s: self link at node %d", name, l.A)
@@ -61,6 +73,16 @@ func New(name string, n int, links []Link) (*Graph, error) {
 			return nil, fmt.Errorf("topology %s: duplicate link %d-%d", name, l.A, l.B)
 		}
 		g.linkIdx[k] = i
+		degree[l.A]++
+		degree[l.B]++
+	}
+	arena := make([]int, 2*len(links))
+	off := 0
+	for i, d := range degree {
+		g.adj[i] = arena[off : off : off+d]
+		off += d
+	}
+	for _, l := range links {
 		g.adj[l.A] = append(g.adj[l.A], l.B)
 		g.adj[l.B] = append(g.adj[l.B], l.A)
 	}
@@ -129,6 +151,10 @@ func (g *Graph) Connected() bool {
 // ShortestDelays computes single-source shortest path delays from src using
 // Dijkstra over link mean delays. Unreachable nodes get vtime.Never-like
 // +inf represented as a negative duration -1.
+//
+// Extraction order never changes the final distances, so the binary-heap
+// frontier here produces bit-identical results to a linear scan while
+// scaling to the hierarchical 10k–100k-router graphs.
 func (g *Graph) ShortestDelays(src int) []vtime.Duration {
 	const inf = vtime.Duration(math.MaxInt64)
 	dist := make([]vtime.Duration, g.N)
@@ -137,23 +163,58 @@ func (g *Graph) ShortestDelays(src int) []vtime.Duration {
 	}
 	dist[src] = 0
 	visited := make([]bool, g.N)
-	for {
-		// Linear extraction keeps this simple; graphs are <= a few
-		// hundred nodes in every experiment.
-		u, best := -1, inf
-		for i, d := range dist {
-			if !visited[i] && d < best {
-				u, best = i, d
+
+	type frontier struct {
+		d vtime.Duration
+		n int
+	}
+	heap := make([]frontier, 0, g.N)
+	push := func(f frontier) {
+		heap = append(heap, f)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
 			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
 		}
-		if u == -1 {
-			break
+	}
+	pop := func() frontier {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l].d < heap[small].d {
+				small = l
+			}
+			if r < len(heap) && heap[r].d < heap[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[small], heap[i] = heap[i], heap[small]
+			i = small
 		}
-		visited[u] = true
-		for _, v := range g.adj[u] {
-			l, _ := g.LinkBetween(u, v)
-			if nd := dist[u] + l.Delay; nd < dist[v] {
+		return top
+	}
+
+	push(frontier{0, src})
+	for len(heap) > 0 {
+		f := pop()
+		if visited[f.n] {
+			continue
+		}
+		visited[f.n] = true
+		for _, v := range g.adj[f.n] {
+			l, _ := g.LinkBetween(f.n, v)
+			if nd := dist[f.n] + l.Delay; nd < dist[v] {
 				dist[v] = nd
+				push(frontier{nd, v})
 			}
 		}
 	}
@@ -168,7 +229,16 @@ func (g *Graph) ShortestDelays(src int) []vtime.Duration {
 // MaxPropagation returns the largest finite shortest-path delay between any
 // node pair — the network "propagation diameter". DEFINED-RB retires
 // history entries after twice this bound (paper §2.2).
+//
+// When a generator preset a bound via SetPropagationBound, that bound is
+// returned instead of running the exact all-pairs computation; the engine
+// only ever uses MaxPropagation as a safe upper bound on settle horizons,
+// so any bound ≥ the true diameter preserves correctness (a looser bound
+// just retires history a little later).
 func (g *Graph) MaxPropagation() vtime.Duration {
+	if g.propBound > 0 {
+		return g.propBound
+	}
 	var maxD vtime.Duration
 	for s := 0; s < g.N; s++ {
 		for _, d := range g.ShortestDelays(s) {
@@ -179,6 +249,16 @@ func (g *Graph) MaxPropagation() vtime.Duration {
 	}
 	return maxD
 }
+
+// SetPropagationBound presets the value MaxPropagation reports. Generators
+// of large graphs call this with an upper bound on the propagation diameter
+// (e.g. twice the eccentricity of any node) so engine boot does not pay the
+// exact all-pairs cost. A non-positive bound clears the preset.
+func (g *Graph) SetPropagationBound(d vtime.Duration) { g.propBound = d }
+
+// PropagationBound returns the preset bound, or 0 when MaxPropagation
+// computes the exact diameter.
+func (g *Graph) PropagationBound() vtime.Duration { return g.propBound }
 
 // MeanLinkDelay returns the average of all link mean delays.
 func (g *Graph) MeanLinkDelay() vtime.Duration {

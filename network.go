@@ -6,6 +6,7 @@ import (
 	"defined/internal/msg"
 	"defined/internal/ordering"
 	"defined/internal/rollback"
+	"defined/internal/scenario"
 	"defined/internal/trace"
 	"defined/internal/vtime"
 )
@@ -17,14 +18,18 @@ type Network struct {
 	g   *Topology
 }
 
-// netConfig is the Network-level configuration options write through: the
-// engine config plus the pieces that live above the engine (the fault
-// plan, which must be scheduled against the built engine rather than
-// carried inside rollback.Config — the faults package sits on top of
+// netConfig is the Network-level configuration options write through.
+// Options are thin builders over the scenario engine-spec carrier — the
+// same carrier committed spec files resolve through — so both invocation
+// paths share one defaulting and validation table. Two pieces live beside
+// the carrier: a programmatic ordering.Func override (a Func is not
+// serializable; spec files select orderings by name) and the fault plan
+// (scheduled against the built engine — the faults package sits on top of
 // rollback, not under it).
 type netConfig struct {
-	rollback.Config
-	plan *faults.Plan
+	eng      scenario.EngineSpec
+	ordering ordering.Func
+	plan     *faults.Plan
 }
 
 // Option configures a Network.
@@ -33,46 +38,46 @@ type Option func(*netConfig)
 // WithSeed sets the physical-jitter seed (different seeds = different
 // arrival interleavings; committed orders stay identical under DEFINED).
 func WithSeed(seed uint64) Option {
-	return func(c *netConfig) { c.Seed = seed }
+	return func(c *netConfig) { c.eng.Seed = &seed }
 }
 
 // WithJitterScale scales link jitter (stress knob; default 1.0).
 func WithJitterScale(scale float64) Option {
-	return func(c *netConfig) { c.JitterScale = scale }
+	return func(c *netConfig) { c.eng.JitterScale = &scale }
 }
 
 // WithOrdering overrides the pseudorandom ordering function (default OO).
 func WithOrdering(f ordering.Func) Option {
-	return func(c *netConfig) { c.Ordering = f }
+	return func(c *netConfig) { c.ordering, c.eng.Ordering = f, f.Name() }
 }
 
 // WithBaseline disables the DEFINED substrate entirely — the unmodified
 // software baseline of the evaluation.
 func WithBaseline() Option {
-	return func(c *netConfig) { c.Baseline = true }
+	return func(c *netConfig) { c.eng.Baseline = scenarioBool(true) }
 }
 
 // WithRecording captures the partial recording of external events.
 func WithRecording() Option {
-	return func(c *netConfig) { c.Record = true }
+	return func(c *netConfig) { c.eng.Record = scenarioBool(true) }
 }
 
 // WithDeliveryLog retains committed delivery sequences (determinism
 // verification).
 func WithDeliveryLog() Option {
-	return func(c *netConfig) { c.LogDeliveries = true }
+	return func(c *netConfig) { c.eng.DeliveryLog = scenarioBool(true) }
 }
 
 // WithStrategy selects checkpoint timing and rollback copy mode
 // (including the zero-valued TF/FK strategy, which a bare Config would
 // replace with the TM/MI default).
 func WithStrategy(s checkpoint.Strategy) Option {
-	return func(c *netConfig) { c.Strategy, c.StrategySet = s, true }
+	return func(c *netConfig) { c.eng.Strategy = s.String() }
 }
 
 // WithChainBound caps causal chain length per timestep.
 func WithChainBound(n int) Option {
-	return func(c *netConfig) { c.ChainBound = n }
+	return func(c *netConfig) { c.eng.ChainBound = &n }
 }
 
 // WithDropProbability injects application-message loss with probability p
@@ -83,7 +88,7 @@ func WithChainBound(n int) Option {
 // every other option. WithPerLinkLoss is an alias with the fault-model
 // name.
 func WithDropProbability(p float64) Option {
-	return func(c *netConfig) { c.DropProb = p }
+	return func(c *netConfig) { c.eng.PerLinkLoss = &p }
 }
 
 // WithPerLinkLoss injects per-directed-link deterministic message loss
@@ -91,7 +96,7 @@ func WithDropProbability(p float64) Option {
 // alias for WithDropProbability; see that option for the determinism
 // contract).
 func WithPerLinkLoss(p float64) Option {
-	return func(c *netConfig) { c.DropProb = p }
+	return func(c *netConfig) { c.eng.PerLinkLoss = &p }
 }
 
 // WithDuplication injects deterministic message duplication: each
@@ -101,7 +106,7 @@ func WithPerLinkLoss(p float64) Option {
 // streams as loss, so duplication composes with sharding and lookahead
 // bit-identically.
 func WithDuplication(p float64) Option {
-	return func(c *netConfig) { c.DupProb = p }
+	return func(c *netConfig) { c.eng.Duplication = &p }
 }
 
 // WithFaultPlan schedules a fault-injection plan (node crashes and
@@ -120,21 +125,24 @@ func WithFaultPlan(p *faults.Plan) Option {
 // predicted predecessors, max caps any single hold (see
 // rollback.Config.DeferSlack/DeferMax). Committed orders are unaffected.
 func WithDeferral(slack, max Duration) Option {
-	return func(c *netConfig) { c.DeferSlack, c.DeferMax = slack, max }
+	return func(c *netConfig) {
+		c.eng.Deferral = scenarioBool(true)
+		c.eng.DeferSlack, c.eng.DeferMax = scenario.Dur(slack), scenario.Dur(max)
+	}
 }
 
 // WithoutDeferral disables arrival deferral, restoring the eager
 // deliver-then-rollback speculation dynamics (committed orders are
 // bit-identical either way; only rollback counts and virtual timing move).
 func WithoutDeferral() Option {
-	return func(c *netConfig) { c.DeferSlack = -1 }
+	return func(c *netConfig) { c.eng.Deferral = scenarioBool(false) }
 }
 
 // WithSettleBound pins a static history retirement bound in place of the
 // default adaptive straggler-margin estimator; rollback.StaticSettle
 // reproduces the paper's footnote-3 rule for a topology.
 func WithSettleBound(d Duration) Option {
-	return func(c *netConfig) { c.SettleAfter = d }
+	return func(c *netConfig) { c.eng.SettleBound = scenario.Dur(d) }
 }
 
 // WithoutRouteCache disables the daemons' epoch-keyed route-computation
@@ -143,14 +151,14 @@ func WithSettleBound(d Duration) Option {
 // tests can prove the cache never changes execution (committed orders,
 // stats and routing tables are bit-identical either way).
 func WithoutRouteCache() Option {
-	return func(c *netConfig) { c.NoRouteCache = true }
+	return func(c *netConfig) { c.eng.RouteCache = scenarioBool(false) }
 }
 
 // WithoutMessagePool disables refcounted wire-message pooling (unmanaged
 // heap-allocated messages — the pre-refcount behaviour, kept selectable so
 // golden tests can prove the lifecycle never changes execution).
 func WithoutMessagePool() Option {
-	return func(c *netConfig) { c.NoMessagePool = true }
+	return func(c *netConfig) { c.eng.MessagePool = scenarioBool(false) }
 }
 
 // WithMessagePoison enables the message pool's debug poison mode: released
@@ -159,7 +167,7 @@ func WithoutMessagePool() Option {
 // calls tally in the pool's Violations counter — instead of silently
 // aliasing a recycled struct.
 func WithMessagePoison() Option {
-	return func(c *netConfig) { c.PoisonMessages = true }
+	return func(c *netConfig) { c.eng.Poison = scenarioBool(true) }
 }
 
 // WithShards runs the rollback engine's simulator on n parallel per-core
@@ -175,14 +183,14 @@ func WithMessagePoison() Option {
 // counter-seeded draws and plan events run driver-serial between windows,
 // so neither depends on a global send order.
 func WithShards(n int) Option {
-	return func(c *netConfig) { c.Shards = n }
+	return func(c *netConfig) { c.eng.Shards = &n }
 }
 
 // WithoutSharding pins the sequential single-goroutine engine — the
 // default, kept selectable so callers composing option lists can
 // explicitly override an earlier WithShards.
 func WithoutSharding() Option {
-	return func(c *netConfig) { c.Shards = 0 }
+	return func(c *netConfig) { c.eng.Shards = scenarioInt(0) }
 }
 
 // WithLookahead enables per-directed-link lookahead, one mechanism with
@@ -201,7 +209,7 @@ func WithoutSharding() Option {
 // under WithoutDeferral or WithBaseline); the window consumer requires
 // WithShards.
 func WithLookahead() Option {
-	return func(c *netConfig) { c.Lookahead = true }
+	return func(c *netConfig) { c.eng.Lookahead = scenarioBool(true) }
 }
 
 // WithoutLookahead pins the global-lookahead window rule and the
@@ -209,21 +217,43 @@ func WithLookahead() Option {
 // composing option lists can explicitly override an earlier
 // WithLookahead.
 func WithoutLookahead() Option {
-	return func(c *netConfig) { c.Lookahead = false }
+	return func(c *netConfig) { c.eng.Lookahead = scenarioBool(false) }
 }
 
+// scenarioBool/scenarioInt build the pointer literals the spec carrier
+// uses for explicit values.
+func scenarioBool(v bool) *bool { return &v }
+func scenarioInt(v int) *int    { return &v }
+
 // NewNetwork builds a production network over g with one application per
-// node (len(apps) == g.N).
-func NewNetwork(g *Topology, apps []Application, opts ...Option) *Network {
-	var cfg netConfig
+// node (len(apps) == g.N). Options resolve through the scenario engine
+// carrier, so contradictory combinations (Baseline with Shards, poison
+// without the pool, inert lookahead, ...) return a validation error
+// instead of being silently ignored.
+func NewNetwork(g *Topology, apps []Application, opts ...Option) (*Network, error) {
+	var c netConfig
 	for _, opt := range opts {
-		opt(&cfg)
+		opt(&c)
 	}
-	net := &Network{eng: rollback.New(g, apps, cfg.Config), g: g}
-	if cfg.plan != nil {
-		cfg.plan.Schedule(net.eng, net.At)
+	resolved, err := scenario.ResolveEngine(c.eng)
+	if err != nil {
+		return nil, err
 	}
-	return net
+	cfg, err := resolved.Config()
+	if err != nil {
+		return nil, err
+	}
+	if c.ordering != nil {
+		// Programmatic override: the carrier saw the ordering's name (for
+		// validation and deferral defaulting); the run uses the Func
+		// itself, seed and all.
+		cfg.Ordering = c.ordering
+	}
+	net := &Network{eng: rollback.New(g, apps, cfg), g: g}
+	if c.plan != nil {
+		c.plan.Schedule(net.eng, net.At)
+	}
+	return net, nil
 }
 
 // Run advances the network to virtual time until.
